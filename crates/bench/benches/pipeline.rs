@@ -1,0 +1,55 @@
+//! B3: detection-pipeline throughput.
+//!
+//! Measures Step 1 (CT-stream → NRD candidates) in certstream entries per
+//! second over a prebuilt small universe, and the end-to-end small
+//! experiment as a macro benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use darkdns_core::config::ExperimentConfig;
+use darkdns_core::detector::Detector;
+use darkdns_core::experiment::Experiment;
+use darkdns_ct::ca::CaFleet;
+use darkdns_ct::stream::CertStream;
+use darkdns_dns::PublicSuffixList;
+use darkdns_registry::czds::{SnapshotOracle, SnapshotSchedule};
+use darkdns_registry::hosting::HostingLandscape;
+use darkdns_registry::registrar::RegistrarFleet;
+use darkdns_registry::workload::UniverseBuilder;
+use darkdns_sim::rng::RngPool;
+
+fn bench_detector(c: &mut Criterion) {
+    let cfg = ExperimentConfig::small(3);
+    let pool = RngPool::new(cfg.seed);
+    let fleet = RegistrarFleet::paper_fleet();
+    let hosting = HostingLandscape::paper_landscape();
+    let schedule =
+        SnapshotSchedule::new(&pool, &cfg.tlds, cfg.workload.window_start, cfg.workload.window_days);
+    let builder = UniverseBuilder {
+        tlds: &cfg.tlds,
+        fleet: &fleet,
+        hosting: &hosting,
+        schedule: &schedule,
+        config: cfg.workload.clone(),
+    };
+    let universe = builder.build(&pool);
+    let (stream, _) = CertStream::build(&universe, &schedule, &CaFleet::paper_fleet(), &pool);
+    let psl = PublicSuffixList::builtin();
+    let oracle = SnapshotOracle::new(&schedule);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("detector/certstream", |b| {
+        b.iter(|| {
+            let mut det = Detector::new(&psl, &oracle, &universe);
+            det.run(stream.entries()).len()
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("experiment/small", |b| {
+        b.iter(|| Experiment::new(ExperimentConfig::small(3)).run().nrd_total)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! B4: caching-resolver ablation.
+//!
+//! Resolves a probe-like query mix (repeated A lookups per domain on a
+//! 10-minute grid) under two cache policies: the paper's 60-second TTL
+//! cap versus honouring the upstream 1-hour TTL. The capped cache pays
+//! more upstream lookups (lower hit rate) — the cost the paper accepts in
+//! exchange for observing removals at probe-interval resolution.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use darkdns_dns::{DomainName, RecordType};
+use darkdns_measure::resolver::CachingResolver;
+use darkdns_registry::hosting::{HostingLandscape, ProviderId};
+use darkdns_registry::registrar::RegistrarId;
+use darkdns_registry::tld::TldId;
+use darkdns_registry::universe::{CertTiming, DomainId, DomainKind, DomainRecord, Universe};
+use darkdns_sim::time::{SimDuration, SimTime};
+
+fn build_universe(n: usize) -> Universe {
+    let mut u = Universe::new();
+    for i in 0..n {
+        let created = SimTime::from_hours(1);
+        u.push(DomainRecord {
+            id: DomainId(0),
+            name: DomainName::parse(&format!("bench-domain-{i:06}.com")).unwrap(),
+            tld: TldId(0),
+            kind: DomainKind::LongLived,
+            created,
+            zone_insert: created,
+            removed: None,
+            registrar: RegistrarId(0),
+            dns_provider: ProviderId(0),
+            web_asn: 13_335,
+            cert_timing: CertTiming::Prompt,
+            cert_hint: None,
+            ns_change_at: None,
+            malicious: false,
+        });
+    }
+    u
+}
+
+fn bench_resolver(c: &mut Criterion) {
+    let universe = build_universe(2_000);
+    let landscape = HostingLandscape::paper_landscape();
+    let names: Vec<DomainName> = universe.iter().map(|r| r.name.clone()).collect();
+    // Probe mix: every domain queried on a 10-minute grid for 2 hours.
+    let probes: Vec<(usize, SimTime)> = (0..12u64)
+        .flat_map(|tick| {
+            let at = SimTime::from_hours(2) + SimDuration::from_secs(tick * 600);
+            (0..names.len()).map(move |i| (i, at))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("resolver_cache");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    for (label, cap_secs) in [("capped-60s", 60u64), ("uncapped-1h", 3_600u64)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut resolver =
+                    CachingResolver::new(&universe, &landscape, SimDuration::from_secs(cap_secs));
+                for (i, at) in &probes {
+                    let _ = resolver.resolve(&names[*i], RecordType::A, *at);
+                }
+                (resolver.hits(), resolver.misses())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolver);
+criterion_main!(benches);

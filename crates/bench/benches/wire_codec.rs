@@ -1,0 +1,75 @@
+//! B2: RFC 1035 wire-codec throughput.
+//!
+//! Encodes and decodes the message shapes the measurement substrate
+//! exchanges: a minimal NS query, an NS referral response (compression
+//! heavy), and a fat response exercising every RDATA type.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use darkdns_dns::record::SoaData;
+use darkdns_dns::wire::{Header, Message, Rcode};
+use darkdns_dns::{DomainName, RData, RecordType, ResourceRecord};
+
+fn name(s: &str) -> DomainName {
+    DomainName::parse(s).unwrap()
+}
+
+fn query() -> Message {
+    Message::query(0x4242, name("suspicious-domain-12345.com"), RecordType::Ns)
+}
+
+fn referral() -> Message {
+    let mut msg = query();
+    msg.header = Header::response_to(&msg.header, Rcode::NoError);
+    for i in 0..4 {
+        msg.authorities.push(ResourceRecord::new(
+            name("suspicious-domain-12345.com"),
+            86_400,
+            RData::Ns(name(&format!("ns{i}.cloudflare.com"))),
+        ));
+    }
+    msg
+}
+
+fn fat_response() -> Message {
+    let mut msg = referral();
+    msg.answers = vec![
+        ResourceRecord::new(name("suspicious-domain-12345.com"), 60, RData::A("192.0.2.1".parse().unwrap())),
+        ResourceRecord::new(name("suspicious-domain-12345.com"), 60, RData::Aaaa("2001:db8::1".parse().unwrap())),
+        ResourceRecord::new(name("suspicious-domain-12345.com"), 300, RData::Txt(b"v=spf1 -all".to_vec())),
+        ResourceRecord::new(
+            name("suspicious-domain-12345.com"),
+            300,
+            RData::Mx { preference: 10, exchange: name("mail.suspicious-domain-12345.com") },
+        ),
+    ];
+    msg.additionals.push(ResourceRecord::new(
+        name("com"),
+        900,
+        RData::Soa(SoaData {
+            mname: name("a.gtld-servers.net"),
+            rname: name("nstld.verisign-grs.com"),
+            serial: 1_700_000_000,
+            refresh: 1_800,
+            retry: 900,
+            expire: 604_800,
+            minimum: 86_400,
+        }),
+    ));
+    msg
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    for (label, msg) in [("query", query()), ("referral", referral()), ("fat", fat_response())] {
+        let bytes = msg.encode();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_function(format!("encode/{label}"), |b| b.iter(|| msg.encode()));
+        group.bench_function(format!("decode/{label}"), |b| {
+            b.iter(|| Message::decode(&bytes).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

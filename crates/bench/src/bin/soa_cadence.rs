@@ -1,0 +1,36 @@
+//! The §4.1 validation experiment: probe every TLD's SOA serial over the
+//! wire and infer its zone-push cadence, confirming the mechanism behind
+//! Figure 1's per-TLD detection-latency spread ("we validated this
+//! assumption by probing the zones of Figure 1 for SOA serial changes,
+//! and found consistent timestamps").
+
+use darkdns_measure::soa_probe::probe_cadence;
+use darkdns_registry::tld::paper_gtlds;
+use darkdns_sim::time::{SimDuration, SimTime};
+
+fn main() {
+    println!("§4.1 SOA cadence validation\n");
+    println!("{:<8} {:>12} {:>12} {:>9} {:>8}", "TLD", "configured", "estimated", "changes", "OK");
+    let poll = SimDuration::from_secs(30);
+    for tld in paper_gtlds() {
+        let est = probe_cadence(
+            &tld,
+            SimTime::ZERO,
+            SimTime::from_hours(1),
+            poll,
+            SimDuration::from_hours(12),
+        );
+        println!(
+            "{:<8} {:>11}s {:>11}s {:>9} {:>8}",
+            est.tld,
+            est.configured_cadence_secs,
+            est.estimated_cadence_secs,
+            est.observed_changes.len(),
+            if est.is_consistent(poll) { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\ncom/net push every ~60 s; other gTLDs every 15-30 min — the cadence term that\n\
+         dominates per-TLD detection latency in Figure 1."
+    );
+}

@@ -1,0 +1,257 @@
+//! The experiment driver: substrates → pipeline → report.
+//!
+//! `Experiment::run` executes the reproduction end to end:
+//!
+//! 1. build the calibrated registry universe (workload generator);
+//! 2. build the CZDS snapshot schedule and the certificate stream;
+//! 3. run the five-step pipeline (detect → RDAP → monitor → validate →
+//!    transient classification), publishing every candidate onto the
+//!    public NRD feed;
+//! 4. simulate the comparison sources (blocklists, NOD, DZDB);
+//! 5. assemble the [`Report`].
+//!
+//! Everything is deterministic in the config's seed.
+
+use crate::config::ExperimentConfig;
+use crate::detector::Detector;
+use crate::feed::{NrdFeed, NrdFeedRecord};
+use crate::monitor::Monitor;
+use crate::report::{self, Report, ReportInputs};
+use crate::transient::{classify, ClassifiedCandidate};
+use crate::validate::Validator;
+use darkdns_ct::ca::CaFleet;
+use darkdns_ct::stream::CertStream;
+use darkdns_dns::PublicSuffixList;
+use darkdns_intel::blocklist::BlocklistSet;
+use darkdns_intel::dzdb::DzdbArchive;
+use darkdns_intel::nod::NodFeed;
+use darkdns_measure::worker::MonitorReport;
+use darkdns_rdap::client::RdapClient;
+use darkdns_rdap::server::RdapDirectory;
+use darkdns_registry::czds::{SnapshotOracle, SnapshotSchedule};
+use darkdns_registry::hosting::HostingLandscape;
+use darkdns_registry::registrar::RegistrarFleet;
+use darkdns_registry::universe::Universe;
+use darkdns_registry::workload::UniverseBuilder;
+use darkdns_sim::rng::RngPool;
+
+/// A configured, runnable experiment.
+pub struct Experiment {
+    config: ExperimentConfig,
+    /// The public zonestream feed; subscribe before calling `run` to
+    /// receive every published NRD record.
+    pub nrd_feed: NrdFeed,
+}
+
+/// Everything a run produces (report plus the artifacts tests and benches
+/// want to poke at).
+pub struct RunArtifacts {
+    pub report: Report,
+    pub universe: Universe,
+    pub schedule: SnapshotSchedule,
+    pub classified: Vec<ClassifiedCandidate>,
+    pub monitor_reports: Vec<MonitorReport>,
+}
+
+impl Experiment {
+    pub fn new(config: ExperimentConfig) -> Self {
+        Experiment { config, nrd_feed: NrdFeed::new() }
+    }
+
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Run the full experiment and return just the report.
+    pub fn run(self) -> Report {
+        self.run_with_artifacts().report
+    }
+
+    /// Run the full experiment, keeping intermediate artifacts.
+    pub fn run_with_artifacts(self) -> RunArtifacts {
+        let cfg = &self.config;
+        let pool = RngPool::new(cfg.seed);
+
+        // --- substrates ---------------------------------------------------
+        let fleet = RegistrarFleet::paper_fleet();
+        let landscape = HostingLandscape::paper_landscape();
+        let schedule = SnapshotSchedule::new(
+            &pool,
+            &cfg.tlds,
+            cfg.workload.window_start,
+            cfg.workload.window_days,
+        );
+        let builder = UniverseBuilder {
+            tlds: &cfg.tlds,
+            fleet: &fleet,
+            hosting: &landscape,
+            schedule: &schedule,
+            config: cfg.workload.clone(),
+        };
+        let universe = builder.build(&pool);
+        let cas = CaFleet::paper_fleet();
+        let (stream, _ct_log) = CertStream::build(&universe, &schedule, &cas, &pool);
+        let psl = PublicSuffixList::builtin();
+        let oracle = SnapshotOracle::new(&schedule);
+
+        // --- step 1: detection --------------------------------------------
+        let mut detector = Detector::new(&psl, &oracle, &universe);
+        let candidates = detector.run(stream.entries());
+
+        // --- steps 2+4: RDAP ------------------------------------------------
+        let mut directory = RdapDirectory::new(&universe, &fleet, cfg.rdap.clone(), &pool);
+        let mut validator = Validator::new(
+            &mut directory,
+            RdapClient::paper_client(),
+            cfg.rdap_queue_median_secs,
+            pool.stream("core.validator"),
+        );
+        let validated = validator.validate_all(candidates);
+
+        // Publish the zonestream feed (the paper's released artifact).
+        for v in &validated {
+            self.nrd_feed.publish(NrdFeedRecord {
+                domain: v.candidate.domain.clone(),
+                detected_at: v.candidate.detected_at,
+                rdap_created: v.rdap.as_ref().ok().map(|r| r.created),
+                registrar: v.rdap.as_ref().ok().map(|r| r.registrar.clone()),
+            });
+        }
+
+        // --- step 3: monitoring ---------------------------------------------
+        let mut monitor = Monitor::new(&universe, &landscape);
+        let candidate_refs: Vec<_> = validated.iter().map(|v| v.candidate.clone()).collect();
+        let monitor_reports = monitor.monitor_all(&candidate_refs);
+
+        // --- step 5: transient classification --------------------------------
+        let classified = classify(
+            &universe,
+            &oracle,
+            cfg.workload.window_start,
+            validated,
+            &monitor_reports,
+        );
+
+        // --- comparison sources ----------------------------------------------
+        let blocklists = BlocklistSet::simulate(
+            &universe,
+            &cfg.blocklists,
+            cfg.workload.window_end(),
+            &pool,
+        );
+        let nod = NodFeed::simulate(&universe, &cfg.nod, cfg.workload.window_start, &pool);
+        let dzdb = DzdbArchive::build(&universe, cfg.workload.window_start);
+
+        // --- report -----------------------------------------------------------
+        let report = report::build(&ReportInputs {
+            config: cfg,
+            universe: &universe,
+            oracle: &oracle,
+            landscape: &landscape,
+            psl: &psl,
+            classified: &classified,
+            monitor_reports: &monitor_reports,
+            blocklists: &blocklists,
+            nod: &nod,
+            dzdb: &dzdb,
+        });
+        RunArtifacts { report, universe, schedule, classified, monitor_reports }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::TransientStatus;
+
+    fn run_small(seed: u64) -> RunArtifacts {
+        Experiment::new(ExperimentConfig::small(seed)).run_with_artifacts()
+    }
+
+    #[test]
+    fn small_experiment_produces_sane_report() {
+        let arts = run_small(7);
+        let r = &arts.report;
+        assert!(r.nrd_total > 100, "too few NRDs: {}", r.nrd_total);
+        assert!(r.zone_nrd_total > r.nrd_total, "coverage cannot exceed 100%");
+        assert!((20.0..70.0).contains(&r.coverage_pct), "coverage {}", r.coverage_pct);
+        assert!(r.transients.candidates > 0);
+        assert!(r.transients.confirmed <= r.transients.candidates);
+        assert!(!r.table1.is_empty());
+        assert!(!r.figure1.is_empty());
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run_small(11).report;
+        let b = run_small(11).report;
+        assert_eq!(a.nrd_total, b.nrd_total);
+        assert_eq!(a.transients.confirmed, b.transients.confirmed);
+        assert_eq!(a.figure1_half_detected_within_secs, b.figure1_half_detected_within_secs);
+        let c = run_small(12).report;
+        assert_ne!(a.nrd_total, c.nrd_total);
+    }
+
+    #[test]
+    fn transient_rdap_failure_rate_exceeds_nrd_rate() {
+        let r = run_small(13).report;
+        let rf = &r.rdap_failures;
+        assert!(
+            rf.transient_failure_pct > 3.0 * rf.nrd_failure_pct,
+            "transient {} vs nrd {}",
+            rf.transient_failure_pct,
+            rf.nrd_failure_pct
+        );
+    }
+
+    #[test]
+    fn confirmed_transients_never_appear_in_snapshots() {
+        let arts = run_small(17);
+        let oracle = SnapshotOracle::new(&arts.schedule);
+        for c in &arts.classified {
+            if c.status == TransientStatus::Confirmed {
+                let record = arts.universe.get(c.validated.candidate.record);
+                assert!(!oracle.appeared_in_any(record));
+            }
+        }
+    }
+
+    #[test]
+    fn feed_publishes_every_validated_candidate() {
+        let exp = Experiment::new(ExperimentConfig::small(19));
+        let sub = exp.nrd_feed.subscribe();
+        let arts = exp.run_with_artifacts();
+        let records = sub.drain();
+        assert_eq!(records.len(), arts.classified.len());
+    }
+
+    #[test]
+    fn render_text_contains_all_sections() {
+        let r = run_small(23).report;
+        let text = r.render_text();
+        for needle in [
+            "Table 1",
+            "Table 2",
+            "Figure 1",
+            "Figure 2",
+            "Table 3",
+            "Table 4",
+            "Table 5",
+            "NS stability",
+            "RDAP failures",
+            "blocklists",
+            "NOD comparison",
+            "ccTLD",
+        ] {
+            assert!(text.contains(needle), "missing section {needle}");
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = run_small(29).report;
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("table1"));
+        assert!(json.contains("coverage_pct"));
+    }
+}

@@ -1,0 +1,166 @@
+//! The in-memory topic bus and the public NRD feed.
+//!
+//! The paper's measurement infrastructure glues its stages together with
+//! Kafka topics; the reproduction uses an in-process broadcast topic built
+//! on crossbeam channels. The same machinery implements the paper's
+//! released artifact — the public "zonestream" feed of newly
+//! registered domains (reference 33 of the paper) — which the repository's examples subscribe to.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use darkdns_dns::DomainName;
+use darkdns_sim::time::SimTime;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// A broadcast topic: every subscriber receives every message published
+/// after it subscribed.
+pub struct Topic<T: Clone> {
+    subscribers: Arc<Mutex<Vec<Sender<T>>>>,
+    published: Arc<Mutex<u64>>,
+}
+
+impl<T: Clone> Default for Topic<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> Clone for Topic<T> {
+    fn clone(&self) -> Self {
+        Topic { subscribers: Arc::clone(&self.subscribers), published: Arc::clone(&self.published) }
+    }
+}
+
+impl<T: Clone> Topic<T> {
+    pub fn new() -> Self {
+        Topic { subscribers: Arc::new(Mutex::new(Vec::new())), published: Arc::new(Mutex::new(0)) }
+    }
+
+    /// Subscribe; messages published from now on are delivered.
+    pub fn subscribe(&self) -> Subscription<T> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        Subscription { rx }
+    }
+
+    /// Publish to all live subscribers. Dropped subscribers are pruned.
+    pub fn publish(&self, message: T) {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| tx.send(message.clone()).is_ok());
+        *self.published.lock() += 1;
+    }
+
+    /// Messages published so far (delivered or not).
+    pub fn published_count(&self) -> u64 {
+        *self.published.lock()
+    }
+
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+/// A consumer handle for a [`Topic`].
+pub struct Subscription<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Subscription<T> {
+    /// Non-blocking poll.
+    pub fn try_next(&self) -> Option<T> {
+        match self.rx.try_recv() {
+            Ok(v) => Some(v),
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.try_next() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// One record on the public newly-registered-domain feed ("zonestream").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct NrdFeedRecord {
+    pub domain: DomainName,
+    /// When the pipeline first saw the name in CT.
+    pub detected_at: SimTime,
+    /// RDAP-reported creation time, when collection succeeded.
+    pub rdap_created: Option<SimTime>,
+    /// Sponsoring registrar, when known.
+    pub registrar: Option<String>,
+}
+
+/// The public feed the paper releases: a topic of [`NrdFeedRecord`]s.
+pub type NrdFeed = Topic<NrdFeedRecord>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_subscribe_round_trip() {
+        let topic: Topic<u32> = Topic::new();
+        let sub = topic.subscribe();
+        topic.publish(1);
+        topic.publish(2);
+        assert_eq!(sub.drain(), vec![1, 2]);
+        assert_eq!(topic.published_count(), 2);
+    }
+
+    #[test]
+    fn subscribers_only_see_messages_after_joining() {
+        let topic: Topic<u32> = Topic::new();
+        topic.publish(1);
+        let sub = topic.subscribe();
+        topic.publish(2);
+        assert_eq!(sub.drain(), vec![2]);
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_everything() {
+        let topic: Topic<&'static str> = Topic::new();
+        let a = topic.subscribe();
+        let b = topic.subscribe();
+        topic.publish("x");
+        assert_eq!(a.drain(), vec!["x"]);
+        assert_eq!(b.drain(), vec!["x"]);
+        assert_eq!(topic.subscriber_count(), 2);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let topic: Topic<u32> = Topic::new();
+        {
+            let _sub = topic.subscribe();
+        }
+        topic.publish(5); // send fails; subscriber pruned
+        assert_eq!(topic.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn try_next_on_empty_is_none() {
+        let topic: Topic<u32> = Topic::new();
+        let sub = topic.subscribe();
+        assert_eq!(sub.try_next(), None);
+    }
+
+    #[test]
+    fn feed_record_serializes() {
+        let rec = NrdFeedRecord {
+            domain: DomainName::parse("example.com").unwrap(),
+            detected_at: SimTime::from_secs(100),
+            rdap_created: Some(SimTime::from_secs(40)),
+            registrar: Some("GoDaddy".into()),
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("example.com"));
+        assert!(json.contains("GoDaddy"));
+    }
+}

@@ -1,0 +1,40 @@
+//! The DarkDNS pipeline — the paper's primary contribution.
+//!
+//! Five steps (§3), each a module here:
+//!
+//! 1. [`detector`] — infer newly registered domains from the certificate
+//!    stream by discarding names already present in the latest available
+//!    zone snapshots;
+//! 2. [`validate`] — collect RDAP registration data (worker pool, no
+//!    retries) for every candidate;
+//! 3. [`monitor`] — reactive A/AAAA/NS measurements every 10 minutes for
+//!    the first 48 hours of each candidate's life;
+//! 4. `validate` again — cross-check the CT detection timestamp against
+//!    the RDAP creation time (detection latency; misclassification
+//!    filter);
+//! 5. [`transient`] — classify candidates that never appear in any zone
+//!    snapshot over the window (±3 days slack) as *transient domains*.
+//!
+//! [`experiment`] wires the substrates together, runs the pipeline over a
+//! calibrated universe and produces a [`report::Report`] containing every
+//! table and figure of the paper's evaluation. [`feed`] implements the
+//! in-memory topic bus (the simulation's Kafka) plus the public
+//! "zonestream" NRD feed the paper releases. [`rzu_ablation`] sweeps
+//! snapshot/push cadences to quantify the value of rapid zone updates —
+//! the §5 argument, turned into an experiment.
+
+pub mod config;
+pub mod detector;
+pub mod experiment;
+pub mod feed;
+pub mod monitor;
+pub mod report;
+pub mod rzu_ablation;
+pub mod streaming;
+pub mod transient;
+pub mod validate;
+
+pub use config::ExperimentConfig;
+pub use detector::{Detector, NrdCandidate};
+pub use experiment::Experiment;
+pub use report::Report;

@@ -1,0 +1,116 @@
+//! Step 3: reactive monitoring of candidates.
+//!
+//! Thin orchestration over the measurement substrate: every candidate is
+//! assigned to a worker and monitored for 48 hours from detection. The
+//! per-domain [`MonitorReport`]s feed lifetime estimation (Figure 2), the
+//! NS-stability statistic (§4.1) and the hosting tables (4 and 5).
+
+use crate::detector::NrdCandidate;
+use darkdns_measure::authoritative::TldAuthority;
+use darkdns_measure::resolver::CachingResolver;
+use darkdns_measure::worker::{MonitorPool, MonitorReport};
+use darkdns_registry::hosting::HostingLandscape;
+use darkdns_registry::universe::Universe;
+use darkdns_sim::time::SimDuration;
+
+/// Runs Step 3 over all candidates.
+pub struct Monitor<'a> {
+    authority: TldAuthority<'a>,
+    resolver: CachingResolver<'a>,
+    pool: MonitorPool,
+}
+
+impl<'a> Monitor<'a> {
+    pub fn new(universe: &'a Universe, landscape: &'a HostingLandscape) -> Self {
+        Monitor {
+            authority: TldAuthority::new(universe, landscape),
+            resolver: CachingResolver::new(universe, landscape, SimDuration::from_secs(60)),
+            pool: MonitorPool::paper_pool(),
+        }
+    }
+
+    pub fn monitor_one(&mut self, candidate: &NrdCandidate) -> MonitorReport {
+        self.pool.monitor(
+            &self.authority,
+            &mut self.resolver,
+            candidate.record,
+            &candidate.domain,
+            candidate.detected_at,
+        )
+    }
+
+    pub fn monitor_all(&mut self, candidates: &[NrdCandidate]) -> Vec<MonitorReport> {
+        candidates.iter().map(|c| self.monitor_one(c)).collect()
+    }
+
+    /// Resolver cache statistics (for the resolver bench and sanity
+    /// checks).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.resolver.hits(), self.resolver.misses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkdns_dns::DomainName;
+    use darkdns_registry::hosting::ProviderId;
+    use darkdns_registry::registrar::RegistrarId;
+    use darkdns_registry::tld::TldId;
+    use darkdns_registry::universe::{CertTiming, DomainId, DomainKind, DomainRecord};
+    use darkdns_sim::time::SimTime;
+
+    fn universe() -> Universe {
+        let mut u = Universe::new();
+        u.push(DomainRecord {
+            id: DomainId(0),
+            name: DomainName::parse("t.com").unwrap(),
+            tld: TldId(0),
+            kind: DomainKind::Transient,
+            created: SimTime::from_hours(100),
+            zone_insert: SimTime::from_hours(100),
+            removed: Some(SimTime::from_hours(106)),
+            registrar: RegistrarId(0),
+            dns_provider: ProviderId(0),
+            web_asn: 13_335,
+            cert_timing: CertTiming::Prompt,
+            cert_hint: None,
+            ns_change_at: None,
+            malicious: true,
+        });
+        u
+    }
+
+    #[test]
+    fn monitoring_brackets_the_death() {
+        let u = universe();
+        let l = HostingLandscape::paper_landscape();
+        let mut m = Monitor::new(&u, &l);
+        let candidate = NrdCandidate {
+            domain: DomainName::parse("t.com").unwrap(),
+            record: DomainId(0),
+            detected_at: SimTime::from_hours(100) + SimDuration::from_minutes(40),
+        };
+        let report = m.monitor_one(&candidate);
+        assert!(report.observed_death());
+        let death = SimTime::from_hours(106);
+        assert!(report.last_ns_ok.unwrap() < death);
+        assert!(report.first_nxdomain.unwrap() >= death);
+        let (hits, misses) = m.cache_stats();
+        assert_eq!(hits + misses, 1); // exactly one A probe per domain
+    }
+
+    #[test]
+    fn batch_monitoring_produces_one_report_each() {
+        let u = universe();
+        let l = HostingLandscape::paper_landscape();
+        let mut m = Monitor::new(&u, &l);
+        let c = NrdCandidate {
+            domain: DomainName::parse("t.com").unwrap(),
+            record: DomainId(0),
+            detected_at: SimTime::from_hours(101),
+        };
+        let reports = m.monitor_all(&[c.clone(), c]);
+        assert_eq!(reports.len(), 2);
+    }
+}

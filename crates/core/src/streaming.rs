@@ -1,0 +1,159 @@
+//! The streaming deployment shape of the pipeline.
+//!
+//! The paper's infrastructure is a set of stream processors glued by Kafka
+//! topics: certstream entries flow in; NRD candidates, RDAP collections
+//! and monitor triggers flow between stages. [`crate::experiment`] runs
+//! the same logic as a batch (simpler to evaluate); this module runs it
+//! through actual [`crate::feed::Topic`]s, stage by stage, and is used by
+//! the examples that demonstrate feed consumption. A test pins that the
+//! streaming and batch deployments produce identical candidate sets.
+
+use crate::detector::{Detector, NrdCandidate};
+use crate::feed::Topic;
+use crate::validate::{ValidatedCandidate, Validator};
+use darkdns_ct::stream::CertStreamEntry;
+use darkdns_dns::PublicSuffixList;
+use darkdns_rdap::client::RdapClient;
+use darkdns_rdap::server::RdapDirectory;
+use darkdns_registry::czds::SnapshotOracle;
+use darkdns_registry::universe::Universe;
+use rand::rngs::SmallRng;
+
+/// The wired topics of a streaming deployment.
+pub struct StreamingPipeline {
+    /// Raw certificate entries, as Certstream delivers them.
+    pub certstream: Topic<CertStreamEntry>,
+    /// Step-1 output: deduplicated NRD candidates.
+    pub candidates: Topic<NrdCandidate>,
+}
+
+/// Counters of one streaming run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamingStats {
+    pub entries_in: u64,
+    pub candidates_out: u64,
+    pub rdap_ok: u64,
+    pub rdap_failed: u64,
+}
+
+impl StreamingPipeline {
+    pub fn new() -> Self {
+        StreamingPipeline { certstream: Topic::new(), candidates: Topic::new() }
+    }
+
+    /// Pump `entries` through detector and validator stages, publishing on
+    /// the way. Returns the validated candidates plus run counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        entries: &[CertStreamEntry],
+        psl: &PublicSuffixList,
+        oracle: &SnapshotOracle<'_>,
+        universe: &Universe,
+        directory: &mut RdapDirectory<'_>,
+        client: RdapClient,
+        rdap_queue_median_secs: f64,
+        validator_rng: SmallRng,
+    ) -> (Vec<ValidatedCandidate>, StreamingStats) {
+        let mut stats = StreamingStats::default();
+        let mut detector = Detector::new(psl, oracle, universe);
+        let mut validator = Validator::new(directory, client, rdap_queue_median_secs, validator_rng);
+        let candidate_sub = self.candidates.subscribe();
+        let mut validated = Vec::new();
+
+        for entry in entries {
+            stats.entries_in += 1;
+            self.certstream.publish(entry.clone());
+            // Stage 1: detection.
+            for candidate in detector.observe(entry) {
+                self.candidates.publish(candidate);
+            }
+            // Stage 2: RDAP collection, consuming the candidate topic.
+            while let Some(candidate) = candidate_sub.try_next() {
+                stats.candidates_out += 1;
+                let v = validator.validate(candidate);
+                if v.rdap.is_ok() {
+                    stats.rdap_ok += 1;
+                } else {
+                    stats.rdap_failed += 1;
+                }
+                validated.push(v);
+            }
+        }
+        (validated, stats)
+    }
+}
+
+impl Default for StreamingPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use darkdns_ct::ca::CaFleet;
+    use darkdns_ct::stream::CertStream;
+    use darkdns_rdap::server::RdapConfig;
+    use darkdns_registry::czds::SnapshotSchedule;
+    use darkdns_registry::hosting::HostingLandscape;
+    use darkdns_registry::registrar::RegistrarFleet;
+    use darkdns_registry::workload::UniverseBuilder;
+    use darkdns_sim::rng::RngPool;
+
+    #[test]
+    fn streaming_equals_batch_detection() {
+        let cfg = ExperimentConfig::small(31);
+        let pool = RngPool::new(cfg.seed);
+        let fleet = RegistrarFleet::paper_fleet();
+        let hosting = HostingLandscape::paper_landscape();
+        let schedule = SnapshotSchedule::new(
+            &pool,
+            &cfg.tlds,
+            cfg.workload.window_start,
+            cfg.workload.window_days,
+        );
+        let universe = UniverseBuilder {
+            tlds: &cfg.tlds,
+            fleet: &fleet,
+            hosting: &hosting,
+            schedule: &schedule,
+            config: cfg.workload.clone(),
+        }
+        .build(&pool);
+        let (stream, _) = CertStream::build(&universe, &schedule, &CaFleet::paper_fleet(), &pool);
+        let psl = PublicSuffixList::builtin();
+        let oracle = SnapshotOracle::new(&schedule);
+
+        // Batch detection.
+        let mut batch_detector = Detector::new(&psl, &oracle, &universe);
+        let batch: Vec<NrdCandidate> = batch_detector.run(stream.entries());
+
+        // Streaming detection + validation.
+        let mut directory = RdapDirectory::new(&universe, &fleet, RdapConfig::default(), &pool);
+        let pipeline = StreamingPipeline::new();
+        let certstream_sub = pipeline.certstream.subscribe();
+        let (validated, stats) = pipeline.run(
+            stream.entries(),
+            &psl,
+            &oracle,
+            &universe,
+            &mut directory,
+            RdapClient::paper_client(),
+            cfg.rdap_queue_median_secs,
+            pool.stream("core.validator"),
+        );
+
+        assert_eq!(stats.entries_in, stream.len() as u64);
+        assert_eq!(certstream_sub.drain().len(), stream.len());
+        assert_eq!(stats.candidates_out as usize, batch.len());
+        assert_eq!(validated.len(), batch.len());
+        for (streamed, batched) in validated.iter().zip(&batch) {
+            assert_eq!(&streamed.candidate, batched);
+        }
+        assert_eq!(stats.rdap_ok + stats.rdap_failed, stats.candidates_out);
+        assert!(stats.rdap_ok > stats.rdap_failed, "RDAP mostly succeeds on NRDs");
+    }
+}

@@ -1,0 +1,235 @@
+//! Step 5: transient-domain identification.
+//!
+//! A candidate is a *transient candidate* if it never appears in any zone
+//! snapshot across the observation window (with the ±3-day slack for late
+//! publication already baked into the snapshot schedule). Transient
+//! candidates whose RDAP collection succeeded and whose creation date is
+//! inside the window are *confirmed transients* — the 42,358 of §4.2.
+
+use crate::validate::ValidatedCandidate;
+use darkdns_measure::worker::MonitorReport;
+use darkdns_registry::czds::SnapshotOracle;
+use darkdns_registry::universe::Universe;
+use darkdns_sim::time::{SimDuration, SimTime};
+
+/// Classification of one candidate at the end of the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransientStatus {
+    /// Appeared in at least one snapshot: an ordinary NRD.
+    AppearedInZone,
+    /// Never appeared; RDAP failed — cannot be confirmed (the paper
+    /// filters these out of the confirmed set).
+    CandidateRdapFailed,
+    /// Never appeared; RDAP succeeded but the creation date predates the
+    /// window — misclassified, filtered.
+    CandidateMisclassified,
+    /// Never appeared, RDAP-confirmed, created in-window: a confirmed
+    /// transient domain.
+    Confirmed,
+}
+
+/// A fully classified candidate.
+#[derive(Debug, Clone)]
+pub struct ClassifiedCandidate {
+    pub validated: ValidatedCandidate,
+    pub status: TransientStatus,
+    /// Estimated lifetime (last good NS response − RDAP creation), per the
+    /// paper's §4.2.1 method. Only for confirmed transients whose death
+    /// was observed.
+    pub estimated_lifetime: Option<SimDuration>,
+}
+
+/// Classify every validated candidate using the end-of-window snapshot
+/// oracle and the monitoring reports (indexed by candidate order).
+///
+/// # Panics
+/// Panics if `reports.len() != validated.len()` — the experiment driver
+/// monitors every candidate exactly once, in order.
+pub fn classify(
+    universe: &Universe,
+    oracle: &SnapshotOracle<'_>,
+    window_start: SimTime,
+    validated: Vec<ValidatedCandidate>,
+    reports: &[MonitorReport],
+) -> Vec<ClassifiedCandidate> {
+    assert_eq!(validated.len(), reports.len(), "one monitor report per candidate");
+    validated
+        .into_iter()
+        .zip(reports)
+        .map(|(v, report)| {
+            let record = universe.get(v.candidate.record);
+            let status = if oracle.appeared_in_any(record) {
+                TransientStatus::AppearedInZone
+            } else if v.rdap.is_err() {
+                TransientStatus::CandidateRdapFailed
+            } else if v.is_misclassified(window_start) {
+                TransientStatus::CandidateMisclassified
+            } else {
+                TransientStatus::Confirmed
+            };
+            let estimated_lifetime = match (status, &v.rdap, report.last_ns_ok) {
+                (TransientStatus::Confirmed, Ok(resp), Some(last_ok)) => {
+                    Some(last_ok.saturating_since(resp.created))
+                }
+                _ => None,
+            };
+            ClassifiedCandidate { validated: v, status, estimated_lifetime }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::NrdCandidate;
+    use darkdns_dns::DomainName;
+    use darkdns_rdap::model::{RdapError, RdapResponse};
+    use darkdns_registry::czds::SnapshotSchedule;
+    use darkdns_registry::hosting::ProviderId;
+    use darkdns_registry::registrar::RegistrarId;
+    use darkdns_registry::tld::{paper_gtlds, TldId};
+    use darkdns_registry::universe::{CertTiming, DomainId, DomainKind, DomainRecord};
+    use darkdns_sim::rng::RngPool;
+
+    const START: u64 = 400;
+
+    fn wt(d: u64, h: u64) -> SimTime {
+        SimTime::from_days(START + d) + SimDuration::from_hours(h)
+    }
+
+    fn record(name: &str, kind: DomainKind, created: SimTime, removed: Option<SimTime>) -> DomainRecord {
+        DomainRecord {
+            id: DomainId(0),
+            name: DomainName::parse(name).unwrap(),
+            tld: TldId(0),
+            kind,
+            created,
+            zone_insert: created,
+            removed,
+            registrar: RegistrarId(0),
+            dns_provider: ProviderId(0),
+            web_asn: 13_335,
+            cert_timing: CertTiming::Prompt,
+            cert_hint: None,
+            ns_change_at: None,
+            malicious: true,
+        }
+    }
+
+    fn report_for(c: &NrdCandidate, last_ok: Option<SimTime>) -> MonitorReport {
+        MonitorReport {
+            domain: c.record,
+            name: c.domain.clone(),
+            worker: 0,
+            detected_at: c.detected_at,
+            last_ns_ok: last_ok,
+            first_nxdomain: last_ok.map(|t| t + SimDuration::from_minutes(10)),
+            ns_sets_seen: vec![],
+            ns_changed_within_24h: false,
+            web_addr: None,
+        }
+    }
+
+    fn validated(
+        c: NrdCandidate,
+        rdap: Result<RdapResponse, RdapError>,
+    ) -> ValidatedCandidate {
+        ValidatedCandidate { queried_at: c.detected_at, candidate: c, rdap }
+    }
+
+    #[test]
+    fn full_classification_matrix() {
+        let mut universe = Universe::new();
+        // A transient (created 09:00, dead 15:00 on day 3).
+        let t_id = universe.push(record("t.com", DomainKind::Transient, wt(3, 9), Some(wt(3, 15))));
+        // An ordinary NRD.
+        let n_id = universe.push(record("n.com", DomainKind::LongLived, wt(3, 9), None));
+        // A ghost (RDAP will fail).
+        let g_id = universe.push(record(
+            "g.com",
+            DomainKind::Ghost { previously_registered: true },
+            SimTime::from_days(100),
+            Some(SimTime::from_days(110)),
+        ));
+        // A re-registered name (old creation date).
+        let r_id = universe.push(record(
+            "r.com",
+            DomainKind::ReRegistered,
+            SimTime::from_days(100),
+            Some(SimTime::from_days(130)),
+        ));
+
+        let tlds = paper_gtlds();
+        let schedule =
+            SnapshotSchedule::new(&RngPool::new(1), &tlds, SimTime::from_days(START), 10);
+        let oracle = SnapshotOracle::new(&schedule);
+        let window_start = SimTime::from_days(START);
+
+        let mk = |id, name: &str, detected: SimTime| NrdCandidate {
+            domain: DomainName::parse(name).unwrap(),
+            record: id,
+            detected_at: detected,
+        };
+        let ok = |created: SimTime| {
+            Ok(RdapResponse {
+                domain: DomainName::parse("x.com").unwrap(),
+                created,
+                registrar: "GoDaddy".into(),
+                registrar_iana: 146,
+                statuses: vec![],
+            })
+        };
+
+        let t = mk(t_id, "t.com", wt(3, 10));
+        let n = mk(n_id, "n.com", wt(3, 10));
+        let g = mk(g_id, "g.com", wt(3, 10));
+        let r = mk(r_id, "r.com", wt(3, 10));
+        let reports = vec![
+            report_for(&t, Some(wt(3, 14))),
+            report_for(&n, Some(wt(5, 10))),
+            report_for(&g, None),
+            report_for(&r, None),
+        ];
+        let classified = classify(
+            &universe,
+            &oracle,
+            window_start,
+            vec![
+                validated(t, ok(wt(3, 9))),
+                validated(n, ok(wt(3, 9))),
+                validated(g, Err(RdapError::NotFound)),
+                validated(r, ok(SimTime::from_days(100))),
+            ],
+            &reports,
+        );
+        assert_eq!(classified[0].status, TransientStatus::Confirmed);
+        assert_eq!(classified[1].status, TransientStatus::AppearedInZone);
+        assert_eq!(classified[2].status, TransientStatus::CandidateRdapFailed);
+        assert_eq!(classified[3].status, TransientStatus::CandidateMisclassified);
+        // Lifetime = last good probe (14:00) − creation (09:00) = 5 h.
+        assert_eq!(classified[0].estimated_lifetime, Some(SimDuration::from_hours(5)));
+        assert_eq!(classified[1].estimated_lifetime, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one monitor report per candidate")]
+    fn mismatched_reports_panic() {
+        let universe = Universe::new();
+        let tlds = paper_gtlds();
+        let schedule =
+            SnapshotSchedule::new(&RngPool::new(1), &tlds, SimTime::from_days(START), 10);
+        let oracle = SnapshotOracle::new(&schedule);
+        let c = NrdCandidate {
+            domain: DomainName::parse("a.com").unwrap(),
+            record: DomainId(0),
+            detected_at: wt(1, 0),
+        };
+        classify(
+            &universe,
+            &oracle,
+            SimTime::from_days(START),
+            vec![validated(c, Err(RdapError::NotFound))],
+            &[],
+        );
+    }
+}

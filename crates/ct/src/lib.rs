@@ -1,0 +1,28 @@
+//! Certificate authority and Certificate Transparency substrate.
+//!
+//! The paper's entire detection methodology hangs off one public artifact:
+//! the stream of *precertificate* entries appearing in CT logs (via
+//! Certstream). This crate builds that artifact from the simulated
+//! registry universe:
+//!
+//! * [`cert`] — certificates with CN/SAN name sets;
+//! * [`ca`] — the CA fleet: Domain-Validation latency models and the
+//!   398-day DV-token cache that lets CAs issue certificates for domains
+//!   that no longer exist (the paper's cause-iii RDAP failures, confirmed
+//!   by GlobalSign/Sectigo/Cloudflare);
+//! * [`merkle`] — an append-only Merkle tree with inclusion proofs (the
+//!   RFC 6962 structure, with a non-cryptographic hash — see module docs);
+//! * [`log`] — a CT log: appends precertificate entries into the tree;
+//! * [`stream`] — the Certstream equivalent: the time-ordered feed of
+//!   precert entries the pipeline consumes.
+
+pub mod ca;
+pub mod cert;
+pub mod log;
+pub mod merkle;
+pub mod stream;
+
+pub use ca::CaFleet;
+pub use cert::Certificate;
+pub use log::CtLog;
+pub use stream::{CertStream, CertStreamEntry};

@@ -1,0 +1,352 @@
+//! Domain names.
+//!
+//! A [`DomainName`] is a validated, lowercase, dot-separated sequence of
+//! LDH (letters-digits-hyphen) labels, stored in presentation format
+//! without the trailing root dot. The root zone itself is represented by
+//! [`DomainName::root`], displayed as `"."`.
+//!
+//! Validation follows RFC 1035 §2.3.4 sizes (labels 1..=63 octets, name
+//! ≤ 253 octets in presentation form) with the LDH rule of RFC 3696:
+//! labels may not begin or end with a hyphen. Internationalised names are
+//! expected in their punycode (`xn--`) form, as they appear in zone files
+//! and CT log entries.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Reasons a string is not a valid domain name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// The name (in presentation format) exceeds 253 octets.
+    TooLong(usize),
+    /// A label is empty (consecutive dots, or leading dot in a non-root name).
+    EmptyLabel,
+    /// A label exceeds 63 octets.
+    LabelTooLong(String),
+    /// A label contains a character outside `[a-z0-9-]` (after lowercasing)
+    /// or an underscore outside the permitted service-label position.
+    BadCharacter(char),
+    /// A label begins or ends with a hyphen.
+    HyphenEdge(String),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::TooLong(n) => write!(f, "name is {n} octets; max is 253"),
+            NameError::EmptyLabel => write!(f, "empty label"),
+            NameError::LabelTooLong(l) => write!(f, "label `{l}` exceeds 63 octets"),
+            NameError::BadCharacter(c) => write!(f, "character `{c}` not allowed"),
+            NameError::HyphenEdge(l) => write!(f, "label `{l}` begins or ends with a hyphen"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// A validated, fully-qualified domain name in lowercase presentation form.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DomainName {
+    // Invariant: lowercase, no trailing dot, every label valid LDH;
+    // empty string means the root.
+    name: String,
+}
+
+impl DomainName {
+    /// The DNS root.
+    pub fn root() -> Self {
+        DomainName { name: String::new() }
+    }
+
+    /// Parse and validate a name. Accepts an optional trailing root dot and
+    /// uppercase input (both normalised away).
+    pub fn parse(input: &str) -> Result<Self, NameError> {
+        let trimmed = input.strip_suffix('.').unwrap_or(input);
+        if trimmed.is_empty() {
+            return Ok(DomainName::root());
+        }
+        if trimmed.len() > 253 {
+            return Err(NameError::TooLong(trimmed.len()));
+        }
+        let lower = trimmed.to_ascii_lowercase();
+        for label in lower.split('.') {
+            validate_label(label)?;
+        }
+        Ok(DomainName { name: lower })
+    }
+
+    /// Build a name from labels, most-specific first (`["www","example","com"]`).
+    pub fn from_labels<I, S>(labels: I) -> Result<Self, NameError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let joined = labels.into_iter().map(|l| l.as_ref().to_owned()).collect::<Vec<_>>().join(".");
+        DomainName::parse(&joined)
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.name.is_empty()
+    }
+
+    /// Presentation form without the trailing dot; `"."` for the root.
+    pub fn as_str(&self) -> &str {
+        if self.name.is_empty() {
+            "."
+        } else {
+            &self.name
+        }
+    }
+
+    /// Labels, most-specific first. Empty for the root.
+    pub fn labels(&self) -> Vec<&str> {
+        if self.name.is_empty() {
+            Vec::new()
+        } else {
+            self.name.split('.').collect()
+        }
+    }
+
+    pub fn label_count(&self) -> usize {
+        if self.name.is_empty() {
+            0
+        } else {
+            self.name.bytes().filter(|&b| b == b'.').count() + 1
+        }
+    }
+
+    /// The name with its leftmost label removed; `None` for the root.
+    pub fn parent(&self) -> Option<DomainName> {
+        if self.name.is_empty() {
+            return None;
+        }
+        match self.name.find('.') {
+            Some(i) => Some(DomainName { name: self.name[i + 1..].to_owned() }),
+            None => Some(DomainName::root()),
+        }
+    }
+
+    /// The last (rightmost) label — the TLD — or `None` for the root.
+    pub fn tld(&self) -> Option<&str> {
+        if self.name.is_empty() {
+            None
+        } else {
+            Some(self.name.rsplit('.').next().expect("non-empty name has a label"))
+        }
+    }
+
+    /// True if `self` is `other` or a descendant of `other`. Every name is
+    /// a subdomain of the root.
+    pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
+        if other.name.is_empty() {
+            return true;
+        }
+        if self.name == other.name {
+            return true;
+        }
+        self.name.len() > other.name.len()
+            && self.name.ends_with(&other.name)
+            && self.name.as_bytes()[self.name.len() - other.name.len() - 1] == b'.'
+    }
+
+    /// Prepend a label, producing `label.self`.
+    pub fn child(&self, label: &str) -> Result<DomainName, NameError> {
+        validate_label(&label.to_ascii_lowercase())?;
+        let child = if self.name.is_empty() {
+            label.to_ascii_lowercase()
+        } else {
+            format!("{}.{}", label.to_ascii_lowercase(), self.name)
+        };
+        DomainName::parse(&child)
+    }
+
+    /// Keep only the rightmost `n` labels (e.g. `n = 2` on
+    /// `a.b.example.com` gives `example.com`). Returns the whole name when
+    /// it has at most `n` labels; the root when `n == 0`.
+    pub fn suffix(&self, n: usize) -> DomainName {
+        let count = self.label_count();
+        if n == 0 {
+            return DomainName::root();
+        }
+        if n >= count {
+            return self.clone();
+        }
+        let mut idx = self.name.len();
+        for _ in 0..n {
+            idx = self.name[..idx].rfind('.').expect("label count checked");
+        }
+        DomainName { name: self.name[idx + 1..].to_owned() }
+    }
+
+    /// Length in octets of the uncompressed wire encoding (length-prefixed
+    /// labels plus the terminating zero octet).
+    pub fn wire_len(&self) -> usize {
+        if self.name.is_empty() {
+            1
+        } else {
+            self.name.len() + 2
+        }
+    }
+}
+
+fn validate_label(label: &str) -> Result<(), NameError> {
+    if label.is_empty() {
+        return Err(NameError::EmptyLabel);
+    }
+    if label.len() > 63 {
+        return Err(NameError::LabelTooLong(label.to_owned()));
+    }
+    for c in label.chars() {
+        // `_` is tolerated as a leading character for service labels
+        // (e.g. `_dmarc`), which occur in CT log SAN entries.
+        let ok = c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_';
+        if !ok {
+            return Err(NameError::BadCharacter(c));
+        }
+    }
+    if label.starts_with('-') || label.ends_with('-') {
+        return Err(NameError::HyphenEdge(label.to_owned()));
+    }
+    Ok(())
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = NameError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainName::parse(s)
+    }
+}
+
+impl AsRef<str> for DomainName {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_normalises_case_and_root_dot() {
+        let n = DomainName::parse("WwW.Example.COM.").unwrap();
+        assert_eq!(n.as_str(), "www.example.com");
+    }
+
+    #[test]
+    fn root_parses_from_dot_and_empty() {
+        assert!(DomainName::parse(".").unwrap().is_root());
+        assert!(DomainName::parse("").unwrap().is_root());
+        assert_eq!(DomainName::root().as_str(), ".");
+        assert_eq!(DomainName::root().label_count(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert_eq!(DomainName::parse("a..b"), Err(NameError::EmptyLabel));
+        assert!(matches!(DomainName::parse("exa mple.com"), Err(NameError::BadCharacter(' '))));
+        assert!(matches!(DomainName::parse("-x.com"), Err(NameError::HyphenEdge(_))));
+        assert!(matches!(DomainName::parse("x-.com"), Err(NameError::HyphenEdge(_))));
+        let long_label = "a".repeat(64);
+        assert!(matches!(
+            DomainName::parse(&format!("{long_label}.com")),
+            Err(NameError::LabelTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_overlong_names() {
+        let name = vec!["a".repeat(63); 4].join(".");
+        assert_eq!(name.len(), 255);
+        assert!(matches!(DomainName::parse(&name), Err(NameError::TooLong(255))));
+    }
+
+    #[test]
+    fn accepts_punycode_and_service_labels() {
+        assert!(DomainName::parse("xn--bcher-kva.example").is_ok());
+        assert!(DomainName::parse("_dmarc.example.com").is_ok());
+    }
+
+    #[test]
+    fn labels_and_parent() {
+        let n = DomainName::parse("a.b.example.com").unwrap();
+        assert_eq!(n.labels(), vec!["a", "b", "example", "com"]);
+        assert_eq!(n.label_count(), 4);
+        assert_eq!(n.parent().unwrap().as_str(), "b.example.com");
+        assert_eq!(n.tld(), Some("com"));
+        let tld = DomainName::parse("com").unwrap();
+        assert_eq!(tld.parent(), Some(DomainName::root()));
+        assert_eq!(DomainName::root().parent(), None);
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let com = DomainName::parse("com").unwrap();
+        let example = DomainName::parse("example.com").unwrap();
+        let www = DomainName::parse("www.example.com").unwrap();
+        let examplenet = DomainName::parse("example.net").unwrap();
+        let notexample = DomainName::parse("notexample.com").unwrap();
+        assert!(www.is_subdomain_of(&example));
+        assert!(example.is_subdomain_of(&com));
+        assert!(example.is_subdomain_of(&example));
+        assert!(!example.is_subdomain_of(&www));
+        assert!(!examplenet.is_subdomain_of(&com));
+        // `notexample.com` must not be treated as under `example.com`.
+        assert!(!notexample.is_subdomain_of(&example));
+        assert!(notexample.is_subdomain_of(&com));
+        assert!(com.is_subdomain_of(&DomainName::root()));
+    }
+
+    #[test]
+    fn child_builds_and_validates() {
+        let com = DomainName::parse("com").unwrap();
+        assert_eq!(com.child("Example").unwrap().as_str(), "example.com");
+        assert!(com.child("bad label").is_err());
+        assert_eq!(DomainName::root().child("org").unwrap().as_str(), "org");
+    }
+
+    #[test]
+    fn suffix_extraction() {
+        let n = DomainName::parse("a.b.example.co.uk").unwrap();
+        assert_eq!(n.suffix(1).as_str(), "uk");
+        assert_eq!(n.suffix(2).as_str(), "co.uk");
+        assert_eq!(n.suffix(3).as_str(), "example.co.uk");
+        assert_eq!(n.suffix(5), n);
+        assert_eq!(n.suffix(9), n);
+        assert!(n.suffix(0).is_root());
+    }
+
+    #[test]
+    fn wire_len_matches_encoding_rule() {
+        assert_eq!(DomainName::root().wire_len(), 1);
+        assert_eq!(DomainName::parse("com").unwrap().wire_len(), 5); // 1+3+1
+        assert_eq!(DomainName::parse("example.com").unwrap().wire_len(), 13);
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut names = vec![
+            DomainName::parse("b.com").unwrap(),
+            DomainName::parse("a.com").unwrap(),
+            DomainName::parse("a.net").unwrap(),
+        ];
+        names.sort();
+        let strs: Vec<_> = names.iter().map(|n| n.as_str()).collect();
+        assert_eq!(strs, vec!["a.com", "a.net", "b.com"]);
+    }
+
+    #[test]
+    fn from_labels_round_trip() {
+        let n = DomainName::from_labels(["www", "example", "com"]).unwrap();
+        assert_eq!(n.as_str(), "www.example.com");
+        assert_eq!(DomainName::from_labels(Vec::<&str>::new()).unwrap(), DomainName::root());
+    }
+}

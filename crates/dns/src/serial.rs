@@ -1,0 +1,160 @@
+//! RFC 1982 serial-number arithmetic.
+//!
+//! TLD SOA serials wrap around a 32-bit space; the paper infers zone-update
+//! cadence by watching serial *changes* (§4.1). Comparing serials naively
+//! breaks at the wrap point, so this module implements RFC 1982 addition
+//! and comparison exactly, including the undefined-comparison corner
+//! (distance of exactly 2^31).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Half the 32-bit serial space; distances >= this are "greater than" in
+/// the other direction, and a distance of exactly 2^31 is undefined.
+const HALF: u32 = 1 << 31;
+
+/// An RFC 1982 serial number with SERIAL_BITS = 32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Serial(pub u32);
+
+impl Serial {
+    pub const fn new(v: u32) -> Self {
+        Serial(v)
+    }
+
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// RFC 1982 addition: adding `n` wraps modulo 2^32. `n` must be at most
+    /// 2^31 - 1 for the result to be "greater" than the operand.
+    ///
+    /// # Panics
+    /// Panics if `n >= 2^31` (the RFC leaves such additions undefined).
+    pub fn add(self, n: u32) -> Serial {
+        assert!(n < HALF, "RFC 1982 addition of {n} is undefined (must be < 2^31)");
+        Serial(self.0.wrapping_add(n))
+    }
+
+    /// The canonical successor (serial + 1).
+    pub fn next(self) -> Serial {
+        self.add(1)
+    }
+
+    /// RFC 1982 comparison. Returns:
+    /// * `Some(Ordering::Less)` if `self` precedes `other`,
+    /// * `Some(Ordering::Greater)` if `self` succeeds `other`,
+    /// * `Some(Ordering::Equal)` if equal,
+    /// * `None` when the distance is exactly 2^31 (undefined by the RFC).
+    pub fn compare(self, other: Serial) -> Option<std::cmp::Ordering> {
+        use std::cmp::Ordering::*;
+        if self.0 == other.0 {
+            return Some(Equal);
+        }
+        let diff = other.0.wrapping_sub(self.0);
+        if diff == HALF {
+            return None;
+        }
+        if diff < HALF {
+            Some(Less)
+        } else {
+            Some(Greater)
+        }
+    }
+
+    /// True if `self` is strictly newer than `other` under RFC 1982.
+    /// The undefined case compares as *not newer*.
+    pub fn is_newer_than(self, other: Serial) -> bool {
+        matches!(self.compare(other), Some(std::cmp::Ordering::Greater))
+    }
+
+    /// Number of increments from `older` to `self`, assuming `self` was
+    /// reached from `older` by forward increments only. Wraps correctly.
+    pub fn distance_from(self, older: Serial) -> u32 {
+        self.0.wrapping_sub(older.0)
+    }
+}
+
+impl fmt::Display for Serial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Serial {
+    fn from(v: u32) -> Self {
+        Serial(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering::*;
+
+    #[test]
+    fn simple_ordering() {
+        assert_eq!(Serial(1).compare(Serial(2)), Some(Less));
+        assert_eq!(Serial(2).compare(Serial(1)), Some(Greater));
+        assert_eq!(Serial(7).compare(Serial(7)), Some(Equal));
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        // Near the wrap point, u32::MAX < 0 < 1 in serial space.
+        assert_eq!(Serial(u32::MAX).compare(Serial(0)), Some(Less));
+        assert_eq!(Serial(0).compare(Serial(u32::MAX)), Some(Greater));
+        assert!(Serial(5).is_newer_than(Serial(u32::MAX - 5)));
+    }
+
+    #[test]
+    fn undefined_at_half_space() {
+        assert_eq!(Serial(0).compare(Serial(HALF)), None);
+        assert_eq!(Serial(HALF).compare(Serial(0)), None);
+        assert!(!Serial(0).is_newer_than(Serial(HALF)));
+        assert!(!Serial(HALF).is_newer_than(Serial(0)));
+    }
+
+    #[test]
+    fn addition_wraps() {
+        assert_eq!(Serial(u32::MAX).add(1), Serial(0));
+        assert_eq!(Serial(u32::MAX).next(), Serial(0));
+        assert!(Serial(u32::MAX).next().is_newer_than(Serial(u32::MAX)));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn oversized_addition_panics() {
+        Serial(0).add(HALF);
+    }
+
+    #[test]
+    fn rfc_1982_examples() {
+        // From RFC 1982 §5.2 with SERIAL_BITS=8 scaled up: the maximum
+        // useful increment is 2^31 - 1.
+        let s = Serial(0).add(HALF - 1);
+        assert!(s.is_newer_than(Serial(0)));
+        assert!(!Serial(0).is_newer_than(s));
+    }
+
+    #[test]
+    fn distance_tracks_increments() {
+        let start = Serial(u32::MAX - 2);
+        let mut s = start;
+        for _ in 0..10 {
+            s = s.next();
+        }
+        assert_eq!(s.distance_from(start), 10);
+    }
+
+    #[test]
+    fn monotone_increment_chain_stays_ordered() {
+        let mut s = Serial(u32::MAX - 3);
+        for _ in 0..8 {
+            let n = s.next();
+            assert!(n.is_newer_than(s));
+            assert!(!s.is_newer_than(n));
+            s = n;
+        }
+    }
+}

@@ -1,0 +1,690 @@
+//! RFC 1035 wire-format codec.
+//!
+//! Implements DNS message encoding and decoding with name compression
+//! (§4.1.4), covering the message sections and record types the
+//! active-measurement substrate exchanges with simulated resolvers and
+//! authoritative servers. The codec is strict on decode: trailing garbage,
+//! compression-pointer loops, forward pointers and truncated fields are all
+//! errors rather than silent acceptance.
+
+use crate::name::DomainName;
+use crate::record::{RData, RecordClass, RecordType, ResourceRecord, SoaData};
+use bytes::{Buf, BufMut, BytesMut};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Errors produced by the wire codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before a complete field was read.
+    Truncated,
+    /// A compression pointer points at or after its own location.
+    ForwardPointer { at: usize, target: usize },
+    /// Compression pointers form a loop (or exceed the hop limit).
+    PointerLoop,
+    /// A label byte has the reserved `10`/`01` top-bit pattern.
+    BadLabelType(u8),
+    /// The decoded name is not valid presentation-form DNS.
+    BadName(String),
+    /// TYPE value we do not implement.
+    UnsupportedType(u16),
+    /// RDLENGTH disagrees with the actual RDATA encoding.
+    RdataLength { declared: usize, actual: usize },
+    /// Bytes remained after the message was fully parsed.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::ForwardPointer { at, target } => {
+                write!(f, "forward compression pointer at {at} -> {target}")
+            }
+            WireError::PointerLoop => write!(f, "compression pointer loop"),
+            WireError::BadLabelType(b) => write!(f, "reserved label type byte {b:#04x}"),
+            WireError::BadName(e) => write!(f, "invalid name: {e}"),
+            WireError::UnsupportedType(t) => write!(f, "unsupported TYPE {t}"),
+            WireError::RdataLength { declared, actual } => {
+                write!(f, "RDLENGTH {declared} but RDATA is {actual} bytes")
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Response codes (RFC 1035 §4.1.1 plus NOTIMP alias).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    NoError,
+    FormErr,
+    ServFail,
+    /// NXDOMAIN — the signal the paper's NS probes use to conclude a domain
+    /// left the zone.
+    NxDomain,
+    NotImp,
+    Refused,
+    Other(u8),
+}
+
+impl Rcode {
+    pub const fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(c) => c,
+        }
+    }
+
+    pub fn from_code(c: u8) -> Rcode {
+        match c {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other & 0x0f),
+        }
+    }
+}
+
+/// Message header flags and counts (counts are derived from the section
+/// vectors on encode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    pub id: u16,
+    pub is_response: bool,
+    pub opcode: u8,
+    pub authoritative: bool,
+    pub truncated: bool,
+    pub recursion_desired: bool,
+    pub recursion_available: bool,
+    pub rcode: Rcode,
+}
+
+impl Header {
+    pub fn query(id: u16) -> Self {
+        Header {
+            id,
+            is_response: false,
+            opcode: 0,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: true,
+            recursion_available: false,
+            rcode: Rcode::NoError,
+        }
+    }
+
+    pub fn response_to(query: &Header, rcode: Rcode) -> Self {
+        Header {
+            id: query.id,
+            is_response: true,
+            opcode: query.opcode,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: query.recursion_desired,
+            recursion_available: true,
+            rcode,
+        }
+    }
+}
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    pub name: DomainName,
+    pub qtype: RecordType,
+    pub qclass: RecordClass,
+}
+
+impl Question {
+    pub fn new(name: DomainName, qtype: RecordType) -> Self {
+        Question { name, qtype, qclass: RecordClass::In }
+    }
+}
+
+/// A complete DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    pub header: Header,
+    pub questions: Vec<Question>,
+    pub answers: Vec<ResourceRecord>,
+    pub authorities: Vec<ResourceRecord>,
+    pub additionals: Vec<ResourceRecord>,
+}
+
+impl Message {
+    pub fn query(id: u16, name: DomainName, qtype: RecordType) -> Self {
+        Message {
+            header: Header::query(id),
+            questions: vec![Question::new(name, qtype)],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Encode to wire format with name compression.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.header(self);
+        for q in &self.questions {
+            enc.name(&q.name);
+            enc.buf.put_u16(q.qtype.code());
+            enc.buf.put_u16(q.qclass.code());
+        }
+        for rr in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+            enc.record(rr);
+        }
+        enc.buf.to_vec()
+    }
+
+    /// Decode from wire format. The entire buffer must be consumed.
+    pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+        let mut dec = Decoder { bytes, pos: 0 };
+        let (header, counts) = dec.header()?;
+        let mut questions = Vec::with_capacity(counts.0 as usize);
+        for _ in 0..counts.0 {
+            questions.push(dec.question()?);
+        }
+        let mut sections: [Vec<ResourceRecord>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (i, count) in [counts.1, counts.2, counts.3].into_iter().enumerate() {
+            for _ in 0..count {
+                sections[i].push(dec.record()?);
+            }
+        }
+        if dec.pos != bytes.len() {
+            return Err(WireError::TrailingBytes(bytes.len() - dec.pos));
+        }
+        let [answers, authorities, additionals] = sections;
+        Ok(Message { header, questions, answers, authorities, additionals })
+    }
+}
+
+struct Encoder {
+    buf: BytesMut,
+    /// Suffix (presentation form) -> offset of its first encoding.
+    compression: HashMap<String, u16>,
+}
+
+impl Encoder {
+    fn new() -> Self {
+        Encoder { buf: BytesMut::with_capacity(512), compression: HashMap::new() }
+    }
+
+    fn header(&mut self, msg: &Message) {
+        let h = &msg.header;
+        self.buf.put_u16(h.id);
+        let mut flags: u16 = 0;
+        if h.is_response {
+            flags |= 1 << 15;
+        }
+        flags |= u16::from(h.opcode & 0x0f) << 11;
+        if h.authoritative {
+            flags |= 1 << 10;
+        }
+        if h.truncated {
+            flags |= 1 << 9;
+        }
+        if h.recursion_desired {
+            flags |= 1 << 8;
+        }
+        if h.recursion_available {
+            flags |= 1 << 7;
+        }
+        flags |= u16::from(h.rcode.code() & 0x0f);
+        self.buf.put_u16(flags);
+        self.buf.put_u16(msg.questions.len() as u16);
+        self.buf.put_u16(msg.answers.len() as u16);
+        self.buf.put_u16(msg.authorities.len() as u16);
+        self.buf.put_u16(msg.additionals.len() as u16);
+    }
+
+    /// Encode a name, emitting a compression pointer to the longest
+    /// previously-encoded suffix.
+    fn name(&mut self, name: &DomainName) {
+        let labels = name.labels();
+        for i in 0..labels.len() {
+            let suffix = labels[i..].join(".");
+            if let Some(&offset) = self.compression.get(&suffix) {
+                self.buf.put_u16(0xC000 | offset);
+                return;
+            }
+            // Offsets beyond 0x3FFF cannot be pointer targets.
+            let here = self.buf.len();
+            if here <= 0x3FFF {
+                self.compression.insert(suffix, here as u16);
+            }
+            let label = labels[i].as_bytes();
+            debug_assert!(label.len() <= 63);
+            self.buf.put_u8(label.len() as u8);
+            self.buf.put_slice(label);
+        }
+        self.buf.put_u8(0);
+    }
+
+    fn record(&mut self, rr: &ResourceRecord) {
+        self.name(&rr.name);
+        self.buf.put_u16(rr.record_type().code());
+        self.buf.put_u16(rr.class.code());
+        self.buf.put_u32(rr.ttl);
+        // Reserve RDLENGTH, encode RDATA, then backpatch.
+        let len_pos = self.buf.len();
+        self.buf.put_u16(0);
+        let start = self.buf.len();
+        self.rdata(&rr.rdata);
+        let rdlen = (self.buf.len() - start) as u16;
+        self.buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+    }
+
+    fn rdata(&mut self, rdata: &RData) {
+        match rdata {
+            RData::A(ip) => self.buf.put_slice(&ip.octets()),
+            RData::Aaaa(ip) => self.buf.put_slice(&ip.octets()),
+            RData::Ns(n) | RData::Cname(n) => self.name(n),
+            RData::Mx { preference, exchange } => {
+                self.buf.put_u16(*preference);
+                self.name(exchange);
+            }
+            RData::Txt(bytes) => {
+                // Split into <=255-byte character strings; an empty TXT is
+                // one zero-length character string.
+                if bytes.is_empty() {
+                    self.buf.put_u8(0);
+                } else {
+                    for chunk in bytes.chunks(255) {
+                        self.buf.put_u8(chunk.len() as u8);
+                        self.buf.put_slice(chunk);
+                    }
+                }
+            }
+            RData::Soa(s) => {
+                self.name(&s.mname);
+                self.name(&s.rname);
+                self.buf.put_u32(s.serial);
+                self.buf.put_u32(s.refresh);
+                self.buf.put_u32(s.retry);
+                self.buf.put_u32(s.expire);
+                self.buf.put_u32(s.minimum);
+            }
+        }
+    }
+}
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let mut b = self.take(2)?;
+        Ok(b.get_u16())
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let mut b = self.take(4)?;
+        Ok(b.get_u32())
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn header(&mut self) -> Result<(Header, (u16, u16, u16, u16)), WireError> {
+        let id = self.u16()?;
+        let flags = self.u16()?;
+        let counts = (self.u16()?, self.u16()?, self.u16()?, self.u16()?);
+        Ok((
+            Header {
+                id,
+                is_response: flags & (1 << 15) != 0,
+                opcode: ((flags >> 11) & 0x0f) as u8,
+                authoritative: flags & (1 << 10) != 0,
+                truncated: flags & (1 << 9) != 0,
+                recursion_desired: flags & (1 << 8) != 0,
+                recursion_available: flags & (1 << 7) != 0,
+                rcode: Rcode::from_code((flags & 0x0f) as u8),
+            },
+            counts,
+        ))
+    }
+
+    /// Decode a (possibly compressed) name starting at the current cursor.
+    fn name(&mut self) -> Result<DomainName, WireError> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut cursor = self.pos;
+        let mut followed_pointer = false;
+        let mut hops = 0usize;
+        loop {
+            if cursor >= self.bytes.len() {
+                return Err(WireError::Truncated);
+            }
+            let len = self.bytes[cursor];
+            match len & 0xC0 {
+                0x00 => {
+                    if len == 0 {
+                        cursor += 1;
+                        if !followed_pointer {
+                            self.pos = cursor;
+                        }
+                        break;
+                    }
+                    let start = cursor + 1;
+                    let end = start + len as usize;
+                    if end > self.bytes.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    labels.push(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| WireError::BadName("non-ASCII label".into()))?
+                            .to_owned(),
+                    );
+                    cursor = end;
+                    if !followed_pointer {
+                        self.pos = cursor;
+                    }
+                }
+                0xC0 => {
+                    if cursor + 1 >= self.bytes.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    let target =
+                        ((u16::from(len & 0x3F) << 8) | u16::from(self.bytes[cursor + 1])) as usize;
+                    if target >= cursor {
+                        return Err(WireError::ForwardPointer { at: cursor, target });
+                    }
+                    hops += 1;
+                    if hops > 32 {
+                        return Err(WireError::PointerLoop);
+                    }
+                    if !followed_pointer {
+                        self.pos = cursor + 2;
+                        followed_pointer = true;
+                    }
+                    cursor = target;
+                }
+                other => return Err(WireError::BadLabelType(other)),
+            }
+        }
+        DomainName::from_labels(labels).map_err(|e| WireError::BadName(e.to_string()))
+    }
+
+    fn question(&mut self) -> Result<Question, WireError> {
+        let name = self.name()?;
+        let qtype_code = self.u16()?;
+        let qtype = RecordType::from_code(qtype_code).ok_or(WireError::UnsupportedType(qtype_code))?;
+        let qclass = RecordClass::from_code(self.u16()?);
+        Ok(Question { name, qtype, qclass })
+    }
+
+    fn record(&mut self) -> Result<ResourceRecord, WireError> {
+        let name = self.name()?;
+        let type_code = self.u16()?;
+        let rtype = RecordType::from_code(type_code).ok_or(WireError::UnsupportedType(type_code))?;
+        let class = RecordClass::from_code(self.u16()?);
+        let ttl = self.u32()?;
+        let rdlen = self.u16()? as usize;
+        let rdata_start = self.pos;
+        if self.remaining() < rdlen {
+            return Err(WireError::Truncated);
+        }
+        let rdata = self.rdata(rtype, rdlen)?;
+        let consumed = self.pos - rdata_start;
+        if consumed != rdlen {
+            return Err(WireError::RdataLength { declared: rdlen, actual: consumed });
+        }
+        Ok(ResourceRecord { name, ttl, class, rdata })
+    }
+
+    fn rdata(&mut self, rtype: RecordType, rdlen: usize) -> Result<RData, WireError> {
+        Ok(match rtype {
+            RecordType::A => {
+                let b = self.take(4)?;
+                RData::A(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+            }
+            RecordType::Aaaa => {
+                let b = self.take(16)?;
+                let mut o = [0u8; 16];
+                o.copy_from_slice(b);
+                RData::Aaaa(Ipv6Addr::from(o))
+            }
+            RecordType::Ns => RData::Ns(self.name()?),
+            RecordType::Cname => RData::Cname(self.name()?),
+            RecordType::Mx => {
+                let preference = self.u16()?;
+                RData::Mx { preference, exchange: self.name()? }
+            }
+            RecordType::Txt => {
+                let end = self.pos + rdlen;
+                let mut out = Vec::new();
+                while self.pos < end {
+                    let len = self.u8()? as usize;
+                    if self.pos + len > end {
+                        return Err(WireError::Truncated);
+                    }
+                    out.extend_from_slice(self.take(len)?);
+                }
+                RData::Txt(out)
+            }
+            RecordType::Soa => RData::Soa(SoaData {
+                mname: self.name()?,
+                rname: self.name()?,
+                serial: self.u32()?,
+                refresh: self.u32()?,
+                retry: self.u32()?,
+                expire: self.u32()?,
+                minimum: self.u32()?,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn round_trip(msg: &Message) -> Message {
+        Message::decode(&msg.encode()).expect("round trip")
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = Message::query(0x1234, name("example.com"), RecordType::Ns);
+        let rt = round_trip(&q);
+        assert_eq!(rt, q);
+        assert!(!rt.header.is_response);
+        assert!(rt.header.recursion_desired);
+    }
+
+    #[test]
+    fn response_with_all_rdata_types_round_trips() {
+        let mut msg = Message::query(7, name("example.com"), RecordType::A);
+        msg.header = Header::response_to(&msg.header, Rcode::NoError);
+        msg.answers = vec![
+            ResourceRecord::new(name("example.com"), 60, RData::A("192.0.2.1".parse().unwrap())),
+            ResourceRecord::new(name("example.com"), 60, RData::Aaaa("2001:db8::1".parse().unwrap())),
+            ResourceRecord::new(name("example.com"), 300, RData::Cname(name("cdn.example.net"))),
+            ResourceRecord::new(
+                name("example.com"),
+                3600,
+                RData::Mx { preference: 10, exchange: name("mail.example.com") },
+            ),
+            ResourceRecord::new(name("example.com"), 3600, RData::Txt(b"v=spf1 -all".to_vec())),
+        ];
+        msg.authorities = vec![ResourceRecord::new(
+            name("com"),
+            86400,
+            RData::Soa(SoaData {
+                mname: name("a.gtld-servers.net"),
+                rname: name("nstld.verisign-grs.com"),
+                serial: 42,
+                refresh: 1800,
+                retry: 900,
+                expire: 604800,
+                minimum: 86400,
+            }),
+        )];
+        msg.additionals = vec![ResourceRecord::new(
+            name("mail.example.com"),
+            60,
+            RData::A("192.0.2.2".parse().unwrap()),
+        )];
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let mut msg = Message::query(1, name("example.com"), RecordType::Ns);
+        msg.header.is_response = true;
+        for i in 0..4 {
+            msg.answers.push(ResourceRecord::new(
+                name("example.com"),
+                60,
+                RData::Ns(name(&format!("ns{i}.example.com"))),
+            ));
+        }
+        let encoded = msg.encode();
+        // Uncompressed, each of the 4 answer owner names alone would be 13
+        // bytes; with compression each is a 2-byte pointer.
+        let uncompressed_estimate = 12 + 13 + 4 + 4 * (13 + 10 + 18);
+        assert!(
+            encoded.len() < uncompressed_estimate - 60,
+            "no compression benefit: {} vs {}",
+            encoded.len(),
+            uncompressed_estimate
+        );
+        assert_eq!(Message::decode(&encoded).unwrap(), msg);
+    }
+
+    #[test]
+    fn nxdomain_rcode_round_trips() {
+        let mut msg = Message::query(9, name("gone.example.com"), RecordType::Ns);
+        msg.header = Header::response_to(&msg.header, Rcode::NxDomain);
+        let rt = round_trip(&msg);
+        assert_eq!(rt.header.rcode, Rcode::NxDomain);
+        assert!(rt.header.is_response);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert_eq!(Message::decode(&[0u8; 5]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Message::query(3, name("a.com"), RecordType::A).encode();
+        bytes.push(0);
+        assert_eq!(Message::decode(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // Header with QDCOUNT=1, then a name that is a pointer... pointers
+        // must point strictly backwards; a self-pointer at offset 12 is a
+        // forward pointer by our rule.
+        let mut bytes = vec![0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0];
+        bytes.extend_from_slice(&[0xC0, 12]); // pointer to itself
+        bytes.extend_from_slice(&[0, 1, 0, 1]);
+        match Message::decode(&bytes) {
+            Err(WireError::ForwardPointer { .. }) | Err(WireError::PointerLoop) => {}
+            other => panic!("expected pointer error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reserved_label_bits_rejected() {
+        let mut bytes = vec![0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0];
+        bytes.push(0x80); // reserved label type
+        match Message::decode(&bytes) {
+            Err(WireError::BadLabelType(_)) => {}
+            other => panic!("expected BadLabelType, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_qtype_rejected() {
+        let msg = Message::query(3, name("a.com"), RecordType::A);
+        let mut bytes = msg.encode();
+        // QTYPE is the 2 bytes after the name (12 header + 7 name).
+        let qtype_pos = 12 + name("a.com").wire_len();
+        bytes[qtype_pos] = 0;
+        bytes[qtype_pos + 1] = 99;
+        assert_eq!(Message::decode(&bytes), Err(WireError::UnsupportedType(99)));
+    }
+
+    #[test]
+    fn txt_multi_chunk_round_trip() {
+        let big = vec![b'x'; 300]; // forces two character-strings
+        let mut msg = Message::query(4, name("t.com"), RecordType::Txt);
+        msg.header.is_response = true;
+        msg.answers = vec![ResourceRecord::new(name("t.com"), 60, RData::Txt(big.clone()))];
+        let rt = round_trip(&msg);
+        match &rt.answers[0].rdata {
+            RData::Txt(bytes) => assert_eq!(bytes, &big),
+            other => panic!("expected TXT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_txt_round_trip() {
+        let mut msg = Message::query(5, name("t.com"), RecordType::Txt);
+        msg.header.is_response = true;
+        msg.answers = vec![ResourceRecord::new(name("t.com"), 60, RData::Txt(Vec::new()))];
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn header_flags_round_trip() {
+        let mut h = Header::query(0xBEEF);
+        h.authoritative = true;
+        h.truncated = true;
+        h.recursion_available = true;
+        h.opcode = 2;
+        h.rcode = Rcode::Refused;
+        let msg = Message {
+            header: h.clone(),
+            questions: vec![],
+            answers: vec![],
+            authorities: vec![],
+            additionals: vec![],
+        };
+        assert_eq!(round_trip(&msg).header, h);
+    }
+
+    #[test]
+    fn root_name_encodes_as_single_zero() {
+        let mut msg = Message::query(1, DomainName::root(), RecordType::Ns);
+        msg.header.is_response = false;
+        let encoded = msg.encode();
+        assert_eq!(encoded.len(), 12 + 1 + 4);
+        assert_eq!(round_trip(&msg), msg);
+    }
+}

@@ -1,0 +1,278 @@
+//! A TLD zone: the registry's live, mutable view.
+//!
+//! A registry zone at the TLD level is essentially a map from registered
+//! domain to its delegation (NS set plus optional glue). Registrations,
+//! deletions and nameserver changes mutate the zone and bump the SOA serial
+//! — exactly the churn the paper measures through daily CZDS snapshots and
+//! proposes to expose through rapid zone updates.
+
+use crate::name::DomainName;
+use crate::record::{RData, ResourceRecord, SoaData};
+use crate::serial::Serial;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+
+/// The delegation data a TLD zone holds for one registered domain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Delegation {
+    /// Nameserver host names, kept sorted and deduplicated so that equality
+    /// comparisons (and therefore diffs) are order-insensitive.
+    ns: Vec<DomainName>,
+    /// In-bailiwick glue addresses, keyed by nameserver host name.
+    glue: BTreeMap<DomainName, Vec<IpAddr>>,
+}
+
+impl Delegation {
+    /// # Panics
+    /// Panics if `ns` is empty: a delegation without nameservers cannot
+    /// exist in a zone.
+    pub fn new(mut ns: Vec<DomainName>) -> Self {
+        assert!(!ns.is_empty(), "delegation requires at least one NS");
+        ns.sort();
+        ns.dedup();
+        Delegation { ns, glue: BTreeMap::new() }
+    }
+
+    pub fn with_glue(mut self, host: DomainName, addrs: Vec<IpAddr>) -> Self {
+        self.glue.insert(host, addrs);
+        self
+    }
+
+    pub fn ns(&self) -> &[DomainName] {
+        &self.ns
+    }
+
+    pub fn glue(&self) -> &BTreeMap<DomainName, Vec<IpAddr>> {
+        &self.glue
+    }
+
+    /// The registrable-domain ("SLD") of the first nameserver — the key the
+    /// paper aggregates DNS-hosting providers by (Table 4).
+    pub fn primary_ns(&self) -> &DomainName {
+        &self.ns[0]
+    }
+}
+
+/// Outcome of an authoritative lookup in a TLD zone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupOutcome<'a> {
+    /// The domain is delegated; referral NS set returned.
+    Delegated(&'a Delegation),
+    /// The name does not exist in the zone (NXDOMAIN) — the removal signal
+    /// the paper's direct-to-TLD NS probes rely on.
+    NxDomain,
+}
+
+/// A mutable TLD zone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zone {
+    origin: DomainName,
+    serial: Serial,
+    soa_template: SoaData,
+    delegations: BTreeMap<DomainName, Delegation>,
+}
+
+impl Zone {
+    /// Create an empty zone for `origin` with an initial serial.
+    pub fn new(origin: DomainName, initial_serial: Serial) -> Self {
+        let soa_template = SoaData {
+            mname: origin.child("ns0").unwrap_or_else(|_| origin.clone()),
+            rname: origin.child("hostmaster").unwrap_or_else(|_| origin.clone()),
+            serial: initial_serial.get(),
+            refresh: 1800,
+            retry: 900,
+            expire: 604_800,
+            minimum: 86_400,
+        };
+        Zone { origin, serial: initial_serial, soa_template, delegations: BTreeMap::new() }
+    }
+
+    pub fn origin(&self) -> &DomainName {
+        &self.origin
+    }
+
+    pub fn serial(&self) -> Serial {
+        self.serial
+    }
+
+    /// Current SOA record (serial reflects all mutations so far).
+    pub fn soa(&self) -> ResourceRecord {
+        let mut soa = self.soa_template.clone();
+        soa.serial = self.serial.get();
+        ResourceRecord::new(self.origin.clone(), 900, RData::Soa(soa))
+    }
+
+    pub fn len(&self) -> usize {
+        self.delegations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.delegations.is_empty()
+    }
+
+    pub fn contains(&self, domain: &DomainName) -> bool {
+        self.delegations.contains_key(domain)
+    }
+
+    fn assert_in_bailiwick(&self, domain: &DomainName) {
+        assert!(
+            domain.is_subdomain_of(&self.origin) && domain != &self.origin,
+            "{domain} is not a proper subdomain of zone {origin}",
+            origin = self.origin
+        );
+    }
+
+    /// Insert or replace a delegation, bumping the serial. Returns the
+    /// previous delegation if one existed.
+    ///
+    /// # Panics
+    /// Panics if `domain` is not a proper subdomain of the zone origin.
+    pub fn upsert(&mut self, domain: DomainName, delegation: Delegation) -> Option<Delegation> {
+        self.assert_in_bailiwick(&domain);
+        let prev = self.delegations.insert(domain, delegation);
+        self.serial = self.serial.next();
+        prev
+    }
+
+    /// Remove a delegation, bumping the serial if it existed.
+    pub fn remove(&mut self, domain: &DomainName) -> Option<Delegation> {
+        let prev = self.delegations.remove(domain);
+        if prev.is_some() {
+            self.serial = self.serial.next();
+        }
+        prev
+    }
+
+    /// Authoritative lookup for `domain` (or any name under it).
+    pub fn lookup(&self, name: &DomainName) -> LookupOutcome<'_> {
+        // Find the delegation covering `name`: walk ancestor-wards from the
+        // registrable candidate.
+        let mut candidate = Some(name.clone());
+        while let Some(c) = candidate {
+            if c == self.origin || !c.is_subdomain_of(&self.origin) {
+                break;
+            }
+            if let Some(d) = self.delegations.get(&c) {
+                return LookupOutcome::Delegated(d);
+            }
+            candidate = c.parent();
+        }
+        LookupOutcome::NxDomain
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&DomainName, &Delegation)> {
+        self.delegations.iter()
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn ns(host: &str) -> Vec<DomainName> {
+        vec![name(host)]
+    }
+
+    fn com_zone() -> Zone {
+        Zone::new(name("com"), Serial::new(1000))
+    }
+
+    #[test]
+    fn upsert_and_lookup() {
+        let mut z = com_zone();
+        z.upsert(name("example.com"), Delegation::new(ns("ns1.cloudflare.com")));
+        match z.lookup(&name("example.com")) {
+            LookupOutcome::Delegated(d) => assert_eq!(d.ns()[0], name("ns1.cloudflare.com")),
+            other => panic!("expected delegation, got {other:?}"),
+        }
+        assert!(z.contains(&name("example.com")));
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn lookup_covers_subdomains() {
+        let mut z = com_zone();
+        z.upsert(name("example.com"), Delegation::new(ns("ns1.x.net")));
+        assert!(matches!(z.lookup(&name("www.deep.example.com")), LookupOutcome::Delegated(_)));
+    }
+
+    #[test]
+    fn missing_name_is_nxdomain() {
+        let z = com_zone();
+        assert_eq!(z.lookup(&name("ghost.com")), LookupOutcome::NxDomain);
+        // Out-of-bailiwick names are NXDOMAIN too (we are not a resolver).
+        assert_eq!(z.lookup(&name("example.net")), LookupOutcome::NxDomain);
+    }
+
+    #[test]
+    fn serial_bumps_on_mutation_only() {
+        let mut z = com_zone();
+        let s0 = z.serial();
+        z.upsert(name("a.com"), Delegation::new(ns("ns1.x.net")));
+        let s1 = z.serial();
+        assert!(s1.is_newer_than(s0));
+        // Removing a non-existent name must not bump.
+        z.remove(&name("ghost.com"));
+        assert_eq!(z.serial(), s1);
+        z.remove(&name("a.com"));
+        assert!(z.serial().is_newer_than(s1));
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn soa_reflects_current_serial() {
+        let mut z = com_zone();
+        z.upsert(name("a.com"), Delegation::new(ns("ns1.x.net")));
+        match &z.soa().rdata {
+            RData::Soa(s) => assert_eq!(s.serial, z.serial().get()),
+            other => panic!("expected SOA, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a proper subdomain")]
+    fn rejects_out_of_bailiwick_upsert() {
+        com_zone().upsert(name("example.net"), Delegation::new(ns("ns1.x.net")));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a proper subdomain")]
+    fn rejects_origin_upsert() {
+        com_zone().upsert(name("com"), Delegation::new(ns("ns1.x.net")));
+    }
+
+    #[test]
+    fn delegation_ns_sorted_dedup() {
+        let d = Delegation::new(vec![name("b.net"), name("a.net"), name("b.net")]);
+        assert_eq!(d.ns(), &[name("a.net"), name("b.net")]);
+        assert_eq!(d.primary_ns(), &name("a.net"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one NS")]
+    fn delegation_requires_ns() {
+        Delegation::new(Vec::new());
+    }
+
+    #[test]
+    fn glue_round_trip() {
+        let d = Delegation::new(ns("ns1.example.com"))
+            .with_glue(name("ns1.example.com"), vec!["192.0.2.53".parse().unwrap()]);
+        assert_eq!(d.glue().len(), 1);
+    }
+
+    #[test]
+    fn upsert_replaces_and_returns_previous() {
+        let mut z = com_zone();
+        z.upsert(name("a.com"), Delegation::new(ns("ns1.x.net")));
+        let prev = z.upsert(name("a.com"), Delegation::new(ns("ns2.y.net")));
+        assert_eq!(prev.unwrap().ns()[0], name("ns1.x.net"));
+        assert_eq!(z.len(), 1);
+    }
+}

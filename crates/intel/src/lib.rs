@@ -1,0 +1,20 @@
+//! Threat-intelligence substrate.
+//!
+//! Three external data sources the paper compares its pipeline against:
+//!
+//! * [`blocklist`] — the ten public blocklists of §4.3, modelled as
+//!   listing processes with realistic insertion delays (which is what
+//!   produces the paper's headline: 94% of flagged transient domains are
+//!   listed only *after* deletion);
+//! * [`nod`] — the commercial passive-DNS "Newly Observed Domains" feed
+//!   (DomainTools SIE) used for the §4.4 visibility-gap comparison;
+//! * [`dzdb`] — the CAIDA DZDB historical zone archive used to show that
+//!   97% of ghost certificates correspond to previously registered names.
+
+pub mod blocklist;
+pub mod dzdb;
+pub mod nod;
+
+pub use blocklist::{BlocklistSet, Listing};
+pub use dzdb::DzdbArchive;
+pub use nod::NodFeed;

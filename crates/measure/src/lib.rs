@@ -1,0 +1,26 @@
+//! Active measurement substrate.
+//!
+//! Step 3 of the paper's pipeline: a reactive infrastructure that, for
+//! every newly observed domain, issues `A`, `AAAA` and `NS` queries every
+//! 10 minutes for the first 48 hours of the domain's life. Sixteen worker
+//! instances execute the probes; `NS` queries go **directly to the TLD's
+//! authoritative servers** so that removal from the zone is observed as
+//! NXDOMAIN rather than being masked by caches or lame delegations, while
+//! `A`/`AAAA` go through a caching resolver whose TTL is capped at 60
+//! seconds.
+//!
+//! * [`resolver`] — the TTL-capped caching resolver (the Unbound stand-in);
+//! * [`authoritative`] — direct-to-TLD NS lookups over the universe;
+//! * [`probe`] — the 10-minute/48-hour probe plan;
+//! * [`worker`] — the 16-way worker pool and per-domain monitoring reports.
+
+pub mod authoritative;
+pub mod probe;
+pub mod resolver;
+pub mod soa_probe;
+pub mod worker;
+
+pub use probe::{ProbeOutcome, ProbePlan};
+pub use resolver::CachingResolver;
+pub use soa_probe::{probe_cadence, CadenceEstimate};
+pub use worker::{MonitorPool, MonitorReport};

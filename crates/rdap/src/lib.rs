@@ -1,0 +1,28 @@
+//! RDAP substrate.
+//!
+//! Step 2 of the paper's pipeline collects RDAP registration data for every
+//! candidate NRD, and Step 4 validates detections against the RDAP
+//! creation timestamp. The paper's operational constraints are modelled
+//! faithfully:
+//!
+//! * registries **rate-limit** (the paper cycled Azure egress IPs and kept
+//!   under ~1 qps to stay below limits like CentralNic's 7,200/h);
+//! * the measurement deliberately **never retries** failures, to avoid
+//!   burdening registry infrastructure;
+//! * failures have structure (§4.2): *too late* (domain purged after
+//!   deletion), *too early* (registry data not yet synced), and ghosts
+//!   (no registration at all) — which is why transient domains fail RDAP
+//!   an order of magnitude more often (≈34%) than ordinary NRDs (≈3%).
+//!
+//! Modules: [`ratelimit`] (token bucket), [`model`] (responses/errors),
+//! [`server`] (the per-registry directory), [`client`] (the worker pool).
+
+pub mod client;
+pub mod model;
+pub mod ratelimit;
+pub mod server;
+
+pub use client::RdapClient;
+pub use model::{RdapError, RdapResponse};
+pub use ratelimit::TokenBucket;
+pub use server::RdapDirectory;

@@ -1,0 +1,83 @@
+//! RDAP responses and failure taxonomy.
+
+use darkdns_dns::DomainName;
+use darkdns_sim::time::SimTime;
+use serde::Serialize;
+
+/// A successful RDAP domain lookup (the fields the pipeline consumes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RdapResponse {
+    pub domain: DomainName,
+    /// Registration (creation) timestamp — the pipeline's ground truth for
+    /// detection latency and its misclassification filter.
+    pub created: SimTime,
+    /// Sponsoring registrar name.
+    pub registrar: String,
+    /// Sponsoring registrar IANA id.
+    pub registrar_iana: u32,
+    /// EPP-style status strings (e.g. `addPeriod` shortly after creation).
+    pub statuses: Vec<String>,
+}
+
+/// Why an RDAP query failed. The variants map onto the paper's three
+/// causes for the transient-domain failure-rate gap, plus the operational
+/// failures every collector sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum RdapError {
+    /// No registration data (never existed, or purged after deletion —
+    /// causes i and iii).
+    NotFound,
+    /// Registration exists but the registry's RDAP backend has not caught
+    /// up yet (cause ii, "we were too early").
+    NotSynced,
+    /// Registry rate limit tripped.
+    RateLimited,
+    /// Transient server-side error (the collector does not retry).
+    ServerError,
+}
+
+impl RdapError {
+    pub fn label(self) -> &'static str {
+        match self {
+            RdapError::NotFound => "not-found",
+            RdapError::NotSynced => "not-synced",
+            RdapError::RateLimited => "rate-limited",
+            RdapError::ServerError => "server-error",
+        }
+    }
+}
+
+/// Outcome of one collection attempt (no retries, per the paper's ethics
+/// stance).
+pub type RdapOutcome = Result<RdapResponse, RdapError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let all = [
+            RdapError::NotFound,
+            RdapError::NotSynced,
+            RdapError::RateLimited,
+            RdapError::ServerError,
+        ];
+        let labels: std::collections::HashSet<_> = all.iter().map(|e| e.label()).collect();
+        assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn response_serializes() {
+        let r = RdapResponse {
+            domain: DomainName::parse("example.com").unwrap(),
+            created: SimTime::from_secs(123),
+            registrar: "GoDaddy".into(),
+            registrar_iana: 146,
+            statuses: vec!["addPeriod".into()],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("example.com"));
+        assert!(json.contains("addPeriod"));
+    }
+}

@@ -1,0 +1,320 @@
+//! The RDAP directory: per-registry servers answering over the universe.
+//!
+//! Mechanics (each mapped to a paper observation):
+//!
+//! * **sync lag** — a registration becomes visible to RDAP only after a
+//!   per-query log-normal lag (median ≈ 2 min). Querying a very fresh
+//!   domain can race the backend ("we were too early").
+//! * **purge after deletion** — once a domain is removed, its RDAP data
+//!   survives only briefly: a query after removal fails with `NotFound`
+//!   with high probability ("we detected too late").
+//! * **ghosts** — certificate-only names have no registration at all:
+//!   always `NotFound` (cause iii).
+//! * **rate limits** — one token bucket per (registry, source IP); the
+//!   client cycles IPs exactly so that this rarely trips.
+//! * **base error rate** — transient server failures; never retried.
+
+use crate::model::{RdapError, RdapOutcome, RdapResponse};
+use crate::ratelimit::TokenBucket;
+use darkdns_dns::DomainName;
+use darkdns_registry::registrar::RegistrarFleet;
+use darkdns_registry::tld::TldId;
+use darkdns_registry::universe::{DomainKind, DomainRecord, Universe};
+use darkdns_sim::dist::LogNormal;
+use darkdns_sim::rng::RngPool;
+use darkdns_sim::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Behavioural parameters of the directory.
+#[derive(Debug, Clone)]
+pub struct RdapConfig {
+    /// Median backend sync lag in seconds (registration → RDAP visible).
+    pub sync_lag_median_secs: f64,
+    pub sync_lag_sigma: f64,
+    /// Probability that data for a deleted domain is already purged.
+    pub purge_probability: f64,
+    /// Grace period after deletion during which data always survives.
+    pub purge_grace: SimDuration,
+    /// Base probability of a transient server error.
+    pub base_error_rate: f64,
+    /// Per-(registry, IP) bucket: burst capacity and hourly rate
+    /// (CentralNic-style: 7,200/hour).
+    pub bucket_capacity: u32,
+    pub bucket_rate_per_hour: f64,
+}
+
+impl Default for RdapConfig {
+    fn default() -> Self {
+        RdapConfig {
+            sync_lag_median_secs: 120.0,
+            sync_lag_sigma: 1.3,
+            purge_probability: 0.80,
+            purge_grace: SimDuration::from_minutes(30),
+            base_error_rate: 0.015,
+            bucket_capacity: 60,
+            bucket_rate_per_hour: 7_200.0,
+        }
+    }
+}
+
+/// The simulated RDAP service fronting every registry.
+pub struct RdapDirectory<'a> {
+    universe: &'a Universe,
+    fleet: &'a RegistrarFleet,
+    config: RdapConfig,
+    buckets: HashMap<(TldId, u16), TokenBucket>,
+    rng: SmallRng,
+}
+
+impl<'a> RdapDirectory<'a> {
+    pub fn new(
+        universe: &'a Universe,
+        fleet: &'a RegistrarFleet,
+        config: RdapConfig,
+        pool: &RngPool,
+    ) -> Self {
+        RdapDirectory {
+            universe,
+            fleet,
+            config,
+            buckets: HashMap::new(),
+            rng: pool.stream("rdap.server"),
+        }
+    }
+
+    /// Handle one query from `source_ip` (an opaque worker index) at `now`.
+    pub fn query(&mut self, name: &DomainName, source_ip: u16, now: SimTime) -> RdapOutcome {
+        let record = match self.universe.lookup(name) {
+            Some(r) => r,
+            None => return Err(RdapError::NotFound),
+        };
+        // Rate limit first — the registry rejects before doing any lookup.
+        let bucket = self
+            .buckets
+            .entry((record.tld, source_ip))
+            .or_insert_with(|| {
+                TokenBucket::new(self.config.bucket_capacity, self.config.bucket_rate_per_hour, now)
+            });
+        if !bucket.try_acquire(now) {
+            return Err(RdapError::RateLimited);
+        }
+        if self.rng.gen::<f64>() < self.config.base_error_rate {
+            return Err(RdapError::ServerError);
+        }
+        match record.kind {
+            DomainKind::Ghost { .. } => Err(RdapError::NotFound),
+            _ => self.answer_registered(record, now),
+        }
+    }
+
+    fn answer_registered(&mut self, record: &DomainRecord, now: SimTime) -> RdapOutcome {
+        // Too early: backend has not synced the fresh registration.
+        if now >= record.created {
+            let lag = LogNormal::from_median(self.config.sync_lag_median_secs, self.config.sync_lag_sigma)
+                .sample(&mut self.rng)
+                .min(3.0 * 3_600.0);
+            if now.saturating_since(record.created).as_secs() < lag as u64 {
+                return Err(RdapError::NotSynced);
+            }
+        } else {
+            return Err(RdapError::NotFound);
+        }
+        // Too late: registry purged the data after deletion. Re-registered
+        // names are exempt — their data is live again under the new
+        // registration (which is exactly why RDAP exposes the old date).
+        if record.kind != DomainKind::ReRegistered {
+            if let Some(removed) = record.removed {
+                if now > removed + self.config.purge_grace
+                    && self.rng.gen::<f64>() < self.config.purge_probability
+                {
+                    return Err(RdapError::NotFound);
+                }
+            }
+        }
+        let registrar = self.fleet.get(record.registrar);
+        // EPP statuses as the registry's lifecycle model reports them.
+        let statuses: Vec<String> = darkdns_registry::lifecycle::phase_at(record, now)
+            .epp_statuses()
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        Ok(RdapResponse {
+            domain: record.name.clone(),
+            created: record.created,
+            registrar: registrar.name.clone(),
+            registrar_iana: registrar.iana_id,
+            statuses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkdns_registry::hosting::ProviderId;
+    use darkdns_registry::registrar::RegistrarId;
+    use darkdns_registry::universe::{CertTiming, DomainId};
+
+    fn record(name: &str, kind: DomainKind, created: SimTime, removed: Option<SimTime>) -> DomainRecord {
+        DomainRecord {
+            id: DomainId(0),
+            name: DomainName::parse(name).unwrap(),
+            tld: TldId(0),
+            kind,
+            created,
+            zone_insert: created,
+            removed,
+            registrar: RegistrarId(0),
+            dns_provider: ProviderId(0),
+            web_asn: 13_335,
+            cert_timing: CertTiming::Prompt,
+            cert_hint: None,
+            ns_change_at: None,
+            malicious: false,
+        }
+    }
+
+    fn setup(records: Vec<DomainRecord>) -> (Universe, RegistrarFleet) {
+        let mut u = Universe::new();
+        for r in records {
+            u.push(r);
+        }
+        (u, RegistrarFleet::paper_fleet())
+    }
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn live_domain_resolves_with_creation_date() {
+        let created = SimTime::from_days(10);
+        let (u, f) = setup(vec![record("a.com", DomainKind::LongLived, created, None)]);
+        let mut dir = RdapDirectory::new(&u, &f, RdapConfig::default(), &RngPool::new(1));
+        let resp = dir
+            .query(&name("a.com"), 0, created + SimDuration::from_hours(2))
+            .expect("should resolve");
+        assert_eq!(resp.created, created);
+        assert_eq!(resp.registrar, "GoDaddy");
+        assert!(resp.statuses.contains(&"addPeriod".to_owned()));
+    }
+
+    #[test]
+    fn unknown_domain_is_not_found() {
+        let (u, f) = setup(vec![]);
+        let mut dir = RdapDirectory::new(&u, &f, RdapConfig::default(), &RngPool::new(1));
+        assert_eq!(dir.query(&name("ghost.com"), 0, SimTime::from_days(1)), Err(RdapError::NotFound));
+    }
+
+    #[test]
+    fn ghosts_always_fail() {
+        let created = SimTime::from_days(1);
+        let (u, f) = setup(vec![record(
+            "g.com",
+            DomainKind::Ghost { previously_registered: true },
+            created,
+            Some(created + SimDuration::from_days(5)),
+        )]);
+        let mut dir = RdapDirectory::new(&u, &f, RdapConfig::default(), &RngPool::new(1));
+        for i in 0..20 {
+            let out = dir.query(&name("g.com"), i % 4, SimTime::from_days(100));
+            assert!(matches!(out, Err(RdapError::NotFound) | Err(RdapError::ServerError)));
+        }
+    }
+
+    #[test]
+    fn very_fresh_domain_often_not_synced() {
+        let created = SimTime::from_days(10);
+        let (u, f) = setup(vec![record("a.com", DomainKind::LongLived, created, None)]);
+        let mut dir = RdapDirectory::new(&u, &f, RdapConfig::default(), &RngPool::new(2));
+        let mut not_synced = 0;
+        for i in 0..200 {
+            // One second after creation; spread over IPs to dodge limits.
+            if dir.query(&name("a.com"), i % 16, created + SimDuration::from_secs(1))
+                == Err(RdapError::NotSynced)
+            {
+                not_synced += 1;
+            }
+        }
+        assert!(not_synced > 150, "expected mostly NotSynced, got {not_synced}");
+    }
+
+    #[test]
+    fn long_dead_domain_usually_purged() {
+        let created = SimTime::from_days(10);
+        let removed = created + SimDuration::from_hours(6);
+        let (u, f) = setup(vec![record("t.com", DomainKind::Transient, created, Some(removed))]);
+        let mut dir = RdapDirectory::new(&u, &f, RdapConfig::default(), &RngPool::new(3));
+        let mut not_found = 0;
+        for i in 0..200 {
+            if dir.query(&name("t.com"), i % 16, removed + SimDuration::from_days(2))
+                == Err(RdapError::NotFound)
+            {
+                not_found += 1;
+            }
+        }
+        let frac = not_found as f64 / 200.0;
+        assert!((0.65..0.95).contains(&frac), "purge fraction {frac}");
+    }
+
+    #[test]
+    fn within_grace_period_data_survives() {
+        let created = SimTime::from_days(10);
+        let removed = created + SimDuration::from_hours(6);
+        let (u, f) = setup(vec![record("t.com", DomainKind::Transient, created, Some(removed))]);
+        let mut cfg = RdapConfig::default();
+        cfg.base_error_rate = 0.0;
+        let mut dir = RdapDirectory::new(&u, &f, cfg, &RngPool::new(4));
+        for i in 0..50 {
+            let out = dir.query(&name("t.com"), i % 16, removed + SimDuration::from_minutes(5));
+            assert!(out.is_ok(), "query failed inside grace: {out:?}");
+        }
+    }
+
+    #[test]
+    fn rereg_reports_old_creation_despite_deletion() {
+        let created = SimTime::from_days(50);
+        let removed = created + SimDuration::from_days(30);
+        let (u, f) = setup(vec![record("old.com", DomainKind::ReRegistered, created, Some(removed))]);
+        let mut cfg = RdapConfig::default();
+        cfg.base_error_rate = 0.0;
+        let mut dir = RdapDirectory::new(&u, &f, cfg, &RngPool::new(5));
+        let resp = dir.query(&name("old.com"), 0, SimTime::from_days(500)).expect("rereg resolves");
+        assert_eq!(resp.created, created);
+    }
+
+    #[test]
+    fn hammering_one_ip_trips_rate_limit() {
+        let created = SimTime::from_days(10);
+        let (u, f) = setup(vec![record("a.com", DomainKind::LongLived, created, None)]);
+        let mut cfg = RdapConfig::default();
+        cfg.bucket_capacity = 5;
+        cfg.bucket_rate_per_hour = 60.0;
+        let mut dir = RdapDirectory::new(&u, &f, cfg, &RngPool::new(6));
+        let now = created + SimDuration::from_days(1);
+        let mut limited = 0;
+        for _ in 0..50 {
+            if dir.query(&name("a.com"), 0, now) == Err(RdapError::RateLimited) {
+                limited += 1;
+            }
+        }
+        assert!(limited >= 40, "rate limit barely tripped: {limited}");
+        // A different source IP has its own bucket.
+        assert_ne!(dir.query(&name("a.com"), 1, now), Err(RdapError::RateLimited));
+    }
+
+    #[test]
+    fn query_before_creation_is_not_found() {
+        let created = SimTime::from_days(10);
+        let (u, f) = setup(vec![record("a.com", DomainKind::LongLived, created, None)]);
+        let mut cfg = RdapConfig::default();
+        cfg.base_error_rate = 0.0;
+        let mut dir = RdapDirectory::new(&u, &f, cfg, &RngPool::new(7));
+        assert_eq!(
+            dir.query(&name("a.com"), 0, created.saturating_sub(SimDuration::from_hours(1))),
+            Err(RdapError::NotFound)
+        );
+    }
+}

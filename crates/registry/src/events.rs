@@ -1,0 +1,157 @@
+//! The registry-side event log.
+//!
+//! A time-ordered log of zone-level events (delegation added, delegation
+//! removed, NS set changed) derived from a universe. This is the stream a
+//! registry would feed into a Rapid Zone Update service, and it is what
+//! the RZU module batches into pushes.
+
+use crate::tld::TldId;
+use crate::universe::{DomainId, Universe};
+use darkdns_sim::time::SimTime;
+use serde::Serialize;
+
+/// What happened to a delegation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RegistryEventKind {
+    /// Delegation entered the TLD zone.
+    Created,
+    /// Delegation left the TLD zone.
+    Removed,
+    /// The delegation's NS set was replaced.
+    NsChanged,
+}
+
+/// One zone-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RegistryEvent {
+    pub at: SimTime,
+    pub tld: TldId,
+    pub domain: DomainId,
+    pub kind: RegistryEventKind,
+}
+
+/// Derive the complete, time-ordered event log for `universe`, optionally
+/// restricted to one TLD. Ghost records contribute nothing (they never
+/// touch a zone during the window; their historical lifecycles predate the
+/// log's scope).
+pub fn event_log(universe: &Universe, only_tld: Option<TldId>) -> Vec<RegistryEvent> {
+    let mut events = Vec::new();
+    for r in universe.iter() {
+        if let Some(tld) = only_tld {
+            if r.tld != tld {
+                continue;
+            }
+        }
+        if !r.kind.has_registration() {
+            continue;
+        }
+        if matches!(r.kind, crate::universe::DomainKind::ReRegistered) {
+            // Pre-window lifecycle only; outside the log's scope.
+            continue;
+        }
+        events.push(RegistryEvent {
+            at: r.zone_insert,
+            tld: r.tld,
+            domain: r.id,
+            kind: RegistryEventKind::Created,
+        });
+        if let Some(change) = r.ns_change_at {
+            events.push(RegistryEvent {
+                at: change,
+                tld: r.tld,
+                domain: r.id,
+                kind: RegistryEventKind::NsChanged,
+            });
+        }
+        if let Some(removed) = r.removed {
+            events.push(RegistryEvent {
+                at: removed,
+                tld: r.tld,
+                domain: r.id,
+                kind: RegistryEventKind::Removed,
+            });
+        }
+    }
+    // Stable key (time, domain id, kind order) keeps the log deterministic.
+    events.sort_by_key(|e| (e.at, e.domain, e.kind as u8));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosting::ProviderId;
+    use crate::registrar::RegistrarId;
+    use crate::universe::{CertTiming, DomainKind, DomainRecord};
+    use darkdns_dns::DomainName;
+    use darkdns_sim::time::SimDuration;
+
+    fn push_record(
+        u: &mut Universe,
+        name: &str,
+        tld: TldId,
+        kind: DomainKind,
+        insert_h: u64,
+        removed_h: Option<u64>,
+        ns_change_h: Option<u64>,
+    ) {
+        let created = SimTime::from_hours(insert_h);
+        u.push(DomainRecord {
+            id: DomainId(0),
+            name: DomainName::parse(name).unwrap(),
+            tld,
+            kind,
+            created,
+            zone_insert: created + SimDuration::from_secs(30),
+            removed: removed_h.map(SimTime::from_hours),
+            registrar: RegistrarId(0),
+            dns_provider: ProviderId(0),
+            web_asn: 13_335,
+            cert_timing: CertTiming::Prompt,
+            cert_hint: None,
+            ns_change_at: ns_change_h.map(SimTime::from_hours),
+            malicious: false,
+        });
+    }
+
+    #[test]
+    fn log_is_time_ordered_and_complete() {
+        let mut u = Universe::new();
+        push_record(&mut u, "b.com", TldId(0), DomainKind::Transient, 10, Some(16), None);
+        push_record(&mut u, "a.com", TldId(0), DomainKind::LongLived, 2, None, Some(5));
+        let log = event_log(&u, None);
+        // a: Created + NsChanged; b: Created + Removed.
+        assert_eq!(log.len(), 4);
+        for w in log.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert_eq!(log[0].kind, RegistryEventKind::Created); // a.com at 2h
+        assert_eq!(log.iter().filter(|e| e.kind == RegistryEventKind::Removed).count(), 1);
+        assert_eq!(log.iter().filter(|e| e.kind == RegistryEventKind::NsChanged).count(), 1);
+    }
+
+    #[test]
+    fn ghosts_and_rereg_produce_no_events() {
+        let mut u = Universe::new();
+        push_record(
+            &mut u,
+            "g.com",
+            TldId(0),
+            DomainKind::Ghost { previously_registered: true },
+            1,
+            Some(2),
+            None,
+        );
+        push_record(&mut u, "r.com", TldId(0), DomainKind::ReRegistered, 1, Some(2), None);
+        assert!(event_log(&u, None).is_empty());
+    }
+
+    #[test]
+    fn tld_filter() {
+        let mut u = Universe::new();
+        push_record(&mut u, "a.com", TldId(0), DomainKind::LongLived, 1, None, None);
+        push_record(&mut u, "a.net", TldId(1), DomainKind::LongLived, 1, None, None);
+        assert_eq!(event_log(&u, Some(TldId(1))).len(), 1);
+        assert_eq!(event_log(&u, None).len(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Registry / registrar ecosystem simulator.
+//!
+//! The DarkDNS paper measures a live ecosystem — registries publishing TLD
+//! zones, registrars processing (and revoking) registrations, benign and
+//! malicious registrants, hosting providers — through the narrow apertures
+//! of CZDS snapshots, CT logs, RDAP and active DNS. This crate is the
+//! generative model of that ecosystem. It produces a deterministic
+//! [`universe::Universe`] of domain registrations whose marginal statistics
+//! are calibrated to the paper's published tables, and exposes the registry
+//! artifacts the pipeline observes:
+//!
+//! * [`tld`] — per-TLD configuration (volumes, zone-update cadence,
+//!   certificate adoption, transient propensity), calibrated from
+//!   Tables 1-2;
+//! * [`registrar`] — the registrar fleet with separate market-share mixes
+//!   for benign and transient registrations (Table 3);
+//! * [`hosting`] — DNS-hosting providers and web-hosting ASNs (Tables 4-5);
+//! * [`namegen`] — deterministic, collision-free domain-label generation;
+//! * [`universe`] — the generated population of domain records;
+//! * [`workload`] — the generator that builds a universe from configs;
+//! * [`events`] — the time-ordered registry event log (create / remove /
+//!   NS-change) derived from a universe;
+//! * [`czds`] — the daily-snapshot schedule, publication-delay model, and
+//!   snapshot membership oracle;
+//! * [`rzu`] — the Rapid Zone Update service (the paper's §5 proposal).
+
+pub mod czds;
+pub mod events;
+pub mod hosting;
+pub mod lifecycle;
+pub mod namegen;
+pub mod registrar;
+pub mod rzu;
+pub mod tld;
+pub mod universe;
+pub mod workload;
+
+pub use czds::{SnapshotOracle, SnapshotSchedule};
+pub use registrar::{Registrar, RegistrarFleet};
+pub use tld::{TldConfig, TldId};
+pub use universe::{CertTiming, DomainId, DomainKind, DomainRecord, Universe};
+pub use workload::{UniverseBuilder, WorkloadConfig};

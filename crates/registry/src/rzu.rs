@@ -1,0 +1,273 @@
+//! The Rapid Zone Update (RZU) service — the paper's §5 proposal, built.
+//!
+//! Verisign's historical service pushed accumulated zone changes to
+//! subscribers every five minutes (Appendix B). This module implements
+//! that service over the simulated registry event log: events are batched
+//! on a fixed push grid, and a subscriber replaying the pushes maintains a
+//! zone view that is at most one push interval stale.
+//!
+//! The module also provides the closed-form visibility primitives used by
+//! the `rzu_ablation` bench: given a push cadence, when is a domain first
+//! visible to a subscriber, and is a transient domain visible at all?
+
+use crate::events::{RegistryEvent, RegistryEventKind};
+use crate::universe::{DomainRecord, Universe};
+use crate::tld::TldId;
+use darkdns_sim::time::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// One push of accumulated events to subscribers.
+#[derive(Debug, Clone, Serialize)]
+pub struct RzuPush {
+    /// When the push went out (a multiple of the cadence on the grid).
+    pub pushed_at: SimTime,
+    /// Events since the previous push, in time order.
+    pub events: Vec<RegistryEvent>,
+}
+
+/// A batched RZU feed for one TLD.
+#[derive(Debug, Clone)]
+pub struct RzuFeed {
+    pub tld: TldId,
+    pub cadence: SimDuration,
+    pushes: Vec<RzuPush>,
+}
+
+impl RzuFeed {
+    /// Batch `events` (must be time-ordered, single TLD) onto the push
+    /// grid anchored at `anchor` with the given `cadence`.
+    ///
+    /// # Panics
+    /// Panics if `cadence` is zero or events are out of order.
+    pub fn build(
+        tld: TldId,
+        anchor: SimTime,
+        cadence: SimDuration,
+        events: &[RegistryEvent],
+    ) -> Self {
+        assert!(cadence.as_secs() > 0, "cadence must be positive");
+        let mut pushes: Vec<RzuPush> = Vec::new();
+        let mut current: Vec<RegistryEvent> = Vec::new();
+        let mut current_push_at: Option<SimTime> = None;
+        let mut last_at = SimTime::ZERO;
+        for ev in events {
+            assert!(ev.at >= last_at, "events must be time-ordered");
+            last_at = ev.at;
+            let push_at = next_grid_point(anchor, cadence, ev.at);
+            match current_push_at {
+                Some(at) if at == push_at => current.push(*ev),
+                Some(at) => {
+                    pushes.push(RzuPush { pushed_at: at, events: std::mem::take(&mut current) });
+                    current.push(*ev);
+                    current_push_at = Some(push_at);
+                }
+                None => {
+                    current.push(*ev);
+                    current_push_at = Some(push_at);
+                }
+            }
+        }
+        if let Some(at) = current_push_at {
+            pushes.push(RzuPush { pushed_at: at, events: current });
+        }
+        RzuFeed { tld, cadence, pushes }
+    }
+
+    /// Build the feed for `tld` directly from a universe.
+    pub fn from_universe(
+        universe: &Universe,
+        tld: TldId,
+        anchor: SimTime,
+        cadence: SimDuration,
+    ) -> Self {
+        let events = crate::events::event_log(universe, Some(tld));
+        Self::build(tld, anchor, cadence, &events)
+    }
+
+    pub fn pushes(&self) -> &[RzuPush] {
+        &self.pushes
+    }
+
+    /// Pushes emitted in `(after, upto]`.
+    pub fn pushes_between(&self, after: SimTime, upto: SimTime) -> &[RzuPush] {
+        let start = self.pushes.partition_point(|p| p.pushed_at <= after);
+        let end = self.pushes.partition_point(|p| p.pushed_at <= upto);
+        &self.pushes[start..end]
+    }
+
+    /// Total number of events across all pushes.
+    pub fn event_count(&self) -> usize {
+        self.pushes.iter().map(|p| p.events.len()).sum()
+    }
+
+    /// First push revealing the creation of `domain`, if any.
+    pub fn first_reveal(&self, domain: crate::universe::DomainId) -> Option<SimTime> {
+        for push in &self.pushes {
+            if push
+                .events
+                .iter()
+                .any(|e| e.domain == domain && e.kind == RegistryEventKind::Created)
+            {
+                return Some(push.pushed_at);
+            }
+        }
+        None
+    }
+}
+
+/// The first grid point at or after `t` on the grid anchored at `anchor`
+/// with spacing `cadence`. An event is visible to subscribers from the
+/// push *after* it happened.
+pub fn next_grid_point(anchor: SimTime, cadence: SimDuration, t: SimTime) -> SimTime {
+    if t <= anchor {
+        return anchor;
+    }
+    let delta = t.saturating_since(anchor).as_secs();
+    let c = cadence.as_secs();
+    let steps = delta.div_ceil(c);
+    anchor + SimDuration::from_secs(steps * c)
+}
+
+/// When a snapshot-or-RZU consumer polling at `cadence` first *sees* the
+/// domain as registered: the first grid point at or after `zone_insert`
+/// that the domain is still alive for. Returns `None` if the domain dies
+/// before any grid point — i.e. it is invisible at this cadence (the
+/// generalisation of "transient" from daily snapshots to arbitrary
+/// cadences that the RZU ablation sweeps).
+pub fn first_visible_at_cadence(
+    record: &DomainRecord,
+    anchor: SimTime,
+    cadence: SimDuration,
+) -> Option<SimTime> {
+    if !record.kind.has_registration() {
+        return None;
+    }
+    let first = next_grid_point(anchor, cadence, record.zone_insert);
+    match record.removed {
+        Some(removed) if first >= removed => None,
+        _ => Some(first),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosting::ProviderId;
+    use crate::registrar::RegistrarId;
+    use crate::universe::{CertTiming, DomainId, DomainKind, DomainRecord};
+    use darkdns_dns::DomainName;
+
+    fn ev(at_secs: u64, domain: u32, kind: RegistryEventKind) -> RegistryEvent {
+        RegistryEvent { at: SimTime::from_secs(at_secs), tld: TldId(0), domain: DomainId(domain), kind }
+    }
+
+    #[test]
+    fn batches_on_grid() {
+        let events = vec![
+            ev(10, 1, RegistryEventKind::Created),
+            ev(250, 2, RegistryEventKind::Created),
+            ev(299, 3, RegistryEventKind::Created),
+            ev(301, 4, RegistryEventKind::Created),
+        ];
+        let feed = RzuFeed::build(TldId(0), SimTime::ZERO, SimDuration::from_minutes(5), &events);
+        assert_eq!(feed.pushes().len(), 2);
+        assert_eq!(feed.pushes()[0].pushed_at, SimTime::from_secs(300));
+        assert_eq!(feed.pushes()[0].events.len(), 3);
+        assert_eq!(feed.pushes()[1].pushed_at, SimTime::from_secs(600));
+        assert_eq!(feed.pushes()[1].events.len(), 1);
+        assert_eq!(feed.event_count(), 4);
+    }
+
+    #[test]
+    fn pushes_between_is_half_open() {
+        let events = vec![ev(10, 1, RegistryEventKind::Created), ev(400, 2, RegistryEventKind::Created)];
+        let feed = RzuFeed::build(TldId(0), SimTime::ZERO, SimDuration::from_minutes(5), &events);
+        let got = feed.pushes_between(SimTime::from_secs(300), SimTime::from_secs(600));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].pushed_at, SimTime::from_secs(600));
+    }
+
+    #[test]
+    fn first_reveal_finds_creation_push() {
+        let events = vec![
+            ev(10, 1, RegistryEventKind::Created),
+            ev(20, 1, RegistryEventKind::Removed),
+            ev(700, 2, RegistryEventKind::Created),
+        ];
+        let feed = RzuFeed::build(TldId(0), SimTime::ZERO, SimDuration::from_minutes(5), &events);
+        assert_eq!(feed.first_reveal(DomainId(1)), Some(SimTime::from_secs(300)));
+        assert_eq!(feed.first_reveal(DomainId(2)), Some(SimTime::from_secs(900)));
+        assert_eq!(feed.first_reveal(DomainId(9)), None);
+    }
+
+    #[test]
+    fn grid_point_math() {
+        let c = SimDuration::from_minutes(5);
+        assert_eq!(next_grid_point(SimTime::ZERO, c, SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(next_grid_point(SimTime::ZERO, c, SimTime::from_secs(1)), SimTime::from_secs(300));
+        assert_eq!(next_grid_point(SimTime::ZERO, c, SimTime::from_secs(300)), SimTime::from_secs(300));
+        assert_eq!(next_grid_point(SimTime::ZERO, c, SimTime::from_secs(301)), SimTime::from_secs(600));
+        // Anchored grids shift accordingly.
+        let anchor = SimTime::from_secs(100);
+        assert_eq!(next_grid_point(anchor, c, SimTime::from_secs(150)), SimTime::from_secs(400));
+    }
+
+    fn record(insert: u64, removed: Option<u64>) -> DomainRecord {
+        let t = SimTime::from_secs(insert);
+        DomainRecord {
+            id: DomainId(0),
+            name: DomainName::parse("x.com").unwrap(),
+            tld: TldId(0),
+            kind: DomainKind::Transient,
+            created: t,
+            zone_insert: t,
+            removed: removed.map(SimTime::from_secs),
+            registrar: RegistrarId(0),
+            dns_provider: ProviderId(0),
+            web_asn: 13_335,
+            cert_timing: CertTiming::Prompt,
+            cert_hint: None,
+            ns_change_at: None,
+            malicious: true,
+        }
+    }
+
+    #[test]
+    fn visibility_sweeps_with_cadence() {
+        // Lives 1000s..8000s. Visible at 5-min cadence (grid 1200),
+        // visible at 1-h cadence (grid 3600), invisible at daily cadence.
+        let r = record(1_000, Some(8_000));
+        let anchor = SimTime::ZERO;
+        assert_eq!(
+            first_visible_at_cadence(&r, anchor, SimDuration::from_minutes(5)),
+            Some(SimTime::from_secs(1_200))
+        );
+        assert_eq!(
+            first_visible_at_cadence(&r, anchor, SimDuration::from_hours(1)),
+            Some(SimTime::from_secs(3_600))
+        );
+        assert_eq!(first_visible_at_cadence(&r, anchor, SimDuration::from_days(1)), None);
+    }
+
+    #[test]
+    fn long_lived_always_visible() {
+        let r = record(1_000, None);
+        assert!(first_visible_at_cadence(&r, SimTime::ZERO, SimDuration::from_days(1)).is_some());
+    }
+
+    #[test]
+    fn shorter_cadence_never_hurts_latency() {
+        let r = record(12_345, Some(90_000));
+        let anchor = SimTime::ZERO;
+        let mut last: Option<SimTime> = None;
+        for cadence_secs in [60u64, 300, 900, 3_600, 21_600] {
+            let vis = first_visible_at_cadence(&r, anchor, SimDuration::from_secs(cadence_secs));
+            if let (Some(prev), Some(now)) = (last, vis) {
+                assert!(now >= prev, "latency should not improve with coarser cadence");
+            }
+            if vis.is_some() {
+                last = vis;
+            }
+        }
+    }
+}

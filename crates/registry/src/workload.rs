@@ -1,0 +1,654 @@
+//! The workload generator: builds a [`Universe`] calibrated to the paper.
+//!
+//! Generation is per-TLD, per-day, drawing daily counts from the monthly
+//! calibration targets (Tables 1 and 2) scaled by the experiment's volume
+//! factor. Five populations are produced:
+//!
+//! 1. **base** — registrations predating the window that remain delegated
+//!    throughout. They populate the day-0 snapshot, feed DZDB history, and
+//!    receive certificate *renewals* during the window (which the pipeline
+//!    must discard as already-in-zone).
+//! 2. **NRDs** — new registrations entering the zone during the window,
+//!    split into long-lived and early-removed; a `ct_coverage` fraction
+//!    receive prompt certificates.
+//! 3. **transients** — registrations placed strictly between two snapshot
+//!    captures of their TLD, with log-normal lifetimes (median ≈ 5.5 h,
+//!    matching Figure 2's ">50% dead within 6 h").
+//! 4. **re-registered look-alikes** — old registrations (deleted before
+//!    the window) whose names receive fresh certificates; RDAP exposes the
+//!    old creation date and Step 4 filters them.
+//! 5. **ghosts** — certificate-only entries issued on cached DV tokens;
+//!    97% correspond to a historical registration (the paper's DZDB
+//!    check), 3% never existed at all.
+
+use crate::hosting::HostingLandscape;
+use crate::namegen::{LabelGen, LabelStyle};
+use crate::registrar::RegistrarFleet;
+use crate::tld::{month_of_day, TldConfig, TldId, MONTH_STARTS};
+use crate::universe::{CertTiming, DomainId, DomainKind, DomainRecord, Universe};
+use crate::czds::SnapshotSchedule;
+use darkdns_sim::dist::LogNormal;
+use darkdns_sim::rng::RngPool;
+use darkdns_sim::time::{SimDuration, SimTime, SECS_PER_DAY, SECS_PER_HOUR};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Tunable generation parameters. The defaults are the paper calibration;
+/// tests and ablations override individual fields.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Volume scale relative to paper magnitude (1.0 = full 16M-NRD run).
+    pub scale: f64,
+    /// Observation window start (absolute sim time). Must leave at least
+    /// ~400 days of history before it.
+    pub window_start: SimTime,
+    /// Observation window length in days (the paper's is 92).
+    pub window_days: u64,
+    /// Fraction of NRDs deleted before the window end (§4.3: ~10%).
+    pub early_removed_frac: f64,
+    /// Composition of the CT-observed transient population.
+    pub transient_real_frac: f64,
+    pub transient_ghost_frac: f64,
+    pub transient_rereg_frac: f64,
+    /// Correction for transients whose certificate issuance races their
+    /// removal and loses (the CA cannot validate a dead domain).
+    pub transient_issuance_success: f64,
+    /// Transient lifetime distribution (seconds).
+    pub transient_lifetime_median: f64,
+    pub transient_lifetime_sigma: f64,
+    /// Fraction of NRDs whose NS infrastructure changes within 24 h
+    /// (§4.1: 2.5%).
+    pub ns_change_frac: f64,
+    /// Maliciousness by population.
+    pub malicious_longlived: f64,
+    pub malicious_early_removed: f64,
+    pub malicious_transient: f64,
+    /// Fraction of ghosts with a real historical registration (§4.2: 97%).
+    pub ghost_previously_registered: f64,
+    /// Base (pre-window) population per TLD, as a fraction of the TLD's
+    /// total window NRD volume.
+    pub base_population_frac: f64,
+    /// Probability a NRD eligible for a late-published snapshot gets a
+    /// delayed (1-3 day) certificate instead of a prompt one — the
+    /// mechanism behind Figure 1's long tail.
+    pub late_tail_frac: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            scale: 0.01,
+            window_start: SimTime::from_days(400),
+            window_days: 92,
+            early_removed_frac: 0.10,
+            transient_real_frac: 0.63,
+            transient_ghost_frac: 0.33,
+            transient_rereg_frac: 0.04,
+            transient_issuance_success: 0.85,
+            transient_lifetime_median: 4.8 * SECS_PER_HOUR as f64,
+            transient_lifetime_sigma: 1.05,
+            ns_change_frac: 0.025,
+            malicious_longlived: 0.02,
+            malicious_early_removed: 0.60,
+            malicious_transient: 0.95,
+            ghost_previously_registered: 0.97,
+            base_population_frac: 0.25,
+            late_tail_frac: 0.35,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    pub fn window_end(&self) -> SimTime {
+        self.window_start + SimDuration::from_days(self.window_days)
+    }
+
+    /// Scale a paper-magnitude monthly target into a per-day rate for the
+    /// given window-relative day, honouring month boundaries and window
+    /// truncation.
+    fn daily_rate(&self, monthly: &[f64; 3], day: u64) -> f64 {
+        let m = month_of_day(day.min(91));
+        let days_in_month = (MONTH_STARTS[m + 1] - MONTH_STARTS[m]) as f64;
+        monthly[m] * self.scale / days_in_month
+    }
+}
+
+/// Builds universes.
+pub struct UniverseBuilder<'a> {
+    pub tlds: &'a [TldConfig],
+    pub fleet: &'a RegistrarFleet,
+    pub hosting: &'a HostingLandscape,
+    pub schedule: &'a SnapshotSchedule,
+    pub config: WorkloadConfig,
+}
+
+impl<'a> UniverseBuilder<'a> {
+    /// Generate the full universe, deterministically from `pool`.
+    pub fn build(&self, pool: &RngPool) -> Universe {
+        let mut universe = Universe::new();
+        let mut labels = LabelGen::new();
+        for (tld_idx, tld) in self.tlds.iter().enumerate() {
+            let tld_id = TldId(tld_idx as u16);
+            let mut rng = pool.indexed_stream("workload.tld", tld_idx as u64);
+            self.generate_base(&mut universe, &mut labels, &mut rng, tld, tld_id);
+            for day in 0..self.config.window_days {
+                self.generate_day(&mut universe, &mut labels, &mut rng, tld, tld_id, day);
+            }
+        }
+        universe
+    }
+
+    fn sample_count(&self, rng: &mut SmallRng, rate: f64) -> u64 {
+        let base = rate.floor() as u64;
+        let frac = rate - rate.floor();
+        base + u64::from(rng.gen::<f64>() < frac)
+    }
+
+    fn generate_base(
+        &self,
+        universe: &mut Universe,
+        labels: &mut LabelGen,
+        rng: &mut SmallRng,
+        tld: &TldConfig,
+        tld_id: TldId,
+    ) {
+        let count =
+            (tld.total_zone_nrd() * self.config.scale * self.config.base_population_frac) as u64;
+        for _ in 0..count {
+            let created = self
+                .config
+                .window_start
+                .saturating_sub(SimDuration::from_secs(rng.gen_range(SECS_PER_DAY..380 * SECS_PER_DAY)));
+            let name = self.make_name(labels, rng, tld, LabelStyle::Benign);
+            let malicious = rng.gen::<f64>() < self.config.malicious_longlived;
+            // Half the base population renews a certificate inside the
+            // window, exercising the pipeline's discard path.
+            let renews = rng.gen::<f64>() < 0.5;
+            let cert_timing = if renews { CertTiming::Prompt } else { CertTiming::Never };
+            let cert_hint = renews.then(|| {
+                self.config.window_start
+                    + SimDuration::from_secs(
+                        rng.gen_range(0..self.config.window_days * SECS_PER_DAY),
+                    )
+            });
+            universe.push(DomainRecord {
+                id: DomainId(0),
+                name,
+                tld: tld_id,
+                kind: DomainKind::LongLived,
+                created,
+                zone_insert: created + SimDuration::from_secs(rng.gen_range(0..tld.zone_update_interval.as_secs().max(1))),
+                removed: None,
+                registrar: self.fleet.sample_benign(rng),
+                dns_provider: self.hosting.sample_dns(rng, false),
+                web_asn: self.hosting.sample_web(rng, false),
+                cert_timing,
+                cert_hint,
+                ns_change_at: None,
+                malicious,
+            });
+        }
+    }
+
+    fn generate_day(
+        &self,
+        universe: &mut Universe,
+        labels: &mut LabelGen,
+        rng: &mut SmallRng,
+        tld: &TldConfig,
+        tld_id: TldId,
+        day: u64,
+    ) {
+        let cfg = &self.config;
+        let day_start = cfg.window_start + SimDuration::from_days(day);
+
+        // --- Population 2: ordinary NRDs ---------------------------------
+        let nrd_count = self.sample_count(rng, cfg.daily_rate(&tld.monthly_zone_nrd, day));
+        for _ in 0..nrd_count {
+            let created = day_start + SimDuration::from_secs(rng.gen_range(0..SECS_PER_DAY));
+            let zone_insert = created
+                + SimDuration::from_secs(rng.gen_range(0..tld.zone_update_interval.as_secs().max(1)));
+            let early = rng.gen::<f64>() < cfg.early_removed_frac;
+            let (kind, removed, malicious) = if early {
+                // Lifetime 1.5-45 days, log-normal around ~8 days; always
+                // long enough to cross at least one snapshot capture.
+                let life = LogNormal::from_median(8.0 * SECS_PER_DAY as f64, 0.9)
+                    .sample(rng)
+                    .clamp(1.5 * SECS_PER_DAY as f64, 45.0 * SECS_PER_DAY as f64);
+                let removed = created + SimDuration::from_secs(life as u64);
+                if removed < cfg.window_end() {
+                    (DomainKind::EarlyRemoved, Some(removed), rng.gen::<f64>() < cfg.malicious_early_removed)
+                } else {
+                    (DomainKind::LongLived, None, rng.gen::<f64>() < cfg.malicious_longlived)
+                }
+            } else {
+                (DomainKind::LongLived, None, rng.gen::<f64>() < cfg.malicious_longlived)
+            };
+            let cert_timing = if rng.gen::<f64>() < tld.ct_coverage {
+                // Figure 1 long tail: if the snapshot that would first list
+                // this domain is multi-day late, the certificate may lag
+                // behind by 1-3 days and still be detected.
+                let first_snap = self.schedule.first_capture_at_or_after(tld_id, zone_insert);
+                let late = first_snap.map_or(false, |d| self.schedule.is_late(tld_id, d));
+                if late && rng.gen::<f64>() < cfg.late_tail_frac {
+                    CertTiming::LateTail
+                } else {
+                    CertTiming::Prompt
+                }
+            } else {
+                CertTiming::Never
+            };
+            let style = if malicious {
+                if rng.gen::<f64>() < 0.5 { LabelStyle::PhishCompound } else { LabelStyle::RandomAlnum }
+            } else {
+                LabelStyle::Benign
+            };
+            let ns_change_at = (rng.gen::<f64>() < cfg.ns_change_frac)
+                .then(|| created + SimDuration::from_secs(rng.gen_range(600..SECS_PER_DAY)));
+            universe.push(DomainRecord {
+                id: DomainId(0),
+                name: self.make_name(labels, rng, tld, style),
+                tld: tld_id,
+                kind,
+                created,
+                zone_insert,
+                removed,
+                registrar: if malicious {
+                    self.fleet.sample_transient(rng)
+                } else {
+                    self.fleet.sample_benign(rng)
+                },
+                dns_provider: self.hosting.sample_dns(rng, malicious),
+                web_asn: self.hosting.sample_web(rng, malicious),
+                cert_timing,
+                cert_hint: None,
+                ns_change_at,
+                malicious,
+            });
+        }
+
+        // --- Ground-truth ccTLD mode: emergent short-deleted population --
+        if let Some(monthly) = &tld.monthly_short_deleted {
+            // Unscaled (paper magnitude): divide by days-in-month only.
+            let m = crate::tld::month_of_day(day.min(91));
+            let days_in_month = (MONTH_STARTS[m + 1] - MONTH_STARTS[m]) as f64;
+            let rate = monthly[m] / days_in_month;
+            let count = self.sample_count(rng, rate);
+            for _ in 0..count {
+                self.generate_short_deleted(universe, labels, rng, tld, tld_id, day);
+            }
+            return;
+        }
+
+        // --- Populations 3-5: the transient complex ----------------------
+        let detected_rate = cfg.daily_rate(&tld.monthly_transient_detected, day);
+        let real_rate = detected_rate * cfg.transient_real_frac
+            / (tld.transient_ct_coverage * cfg.transient_issuance_success);
+        let ghost_rate = detected_rate * cfg.transient_ghost_frac;
+        let rereg_rate = detected_rate * cfg.transient_rereg_frac;
+
+        let real_count = self.sample_count(rng, real_rate);
+        for _ in 0..real_count {
+            self.generate_transient(universe, labels, rng, tld, tld_id, day);
+        }
+
+        let ghost_count = self.sample_count(rng, ghost_rate);
+        for _ in 0..ghost_count {
+            let previously = rng.gen::<f64>() < cfg.ghost_previously_registered;
+            // A historical registration 30-390 days back, dead before the
+            // window; the DV token from that era is still reusable.
+            let created = cfg
+                .window_start
+                .saturating_sub(SimDuration::from_secs(rng.gen_range(30 * SECS_PER_DAY..390 * SECS_PER_DAY)));
+            let removed = created + SimDuration::from_secs(rng.gen_range(SECS_PER_DAY..25 * SECS_PER_DAY));
+            universe.push(DomainRecord {
+                id: DomainId(0),
+                name: self.make_name(labels, rng, tld, LabelStyle::RandomAlnum),
+                tld: tld_id,
+                kind: DomainKind::Ghost { previously_registered: previously },
+                created,
+                zone_insert: created,
+                removed: Some(removed.min(cfg.window_start)),
+                registrar: self.fleet.sample_transient(rng),
+                dns_provider: self.hosting.sample_dns(rng, true),
+                web_asn: self.hosting.sample_web(rng, true),
+                cert_timing: CertTiming::Prompt,
+                // The reissued (DV-token-reuse) certificate appears on the
+                // generation day, not at the historical registration.
+                cert_hint: Some(day_start + SimDuration::from_secs(rng.gen_range(0..SECS_PER_DAY))),
+                ns_change_at: None,
+                malicious: rng.gen::<f64>() < 0.5,
+            });
+        }
+
+        let rereg_count = self.sample_count(rng, rereg_rate);
+        for _ in 0..rereg_count {
+            let created = cfg
+                .window_start
+                .saturating_sub(SimDuration::from_secs(rng.gen_range(100 * SECS_PER_DAY..390 * SECS_PER_DAY)));
+            let removed = created + SimDuration::from_secs(rng.gen_range(10 * SECS_PER_DAY..90 * SECS_PER_DAY));
+            universe.push(DomainRecord {
+                id: DomainId(0),
+                name: self.make_name(labels, rng, tld, LabelStyle::Benign),
+                tld: tld_id,
+                kind: DomainKind::ReRegistered,
+                created,
+                zone_insert: created,
+                removed: Some(removed.min(cfg.window_start)),
+                registrar: self.fleet.sample_benign(rng),
+                dns_provider: self.hosting.sample_dns(rng, false),
+                web_asn: self.hosting.sample_web(rng, false),
+                cert_timing: CertTiming::Prompt,
+                cert_hint: Some(day_start + SimDuration::from_secs(rng.gen_range(0..SECS_PER_DAY))),
+                ns_change_at: None,
+                malicious: false,
+            });
+        }
+    }
+
+    /// One registry-recorded sub-24-hour deletion for a ground-truth
+    /// ccTLD. Unlike [`Self::generate_transient`], transient status is
+    /// *emergent*: the registration is placed uniformly in the day with a
+    /// sub-24 h lifetime, and whether it crosses a snapshot capture (and
+    /// is therefore merely "early removed" rather than transient) falls
+    /// out of the timing — matching how the `.nl` registry's 714
+    /// deletions split into 334 transients and 380 captured ones.
+    fn generate_short_deleted(
+        &self,
+        universe: &mut Universe,
+        labels: &mut LabelGen,
+        rng: &mut SmallRng,
+        tld: &TldConfig,
+        tld_id: TldId,
+        day: u64,
+    ) {
+        let cfg = &self.config;
+        let day_start = cfg.window_start + SimDuration::from_days(day);
+        let created = day_start + SimDuration::from_secs(rng.gen_range(0..SECS_PER_DAY));
+        let lifetime = LogNormal::from_median(10.0 * SECS_PER_HOUR as f64, 0.8)
+            .sample(rng)
+            .clamp(3_600.0, 23.5 * SECS_PER_HOUR as f64) as u64;
+        let zone_insert = created
+            + SimDuration::from_secs(rng.gen_range(0..tld.zone_update_interval.as_secs().max(1)).min(lifetime / 2));
+        let removed = created + SimDuration::from_secs(lifetime);
+        // Emergent classification: does [zone_insert, removed) cross a
+        // snapshot capture?
+        let captured = match self.schedule.first_capture_at_or_after(tld_id, zone_insert) {
+            Some(d) => self.schedule.capture_time(tld_id, d) < removed,
+            None => false,
+        };
+        let kind = if captured { DomainKind::EarlyRemoved } else { DomainKind::Transient };
+        let cert_timing = if rng.gen::<f64>() < tld.transient_ct_coverage {
+            CertTiming::Prompt
+        } else {
+            CertTiming::Never
+        };
+        let malicious = rng.gen::<f64>() < 0.7;
+        universe.push(DomainRecord {
+            id: DomainId(0),
+            name: self.make_name(labels, rng, tld, if malicious { LabelStyle::RandomAlnum } else { LabelStyle::Benign }),
+            tld: tld_id,
+            kind,
+            created,
+            zone_insert,
+            removed: Some(removed),
+            registrar: self.fleet.sample_transient(rng),
+            dns_provider: self.hosting.sample_dns(rng, malicious),
+            web_asn: self.hosting.sample_web(rng, malicious),
+            cert_timing,
+            cert_hint: None,
+            ns_change_at: None,
+            malicious,
+        });
+    }
+
+    /// One real transient registration, guaranteed to fall strictly
+    /// between two snapshot captures of its TLD.
+    fn generate_transient(
+        &self,
+        universe: &mut Universe,
+        labels: &mut LabelGen,
+        rng: &mut SmallRng,
+        tld: &TldConfig,
+        tld_id: TldId,
+        day: u64,
+    ) {
+        let cfg = &self.config;
+        let lifetime = LogNormal::new(
+            cfg.transient_lifetime_median.ln(),
+            cfg.transient_lifetime_sigma,
+        )
+        .sample(rng)
+        .clamp(600.0, 23.0 * SECS_PER_HOUR as f64) as u64;
+        // Place creation so that [created, created+lifetime) lies strictly
+        // between the captures for `day` and `day + 1`.
+        let cap_lo = self.schedule.capture_time(tld_id, day);
+        let cap_hi = self.schedule.capture_time(tld_id, day + 1);
+        let span = cap_hi.saturating_since(cap_lo).as_secs();
+        let margin = tld.zone_update_interval.as_secs() + 60;
+        let latest_start = span.saturating_sub(lifetime + margin).max(1);
+        let created = cap_lo + SimDuration::from_secs(rng.gen_range(1..=latest_start));
+        let insert_delay = rng.gen_range(0..tld.zone_update_interval.as_secs().max(1)).min(lifetime / 2);
+        let zone_insert = created + SimDuration::from_secs(insert_delay);
+        let removed = created + SimDuration::from_secs(lifetime);
+        let cert_timing = if rng.gen::<f64>() < tld.transient_ct_coverage {
+            CertTiming::Prompt
+        } else {
+            CertTiming::Never
+        };
+        let malicious = rng.gen::<f64>() < cfg.malicious_transient;
+        let style = if malicious {
+            if rng.gen::<f64>() < 0.4 { LabelStyle::PhishCompound } else { LabelStyle::BulkSeries }
+        } else {
+            LabelStyle::Benign
+        };
+        universe.push(DomainRecord {
+            id: DomainId(0),
+            name: self.make_name(labels, rng, tld, style),
+            tld: tld_id,
+            kind: DomainKind::Transient,
+            created,
+            zone_insert,
+            removed: Some(removed),
+            registrar: self.fleet.sample_transient(rng),
+            dns_provider: self.hosting.sample_dns(rng, true),
+            web_asn: self.hosting.sample_web(rng, true),
+            cert_timing,
+            cert_hint: None,
+            ns_change_at: None,
+            malicious,
+        });
+    }
+
+    fn make_name(
+        &self,
+        labels: &mut LabelGen,
+        rng: &mut SmallRng,
+        tld: &TldConfig,
+        style: LabelStyle,
+    ) -> darkdns_dns::DomainName {
+        let label = labels.label(rng, style);
+        darkdns_dns::DomainName::parse(&format!("{label}.{}", tld.name))
+            .expect("generated labels are LDH-valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::czds::SnapshotOracle;
+    use crate::tld::paper_gtlds;
+
+    fn small_setup() -> (Vec<TldConfig>, RegistrarFleet, HostingLandscape, SnapshotSchedule, WorkloadConfig) {
+        let tlds = paper_gtlds();
+        let fleet = RegistrarFleet::paper_fleet();
+        let hosting = HostingLandscape::paper_landscape();
+        let config = WorkloadConfig {
+            scale: 0.01,
+            window_days: 10,
+            base_population_frac: 0.02,
+            ..WorkloadConfig::default()
+        };
+        let schedule =
+            SnapshotSchedule::new(&RngPool::new(11), &tlds, config.window_start, config.window_days);
+        (tlds, fleet, hosting, schedule, config)
+    }
+
+    fn build(seed: u64) -> (Universe, SnapshotSchedule, Vec<TldConfig>, WorkloadConfig) {
+        let (tlds, fleet, hosting, schedule, config) = small_setup();
+        let builder = UniverseBuilder {
+            tlds: &tlds,
+            fleet: &fleet,
+            hosting: &hosting,
+            schedule: &schedule,
+            config: config.clone(),
+        };
+        let universe = builder.build(&RngPool::new(seed));
+        (universe, schedule, tlds, config)
+    }
+
+    #[test]
+    fn builds_nonempty_deterministic_universe() {
+        let (u1, _, _, _) = build(42);
+        let (u2, _, _, _) = build(42);
+        assert!(u1.len() > 1_000, "universe too small: {}", u1.len());
+        assert_eq!(u1.len(), u2.len());
+        for (a, b) in u1.iter().zip(u2.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.created, b.created);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (u1, _, _, _) = build(1);
+        let (u2, _, _, _) = build(2);
+        let same = u1.iter().zip(u2.iter()).take(100).filter(|(a, b)| a.created == b.created).count();
+        assert!(same < 100, "seeds produced identical creation times");
+    }
+
+    #[test]
+    fn transients_fall_between_snapshots() {
+        let (universe, schedule, _, _) = build(7);
+        let oracle = SnapshotOracle::new(&schedule);
+        let mut checked = 0;
+        for r in universe.iter().filter(|r| r.kind == DomainKind::Transient) {
+            assert!(
+                !oracle.appeared_in_any(r),
+                "transient {} leaked into a snapshot (insert {}, removed {:?})",
+                r.name,
+                r.zone_insert,
+                r.removed
+            );
+            checked += 1;
+        }
+        assert!(checked > 10, "too few transients generated: {checked}");
+    }
+
+    #[test]
+    fn early_removed_domains_do_appear() {
+        let (universe, schedule, _, _) = build(7);
+        let oracle = SnapshotOracle::new(&schedule);
+        let mut checked = 0;
+        for r in universe.iter().filter(|r| r.kind == DomainKind::EarlyRemoved) {
+            assert!(oracle.appeared_in_any(r), "early-removed {} missed all snapshots", r.name);
+            checked += 1;
+        }
+        assert!(checked > 10, "too few early-removed: {checked}");
+    }
+
+    #[test]
+    fn transient_lifetimes_match_figure2_shape() {
+        let (universe, _, _, _) = build(13);
+        let lifetimes: Vec<f64> = universe
+            .iter()
+            .filter(|r| r.kind == DomainKind::Transient)
+            .filter_map(|r| r.lifetime().map(|d| d.as_secs() as f64))
+            .collect();
+        assert!(lifetimes.len() > 50);
+        let under_6h = lifetimes.iter().filter(|&&l| l < 6.0 * 3600.0).count() as f64
+            / lifetimes.len() as f64;
+        // Paper: over 50% die within 6 hours. Allow a generous band.
+        assert!(under_6h > 0.40 && under_6h < 0.80, "under-6h fraction {under_6h}");
+    }
+
+    #[test]
+    fn zone_insert_respects_cadence() {
+        let (universe, _, tlds, _) = build(19);
+        for r in universe.iter().take(5_000) {
+            if r.kind.has_registration() {
+                let cadence = tlds[r.tld.0 as usize].zone_update_interval.as_secs();
+                let delay = r.zone_insert.saturating_since(r.created).as_secs();
+                assert!(delay <= cadence, "{}: insert delay {delay} > cadence {cadence}", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_composition() {
+        let (universe, _, _, _) = build(23);
+        let ghosts: Vec<_> = universe
+            .iter()
+            .filter(|r| matches!(r.kind, DomainKind::Ghost { .. }))
+            .collect();
+        assert!(ghosts.len() > 10, "too few ghosts: {}", ghosts.len());
+        let with_history = ghosts
+            .iter()
+            .filter(|r| matches!(r.kind, DomainKind::Ghost { previously_registered: true }))
+            .count() as f64
+            / ghosts.len() as f64;
+        assert!(with_history > 0.90, "ghost history fraction {with_history}");
+        // Ghost "registrations" are strictly pre-window.
+        for g in &ghosts {
+            assert!(g.removed.unwrap() <= SimTime::from_days(400));
+        }
+    }
+
+    #[test]
+    fn ns_changes_are_rare_and_early() {
+        let (universe, _, _, _) = build(29);
+        let nrds: Vec<_> = universe
+            .iter()
+            .filter(|r| {
+                matches!(r.kind, DomainKind::LongLived | DomainKind::EarlyRemoved)
+                    && r.created >= SimTime::from_days(400)
+            })
+            .collect();
+        let changed = nrds.iter().filter(|r| r.ns_change_at.is_some()).count() as f64
+            / nrds.len() as f64;
+        assert!(changed > 0.01 && changed < 0.05, "NS-change fraction {changed}");
+        for r in nrds.iter().filter(|r| r.ns_change_at.is_some()) {
+            let delta = r.ns_change_at.unwrap().saturating_since(r.created);
+            assert!(delta.as_secs() < SECS_PER_DAY);
+        }
+    }
+
+    #[test]
+    fn nrd_volume_tracks_calibration() {
+        let (universe, _, tlds, config) = build(31);
+        // Expected window NRDs for .com at this scale: 10 days of Nov rate.
+        let com = &tlds[0];
+        let expected = com.monthly_zone_nrd[0] * config.scale / 30.0 * config.window_days as f64;
+        let got = universe
+            .iter()
+            .filter(|r| {
+                r.tld == TldId(0)
+                    && r.created >= config.window_start
+                    && matches!(r.kind, DomainKind::LongLived | DomainKind::EarlyRemoved)
+            })
+            .count() as f64;
+        let ratio = got / expected;
+        assert!((0.85..1.15).contains(&ratio), "volume ratio {ratio}");
+    }
+
+    #[test]
+    fn malicious_skews_to_transients() {
+        let (universe, _, _, _) = build(37);
+        let frac = |kind: DomainKind| {
+            let all: Vec<_> = universe.iter().filter(|r| r.kind == kind).collect();
+            all.iter().filter(|r| r.malicious).count() as f64 / all.len().max(1) as f64
+        };
+        assert!(frac(DomainKind::Transient) > 0.85);
+        assert!(frac(DomainKind::LongLived) < 0.10);
+    }
+}

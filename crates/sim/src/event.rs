@@ -1,0 +1,193 @@
+//! Time-ordered event queue with deterministic tie-breaking.
+//!
+//! Events scheduled for the same instant are delivered in insertion order
+//! (FIFO). This matters for reproducibility: the measurement scheduler in
+//! `darkdns-measure` routinely schedules thousands of probes for the same
+//! second, and a heap without a tie-breaker would deliver them in an
+//! allocation-dependent order.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Reversed: BinaryHeap is a max-heap and we want the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event queue. Popping always yields the earliest pending event;
+/// ties are broken by insertion order.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (the simulation
+    /// clock). Starts at [`SimTime::ZERO`].
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock: scheduling into the
+    /// past would silently reorder history, which is always a bug in the
+    /// caller.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} before current sim clock {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| {
+            debug_assert!(e.at >= self.now);
+            self.now = e.at;
+            (e.at, e.event)
+        })
+    }
+
+    /// Pop the earliest event only if it is scheduled at or before `limit`.
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(e) if e.at <= limit => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drain all events in time order into a vector. Useful in tests and in
+    /// phase-based experiment drivers that materialise a whole feed.
+    pub fn drain_ordered(mut self) -> Vec<(SimTime, E)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(item) = self.pop() {
+            out.push(item);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(30), "c");
+        q.schedule(SimTime::from_secs(10), "a");
+        q.schedule(SimTime::from_secs(20), "b");
+        let order: Vec<_> = q.drain_ordered().into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = q.drain_ordered().into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current sim clock")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    fn pop_until_respects_limit() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "early");
+        q.schedule(SimTime::from_secs(100), "late");
+        assert_eq!(q.pop_until(SimTime::from_secs(50)).map(|(_, e)| e), Some("early"));
+        assert_eq!(q.pop_until(SimTime::from_secs(50)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1u32);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (SimTime::from_secs(1), 1));
+        // Re-scheduling relative to the advanced clock is fine.
+        q.schedule(q.now() + SimDuration::from_secs(1), 2);
+        q.schedule(q.now() + SimDuration::from_secs(1), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,230 @@
+//! Lightweight counters and histograms for experiment bookkeeping.
+//!
+//! These are plain single-threaded value types (the simulation kernel is
+//! synchronous); the streaming pipeline in `darkdns-core` wraps them in
+//! locks where it needs shared access.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// This counter as a fraction of `denom`, or `None` when the denominator
+    /// is zero. Keeping the division here avoids scattering NaN checks over
+    /// report code.
+    pub fn fraction_of(&self, denom: u64) -> Option<f64> {
+        if denom == 0 {
+            None
+        } else {
+            Some(self.0 as f64 / denom as f64)
+        }
+    }
+}
+
+/// A fixed-bucket histogram keyed by `u64` upper bucket edges, with an
+/// overflow bucket. Bucket `e` counts samples `x` with `x <= e`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// # Panics
+    /// Panics if `edges` is empty or not strictly increasing.
+    pub fn new(edges: Vec<u64>) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(edges.windows(2).all(|w| w[1] > w[0]), "edges must be strictly increasing");
+        let n = edges.len();
+        Histogram { edges, counts: vec![0; n], overflow: 0, total: 0 }
+    }
+
+    pub fn record(&mut self, x: u64) {
+        self.total += 1;
+        match self.edges.partition_point(|&e| e < x) {
+            i if i < self.edges.len() => self.counts[i] += 1,
+            _ => self.overflow += 1,
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count in the bucket whose upper edge is `edge` (exact match).
+    pub fn bucket(&self, edge: u64) -> Option<u64> {
+        self.edges.iter().position(|&e| e == edge).map(|i| self.counts[i])
+    }
+
+    /// Cumulative fraction of samples at or below each edge.
+    pub fn cumulative_fractions(&self) -> Vec<(u64, f64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.edges.len());
+        for (i, &e) in self.edges.iter().enumerate() {
+            acc += self.counts[i];
+            let frac = if self.total == 0 { 0.0 } else { acc as f64 / self.total as f64 };
+            out.push((e, frac));
+        }
+        out
+    }
+}
+
+/// A counter keyed by string label — used for per-TLD / per-registrar /
+/// per-provider tallies that become the paper's tables. `BTreeMap` keeps
+/// iteration (and therefore report output) deterministic.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LabelledCounter {
+    counts: BTreeMap<String, u64>,
+}
+
+impl LabelledCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn incr(&mut self, label: &str) {
+        self.add(label, 1);
+    }
+
+    pub fn add(&mut self, label: &str, n: u64) {
+        *self.counts.entry(label.to_owned()).or_insert(0) += n;
+    }
+
+    pub fn get(&self, label: &str) -> u64 {
+        self.counts.get(label).copied().unwrap_or(0)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Labels sorted by descending count (ties broken by label for
+    /// determinism) — the "Top N" ranking used by Tables 1-5.
+    pub fn top(&self, n: usize) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Sum of counts not in the top `n` — the "Others" row of the tables.
+    pub fn others_beyond_top(&self, n: usize) -> u64 {
+        let top_sum: u64 = self.top(n).iter().map(|(_, c)| c).sum();
+        self.total() - top_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.fraction_of(10), Some(0.5));
+        assert_eq!(c.fraction_of(0), None);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(vec![10, 20, 30]);
+        for x in [5, 10, 11, 20, 25, 31, 100] {
+            h.record(x);
+        }
+        assert_eq!(h.bucket(10), Some(2)); // 5, 10
+        assert_eq!(h.bucket(20), Some(2)); // 11, 20
+        assert_eq!(h.bucket(30), Some(1)); // 25
+        assert_eq!(h.overflow(), 2); // 31, 100
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_cumulative() {
+        let mut h = Histogram::new(vec![1, 2, 4]);
+        for x in [1, 2, 2, 3, 4] {
+            h.record(x);
+        }
+        let cum = h.cumulative_fractions();
+        assert_eq!(cum[0], (1, 0.2));
+        assert_eq!(cum[1], (2, 0.6));
+        assert_eq!(cum[2], (4, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_edges() {
+        Histogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn labelled_counter_top_and_others() {
+        let mut lc = LabelledCounter::new();
+        lc.add("com", 100);
+        lc.add("net", 50);
+        lc.add("org", 25);
+        lc.add("xyz", 10);
+        let top2 = lc.top(2);
+        assert_eq!(top2, vec![("com".into(), 100), ("net".into(), 50)]);
+        assert_eq!(lc.others_beyond_top(2), 35);
+        assert_eq!(lc.total(), 185);
+        assert_eq!(lc.get("missing"), 0);
+    }
+
+    #[test]
+    fn labelled_counter_tie_break_is_deterministic() {
+        let mut lc = LabelledCounter::new();
+        lc.add("b", 5);
+        lc.add("a", 5);
+        lc.add("c", 5);
+        assert_eq!(
+            lc.top(3),
+            vec![("a".into(), 5), ("b".into(), 5), ("c".into(), 5)]
+        );
+    }
+
+    #[test]
+    fn empty_histogram_cumulative_is_zero() {
+        let h = Histogram::new(vec![1, 2]);
+        assert_eq!(h.cumulative_fractions(), vec![(1, 0.0), (2, 0.0)]);
+    }
+}

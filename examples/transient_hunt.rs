@@ -1,0 +1,82 @@
+//! Transient-domain hunting over the public NRD feed.
+//!
+//! The paper's motivating scenario: a security researcher subscribes to
+//! the released "zonestream" feed of newly registered domains and builds
+//! abuse signals *before* blocklists catch up. This example subscribes to
+//! the feed, applies two cheap heuristics the paper's data motivates —
+//! phishing-style labels (keyword-hyphen-digit compounds) and
+//! bulk-series names — and then scores its verdicts against the
+//! simulation's ground truth.
+//!
+//! ```sh
+//! cargo run --release --example transient_hunt [seed]
+//! ```
+
+use darkdns::core::{Experiment, ExperimentConfig};
+
+/// Label heuristics over the registrable domain's first label.
+fn looks_suspicious(label: &str) -> bool {
+    const KEYWORDS: [&str; 10] =
+        ["secure", "login", "verify", "account", "wallet", "signin", "billing", "auth", "bank", "pay"];
+    let has_keyword = KEYWORDS.iter().any(|k| label.contains(k));
+    let has_digit = label.bytes().any(|b| b.is_ascii_digit());
+    let has_hyphen = label.contains('-');
+    (has_keyword && (has_digit || has_hyphen))
+        || (has_digit && has_hyphen && label.len() >= 10)
+}
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let experiment = Experiment::new(ExperimentConfig::small(seed));
+    // Subscribe to the public feed before the pipeline runs.
+    let feed = experiment.nrd_feed.subscribe();
+    let arts = experiment.run_with_artifacts();
+
+    let mut flagged = Vec::new();
+    for record in feed.drain() {
+        let label = record.domain.labels()[0].to_owned();
+        if looks_suspicious(&label) {
+            flagged.push(record);
+        }
+    }
+
+    // Score against ground truth (the analyst cannot do this; we can).
+    let mut true_positive = 0u64;
+    for f in &flagged {
+        if let Some(r) = arts.universe.lookup(&f.domain) {
+            if r.malicious {
+                true_positive += 1;
+            }
+        }
+    }
+    let malicious_candidates = arts
+        .classified
+        .iter()
+        .filter(|c| arts.universe.get(c.validated.candidate.record).malicious)
+        .count() as u64;
+
+    println!("transient hunt (seed {seed})");
+    println!("feed records received:        {}", arts.classified.len());
+    println!("flagged by label heuristics:  {}", flagged.len());
+    println!(
+        "precision vs ground truth:    {:.1}%",
+        100.0 * true_positive as f64 / flagged.len().max(1) as f64
+    );
+    println!(
+        "recall over malicious NRDs:   {:.1}%",
+        100.0 * true_positive as f64 / malicious_candidates.max(1) as f64
+    );
+    println!("\nsample of flagged domains:");
+    for f in flagged.iter().take(10) {
+        println!(
+            "  {:<40} detected {}  registrar {}",
+            f.domain.as_str(),
+            f.detected_at,
+            f.registrar.as_deref().unwrap_or("(RDAP failed)")
+        );
+    }
+    println!(
+        "\nthe point: these names were visible minutes after registration — hours to months\n\
+         before the blocklists in §4.3 would have listed them."
+    );
+}

@@ -1,0 +1,167 @@
+//! End-to-end integration tests spanning every crate: run the scaled-down
+//! experiment and check the cross-crate invariants that make the paper's
+//! numbers meaningful.
+
+use darkdns::core::transient::TransientStatus;
+use darkdns::core::{Experiment, ExperimentConfig};
+use darkdns::registry::czds::SnapshotOracle;
+use darkdns::registry::universe::DomainKind;
+
+fn run(seed: u64) -> darkdns::core::experiment::RunArtifacts {
+    Experiment::new(ExperimentConfig::small(seed)).run_with_artifacts()
+}
+
+#[test]
+fn table1_totals_are_internally_consistent() {
+    let arts = run(101);
+    let r = &arts.report;
+    let sum: u64 = r.table1.iter().map(|row| row.total).sum();
+    assert_eq!(sum, r.nrd_total);
+    let zone_sum: u64 = r.table1.iter().map(|row| row.zone_nrd).sum();
+    assert_eq!(zone_sum, r.zone_nrd_total);
+    for row in &r.table1 {
+        assert_eq!(row.total, row.monthly.iter().sum::<u64>(), "row {} months", row.tld);
+        assert!(row.coverage_pct <= 100.0, "row {} coverage", row.tld);
+    }
+}
+
+#[test]
+fn table2_total_matches_transient_funnel() {
+    let arts = run(102);
+    let r = &arts.report;
+    let t2_sum: u64 = r.table2.iter().map(|row| row.total).sum();
+    // Table 2 counts gTLD candidates; the funnel also includes the ccTLD.
+    assert!(t2_sum <= r.transients.candidates);
+    assert_eq!(
+        r.transients.candidates,
+        r.transients.rdap_failed + r.transients.misclassified + r.transients.confirmed
+    );
+}
+
+#[test]
+fn every_confirmed_transient_is_ground_truth_consistent() {
+    let arts = run(103);
+    let oracle = SnapshotOracle::new(&arts.schedule);
+    for c in &arts.classified {
+        let record = arts.universe.get(c.validated.candidate.record);
+        match c.status {
+            TransientStatus::Confirmed => {
+                // Never in any snapshot, RDAP succeeded, created in-window.
+                assert!(!oracle.appeared_in_any(record), "{} leaked", record.name);
+                assert!(c.validated.rdap.is_ok());
+                assert!(record.created >= arts.schedule.window_start());
+                // Confirmed transients are real registrations.
+                assert!(record.kind.has_registration());
+            }
+            TransientStatus::AppearedInZone => {
+                assert!(oracle.appeared_in_any(record), "{} misfiled", record.name);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn ghosts_never_reach_confirmed_status() {
+    let arts = run(104);
+    for c in &arts.classified {
+        let record = arts.universe.get(c.validated.candidate.record);
+        if matches!(record.kind, DomainKind::Ghost { .. }) {
+            assert_eq!(
+                c.status,
+                TransientStatus::CandidateRdapFailed,
+                "ghost {} escaped the RDAP filter",
+                record.name
+            );
+        }
+        if record.kind == DomainKind::ReRegistered && c.validated.rdap.is_ok() {
+            assert_eq!(
+                c.status,
+                TransientStatus::CandidateMisclassified,
+                "re-registered {} not filtered",
+                record.name
+            );
+        }
+    }
+}
+
+#[test]
+fn detection_latency_matches_ground_truth_creation() {
+    // The pipeline's latency (CT time − RDAP created) must equal the
+    // ground-truth (CT time − record.created) whenever RDAP succeeded:
+    // the RDAP substrate must not invent timestamps.
+    let arts = run(105);
+    for c in &arts.classified {
+        if let Ok(resp) = &c.validated.rdap {
+            let record = arts.universe.get(c.validated.candidate.record);
+            assert_eq!(resp.created, record.created, "RDAP timestamp drift for {}", record.name);
+        }
+    }
+}
+
+#[test]
+fn monitor_reports_bracket_true_death_times() {
+    let arts = run(106);
+    for (c, m) in arts.classified.iter().zip(&arts.monitor_reports) {
+        let record = arts.universe.get(c.validated.candidate.record);
+        if let (Some(removed), Some(last_ok)) = (record.removed, m.last_ns_ok) {
+            assert!(last_ok < removed, "{}: probe claims life after removal", record.name);
+            if let Some(first_nx) = m.first_nxdomain {
+                assert!(first_nx >= removed, "{}: NXDOMAIN before removal", record.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn lifetimes_underestimate_but_track_truth() {
+    // Estimated lifetime (last good probe − creation) is a lower bound of
+    // the true lifetime, within one probe interval + detection latency.
+    let arts = run(107);
+    let mut checked = 0;
+    for c in &arts.classified {
+        if let Some(est) = c.estimated_lifetime {
+            let record = arts.universe.get(c.validated.candidate.record);
+            let truth = record.lifetime().expect("transients have lifetimes");
+            assert!(est <= truth, "{}: estimate exceeds truth", record.name);
+            checked += 1;
+        }
+    }
+    assert!(checked > 10, "too few lifetime estimates: {checked}");
+}
+
+#[test]
+fn cctld_recall_shows_the_visibility_gap() {
+    let arts = run(108);
+    let c = arts.report.cctld.as_ref().expect("nl configured");
+    // Ground truth exceeds detections by a wide margin (paper: 3.4×).
+    assert!(c.never_in_snapshot > 0);
+    assert!(c.detected_by_pipeline < c.never_in_snapshot);
+    assert!(
+        c.recall_pct < 60.0,
+        "ccTLD recall {:.1}% too high — the blind spot should persist",
+        c.recall_pct
+    );
+    assert!(c.deleted_under_24h >= c.never_in_snapshot);
+}
+
+#[test]
+fn rzu_beats_daily_snapshots_on_the_same_universe() {
+    use darkdns::core::rzu_ablation::{sweep, DEFAULT_CADENCES_SECS};
+    let arts = run(109);
+    let rows = sweep(&arts.universe, arts.schedule.window_start(), &DEFAULT_CADENCES_SECS);
+    let five_min = rows.iter().find(|r| r.cadence_secs == 300).unwrap();
+    let daily = rows.iter().find(|r| r.cadence_secs == 86_400).unwrap();
+    assert!(five_min.transient_capture_pct > 90.0);
+    assert!(daily.transient_capture_pct < 25.0);
+    assert!(five_min.median_reveal_latency_secs < daily.median_reveal_latency_secs);
+}
+
+#[test]
+fn reports_are_reproducible_and_seed_sensitive() {
+    let a = run(110).report;
+    let b = run(110).report;
+    assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    let c = run(111).report;
+    assert_ne!(a.nrd_total, c.nrd_total);
+}

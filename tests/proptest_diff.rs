@@ -1,0 +1,189 @@
+//! Property-based tests for the zone-diff engines, the incremental
+//! journal, the RZU grid, the CDF type and the token bucket.
+
+use darkdns::dns::diff::{
+    HashPartitionedDiff, JournalEvent, SortedMergeDiff, ZoneDiffEngine, ZoneJournal,
+};
+use darkdns::dns::{DomainName, Serial, Zone, ZoneSnapshot};
+use darkdns::dns::zone::Delegation;
+use darkdns::rdap::TokenBucket;
+use darkdns::sim::cdf::Cdf;
+use darkdns::sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A random zone state: map from domain index to NS choice (0..3).
+fn zone_state_strategy() -> impl Strategy<Value = BTreeMap<u16, u8>> {
+    prop::collection::btree_map(0u16..200, 0u8..3, 0..60)
+}
+
+fn ns_host(choice: u8) -> DomainName {
+    DomainName::parse(&format!("ns{choice}.provider.net")).unwrap()
+}
+
+fn snapshot_of(state: &BTreeMap<u16, u8>, serial: u32) -> ZoneSnapshot {
+    let entries = state
+        .iter()
+        .map(|(i, ns)| (DomainName::parse(&format!("d{i:04}.com")).unwrap(), vec![ns_host(*ns)]))
+        .collect();
+    ZoneSnapshot::from_entries(
+        DomainName::parse("com").unwrap(),
+        Serial::new(serial),
+        SimTime::from_secs(u64::from(serial)),
+        entries,
+    )
+}
+
+proptest! {
+    #[test]
+    fn diff_engines_agree(old in zone_state_strategy(), new in zone_state_strategy()) {
+        let a = snapshot_of(&old, 1);
+        let b = snapshot_of(&new, 2);
+        let merge = SortedMergeDiff.diff(&a, &b);
+        for partitions in [1usize, 4, 64] {
+            let hashed = HashPartitionedDiff::new(partitions).diff(&a, &b);
+            prop_assert_eq!(&hashed, &merge, "partitions={}", partitions);
+        }
+    }
+
+    #[test]
+    fn apply_diff_reconstructs_target(old in zone_state_strategy(), new in zone_state_strategy()) {
+        let a = snapshot_of(&old, 1);
+        let b = snapshot_of(&new, 2);
+        let delta = SortedMergeDiff.diff(&a, &b);
+        let rebuilt = delta.apply(&a, b.serial(), b.taken_at());
+        prop_assert_eq!(rebuilt, b);
+    }
+
+    #[test]
+    fn diff_sets_are_disjoint_and_complete(old in zone_state_strategy(), new in zone_state_strategy()) {
+        let a = snapshot_of(&old, 1);
+        let b = snapshot_of(&new, 2);
+        let delta = SortedMergeDiff.diff(&a, &b);
+        for (d, _) in &delta.added {
+            prop_assert!(!a.contains(d) && b.contains(d));
+        }
+        for (d, _) in &delta.removed {
+            prop_assert!(a.contains(d) && !b.contains(d));
+        }
+        for c in &delta.changed {
+            prop_assert!(a.contains(&c.domain) && b.contains(&c.domain));
+            prop_assert_ne!(&c.old_ns, &c.new_ns);
+        }
+        // Untouched domains are truly identical.
+        let touched: std::collections::HashSet<_> = delta
+            .added
+            .iter()
+            .map(|(d, _)| d.clone())
+            .chain(delta.removed.iter().map(|(d, _)| d.clone()))
+            .chain(delta.changed.iter().map(|c| c.domain.clone()))
+            .collect();
+        for (d, ns) in a.entries() {
+            if !touched.contains(d) {
+                prop_assert_eq!(b.ns_of(d), Some(ns.as_slice()));
+            }
+        }
+    }
+
+    #[test]
+    fn journal_matches_snapshot_diff_under_random_mutations(
+        ops in prop::collection::vec((0u16..60, 0u8..4), 1..80)
+    ) {
+        // Replay random upsert/remove operations against a live zone while
+        // journaling, then check journal delta == snapshot diff.
+        let origin = DomainName::parse("com").unwrap();
+        let mut zone = Zone::new(origin, Serial::new(0));
+        let mut journal = ZoneJournal::new();
+        let before = ZoneSnapshot::capture(&zone, SimTime::ZERO);
+        let s_before = zone.serial();
+        for (idx, op) in ops {
+            let domain = DomainName::parse(&format!("d{idx:04}.com")).unwrap();
+            if op == 3 {
+                if let Some(prev) = zone.remove(&domain) {
+                    journal.record(
+                        zone.serial(),
+                        JournalEvent::Removed { domain, prev_ns: prev.ns().to_vec() },
+                    );
+                }
+            } else {
+                let ns = vec![ns_host(op)];
+                let prev = zone.upsert(domain.clone(), Delegation::new(ns.clone()));
+                match prev {
+                    None => journal.record(zone.serial(), JournalEvent::Added { domain, ns }),
+                    Some(old) if old.ns() != ns.as_slice() => journal.record(
+                        zone.serial(),
+                        JournalEvent::NsChanged { domain, prev_ns: old.ns().to_vec(), ns },
+                    ),
+                    Some(_) => journal.record(
+                        zone.serial(),
+                        JournalEvent::NsChanged {
+                            domain,
+                            prev_ns: ns.clone(),
+                            ns,
+                        },
+                    ),
+                }
+            }
+        }
+        let after = ZoneSnapshot::capture(&zone, SimTime::from_secs(1));
+        let from_journal = journal.delta_between(s_before, zone.serial());
+        let from_snapshots = SortedMergeDiff.diff(&before, &after);
+        prop_assert_eq!(from_journal, from_snapshots);
+    }
+
+    #[test]
+    fn rzu_grid_visibility_is_monotone_in_cadence(
+        insert in 0u64..200_000,
+        lifetime in 1u64..100_000,
+    ) {
+        use darkdns::registry::rzu::next_grid_point;
+        let anchor = SimTime::ZERO;
+        let t = SimTime::from_secs(insert);
+        for cadence in [60u64, 300, 3_600, 86_400] {
+            let grid = next_grid_point(anchor, SimDuration::from_secs(cadence), t);
+            prop_assert!(grid >= t);
+            prop_assert!(grid.as_secs() - t.as_secs() < cadence || t == anchor);
+            prop_assert_eq!(grid.as_secs() % cadence, 0);
+        }
+        let _ = lifetime;
+    }
+
+    #[test]
+    fn cdf_quantile_and_fraction_are_inverse(samples in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let cdf = Cdf::from_samples(samples.clone());
+        for q in [0.1, 0.5, 0.9, 1.0] {
+            let x = cdf.quantile(q);
+            prop_assert!(cdf.fraction_at_or_below(x) >= q - 1e-9);
+        }
+        prop_assert_eq!(cdf.fraction_at_or_below(f64::MAX), 1.0);
+        let min = cdf.min().unwrap();
+        prop_assert!(cdf.fraction_at_or_below(min - 1.0) == 0.0);
+    }
+
+    #[test]
+    fn token_bucket_never_exceeds_declared_rate(
+        capacity in 1u32..20,
+        rate_per_hour in 60.0f64..7200.0,
+        queries in prop::collection::vec(0u64..7200, 1..200),
+    ) {
+        let mut times = queries;
+        times.sort_unstable();
+        let t0 = SimTime::ZERO;
+        let mut bucket = TokenBucket::new(capacity, rate_per_hour, t0);
+        let mut granted = 0u32;
+        let horizon_secs = *times.last().unwrap() + 1;
+        for t in &times {
+            if bucket.try_acquire(SimTime::from_secs(*t)) {
+                granted += 1;
+            }
+        }
+        // Conservation: grants ≤ initial capacity + refill over horizon.
+        let max_grants = f64::from(capacity) + rate_per_hour * horizon_secs as f64 / 3_600.0;
+        prop_assert!(
+            f64::from(granted) <= max_grants + 1.0,
+            "granted {} exceeds budget {}",
+            granted,
+            max_grants
+        );
+    }
+}

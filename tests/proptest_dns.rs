@@ -1,0 +1,156 @@
+//! Property-based tests for the DNS substrate: names, PSL, RFC 1982
+//! serials and the RFC 1035 wire codec.
+
+use darkdns::dns::record::SoaData;
+use darkdns::dns::wire::{Header, Message, Question, Rcode};
+use darkdns::dns::{DomainName, PublicSuffixList, RData, RecordType, ResourceRecord, Serial};
+use proptest::prelude::*;
+
+/// A valid LDH label: starts/ends alphanumeric, hyphens inside.
+fn label_strategy() -> impl Strategy<Value = String> {
+    "[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?".prop_filter("LDH", |s| !s.is_empty() && s.len() <= 63)
+}
+
+/// A valid domain name of 1..=4 labels.
+fn name_strategy() -> impl Strategy<Value = DomainName> {
+    prop::collection::vec(label_strategy(), 1..=4)
+        .prop_map(|labels| DomainName::from_labels(labels).expect("labels are valid"))
+}
+
+fn rdata_strategy() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
+        name_strategy().prop_map(RData::Ns),
+        name_strategy().prop_map(RData::Cname),
+        (any::<u16>(), name_strategy())
+            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        prop::collection::vec(any::<u8>(), 0..300).prop_map(RData::Txt),
+        (name_strategy(), name_strategy(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(mname, rname, serial, refresh, retry)| RData::Soa(SoaData {
+                mname,
+                rname,
+                serial,
+                refresh,
+                retry,
+                expire: 604_800,
+                minimum: 86_400,
+            })),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = ResourceRecord> {
+    (name_strategy(), any::<u32>(), rdata_strategy())
+        .prop_map(|(name, ttl, rdata)| ResourceRecord::new(name, ttl, rdata))
+}
+
+proptest! {
+    #[test]
+    fn name_parse_display_round_trips(name in name_strategy()) {
+        let reparsed = DomainName::parse(name.as_str()).unwrap();
+        prop_assert_eq!(&reparsed, &name);
+        // Uppercasing the input must not change the result.
+        let upper = DomainName::parse(&name.as_str().to_ascii_uppercase()).unwrap();
+        prop_assert_eq!(&upper, &name);
+    }
+
+    #[test]
+    fn parent_chain_terminates_at_root(name in name_strategy()) {
+        let mut steps = 0usize;
+        let mut current = name.clone();
+        while let Some(parent) = current.parent() {
+            prop_assert!(current.is_subdomain_of(&parent));
+            prop_assert!(parent.label_count() + 1 == current.label_count() || parent.is_root());
+            current = parent;
+            steps += 1;
+            prop_assert!(steps <= 5, "parent chain too long");
+        }
+        prop_assert!(current.is_root());
+    }
+
+    #[test]
+    fn suffix_is_always_a_suffix(name in name_strategy(), take in 0usize..6) {
+        let suffix = name.suffix(take);
+        prop_assert!(name.is_subdomain_of(&suffix));
+        prop_assert!(suffix.label_count() <= name.label_count());
+    }
+
+    #[test]
+    fn child_then_parent_is_identity(name in name_strategy(), label in label_strategy()) {
+        if name.as_str().len() + label.len() + 1 <= 253 {
+            let child = name.child(&label).unwrap();
+            prop_assert_eq!(child.parent().unwrap(), name);
+        }
+    }
+
+    #[test]
+    fn registrable_domain_is_idempotent(name in name_strategy()) {
+        let psl = PublicSuffixList::builtin();
+        if let Some(reg) = psl.registrable_domain(&name) {
+            prop_assert!(name.is_subdomain_of(&reg));
+            // Reducing again is a fixed point.
+            prop_assert_eq!(psl.registrable_domain(&reg), Some(reg.clone()));
+            // The registrable domain is never itself a public suffix.
+            prop_assert!(!psl.is_public_suffix(&reg));
+        }
+    }
+
+    #[test]
+    fn serial_increments_stay_ordered(start in any::<u32>(), steps in 1u32..1000) {
+        let s0 = Serial::new(start);
+        let mut s = s0;
+        for _ in 0..steps {
+            s = s.next();
+        }
+        prop_assert!(s.is_newer_than(s0));
+        prop_assert!(!s0.is_newer_than(s));
+        prop_assert_eq!(s.distance_from(s0), steps);
+    }
+
+    #[test]
+    fn serial_comparison_is_antisymmetric(a in any::<u32>(), b in any::<u32>()) {
+        use std::cmp::Ordering;
+        let (sa, sb) = (Serial::new(a), Serial::new(b));
+        match (sa.compare(sb), sb.compare(sa)) {
+            (Some(Ordering::Equal), Some(Ordering::Equal)) => prop_assert_eq!(a, b),
+            (Some(Ordering::Less), Some(Ordering::Greater))
+            | (Some(Ordering::Greater), Some(Ordering::Less)) => {}
+            (None, None) => prop_assert_eq!(a.wrapping_sub(b), 1 << 31),
+            other => prop_assert!(false, "asymmetric comparison: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn wire_codec_round_trips_arbitrary_messages(
+        id in any::<u16>(),
+        qname in name_strategy(),
+        answers in prop::collection::vec(record_strategy(), 0..6),
+        authorities in prop::collection::vec(record_strategy(), 0..3),
+        rcode in 0u8..6,
+    ) {
+        let mut msg = Message::query(id, qname, RecordType::Ns);
+        msg.header = Header::response_to(&msg.header, Rcode::from_code(rcode));
+        msg.answers = answers;
+        msg.authorities = authorities;
+        let decoded = Message::decode(&msg.encode()).expect("decode");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn wire_decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Must return an error or a message, never panic.
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn question_encoding_is_compact(qname in name_strategy()) {
+        let msg = Message::query(1, qname.clone(), RecordType::A);
+        let encoded = msg.encode();
+        prop_assert_eq!(encoded.len(), 12 + qname.wire_len() + 4);
+        let decoded = Message::decode(&encoded).unwrap();
+        prop_assert_eq!(
+            decoded.questions,
+            vec![Question::new(qname, RecordType::A)]
+        );
+    }
+}

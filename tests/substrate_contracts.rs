@@ -1,0 +1,180 @@
+//! Cross-substrate contract tests: each simulated data source must stay
+//! faithful to the shared ground truth, and the snapshot *oracle* must be
+//! behaviourally identical to actually materialising the snapshots.
+
+use darkdns::ct::ca::CaFleet;
+use darkdns::ct::stream::CertStream;
+use darkdns::registry::czds::{SnapshotOracle, SnapshotSchedule};
+use darkdns::registry::hosting::HostingLandscape;
+use darkdns::registry::registrar::RegistrarFleet;
+use darkdns::registry::tld::{paper_gtlds, TldConfig, TldId};
+use darkdns::registry::universe::Universe;
+use darkdns::registry::workload::{UniverseBuilder, WorkloadConfig};
+use darkdns::sim::rng::RngPool;
+
+struct World {
+    tlds: Vec<TldConfig>,
+    universe: Universe,
+    schedule: SnapshotSchedule,
+    pool: RngPool,
+}
+
+fn world(seed: u64) -> World {
+    let tlds = paper_gtlds();
+    let fleet = RegistrarFleet::paper_fleet();
+    let hosting = HostingLandscape::paper_landscape();
+    let config = WorkloadConfig {
+        scale: 0.002,
+        window_days: 8,
+        base_population_frac: 0.01,
+        ..WorkloadConfig::default()
+    };
+    let pool = RngPool::new(seed);
+    let schedule = SnapshotSchedule::new(&pool, &tlds, config.window_start, config.window_days);
+    let universe = UniverseBuilder {
+        tlds: &tlds,
+        fleet: &fleet,
+        hosting: &hosting,
+        schedule: &schedule,
+        config,
+    }
+    .build(&pool);
+    World { tlds, universe, schedule, pool }
+}
+
+#[test]
+fn oracle_agrees_with_materialized_snapshots() {
+    // The pipeline uses the analytic oracle instead of materialising 92
+    // days × N TLDs of snapshots. This test proves the substitution is
+    // behaviourally identical: for every domain and several days, oracle
+    // membership equals membership in the actually-materialised snapshot.
+    let w = world(201);
+    let oracle = SnapshotOracle::new(&w.schedule);
+    for tld_idx in [0u16, 3, 7] {
+        let tld = TldId(tld_idx);
+        for day in [0u64, 2, 5, 8] {
+            let snapshot = oracle.materialize(&w.universe, &w.tlds, tld, day);
+            for record in w.universe.in_tld(tld) {
+                assert_eq!(
+                    snapshot.contains(&record.name),
+                    oracle.in_snapshot(record, day),
+                    "oracle/materialisation disagreement for {} on day {day}",
+                    record.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_appeared_in_any_agrees_with_exhaustive_scan() {
+    let w = world(202);
+    let oracle = SnapshotOracle::new(&w.schedule);
+    let tld = TldId(0);
+    for record in w.universe.in_tld(tld).take(2_000) {
+        let exhaustive = (0..=w.schedule.max_day()).any(|day| oracle.in_snapshot(record, day));
+        assert_eq!(
+            oracle.appeared_in_any(record),
+            exhaustive,
+            "closed-form vs exhaustive mismatch for {}",
+            record.name
+        );
+    }
+}
+
+#[test]
+fn certstream_respects_registry_causality() {
+    let w = world(203);
+    let (stream, log) = CertStream::build(&w.universe, &w.schedule, &CaFleet::paper_fleet(), &w.pool);
+    assert_eq!(stream.len(), log.len());
+    for entry in stream.iter() {
+        let record = w.universe.get(entry.domain);
+        if record.cert_hint.is_none() {
+            // DV-validated certs: issued after the zone push, before
+            // removal.
+            assert!(entry.at >= record.zone_insert, "{} cert predates zone", record.name);
+            if let Some(removed) = record.removed {
+                assert!(entry.at < removed, "{} cert postdates removal", record.name);
+            }
+        }
+        // The CN is always the registrable apex.
+        assert_eq!(entry.names[0], record.name);
+    }
+}
+
+#[test]
+fn ct_log_proofs_cover_the_whole_stream() {
+    use darkdns::ct::log::CtLog;
+    let w = world(204);
+    let (_, log) = CertStream::build(&w.universe, &w.schedule, &CaFleet::paper_fleet(), &w.pool);
+    let root = log.root();
+    for i in (0..log.len()).step_by(211) {
+        let proof = log.prove(i);
+        assert!(CtLog::verify(&log.get(i).certificate, &proof, root), "proof {i} failed");
+    }
+}
+
+#[test]
+fn rdap_never_answers_for_ghosts_and_always_reports_truthful_dates() {
+    use darkdns::rdap::server::{RdapConfig, RdapDirectory};
+    let w = world(205);
+    let fleet = RegistrarFleet::paper_fleet();
+    let mut dir = RdapDirectory::new(&w.universe, &fleet, RdapConfig::default(), &w.pool);
+    let mut queried = 0;
+    for (i, record) in w.universe.iter().enumerate().take(4_000) {
+        let now = record.created + darkdns::sim::time::SimDuration::from_hours(1);
+        match dir.query(&record.name, (i % 16) as u16, now) {
+            Ok(resp) => {
+                assert!(record.kind.has_registration());
+                assert_eq!(resp.created, record.created);
+                queried += 1;
+            }
+            Err(_) => {}
+        }
+    }
+    assert!(queried > 1_000, "RDAP success rate implausibly low: {queried}");
+}
+
+#[test]
+fn authoritative_answers_track_zone_membership() {
+    use darkdns::measure::authoritative::{NsAnswer, TldAuthority};
+    use darkdns::sim::time::SimDuration;
+    let w = world(206);
+    let landscape = HostingLandscape::paper_landscape();
+    let authority = TldAuthority::new(&w.universe, &landscape);
+    for record in w.universe.iter().take(3_000) {
+        let mid = record.zone_insert + SimDuration::from_secs(1);
+        let answer = authority.query_ns(&record.name, mid);
+        assert_eq!(
+            answer != NsAnswer::NxDomain,
+            record.in_zone_at(mid),
+            "authority/zone mismatch for {}",
+            record.name
+        );
+    }
+}
+
+#[test]
+fn nod_and_blocklists_only_reference_real_records() {
+    use darkdns::intel::blocklist::{BlocklistConfig, BlocklistSet};
+    use darkdns::intel::nod::{NodConfig, NodFeed};
+    let w = world(207);
+    let window_start = w.schedule.window_start();
+    let nod = NodFeed::simulate(&w.universe, &NodConfig::default(), window_start, &w.pool);
+    for (id, at) in nod.iter() {
+        let record = w.universe.get(id);
+        assert!(record.kind.has_registration());
+        assert!(at >= record.zone_insert);
+    }
+    let window_end = window_start + darkdns::sim::time::SimDuration::from_days(8);
+    let blocklists =
+        BlocklistSet::simulate(&w.universe, &BlocklistConfig::default(), window_end, &w.pool);
+    let mut flagged = 0;
+    for record in w.universe.iter() {
+        if blocklists.is_flagged(record) {
+            assert!(record.malicious);
+            flagged += 1;
+        }
+    }
+    assert!(flagged > 0, "no blocklist activity at all");
+}
