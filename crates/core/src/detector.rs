@@ -7,11 +7,11 @@
 //! CT appearance.
 
 use darkdns_ct::stream::CertStreamEntry;
+use darkdns_dns::hash::NameSet;
 use darkdns_dns::{DomainName, PublicSuffixList};
 use darkdns_registry::czds::SnapshotOracle;
 use darkdns_registry::universe::{DomainId, Universe};
 use darkdns_sim::time::SimTime;
-use std::collections::HashSet;
 
 /// A domain the pipeline believes to be newly registered.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,7 +43,7 @@ pub struct Detector<'a> {
     psl: &'a PublicSuffixList,
     oracle: &'a SnapshotOracle<'a>,
     universe: &'a Universe,
-    seen: HashSet<DomainName>,
+    seen: NameSet<DomainName>,
     stats: DetectorStats,
 }
 
@@ -53,7 +53,7 @@ impl<'a> Detector<'a> {
         oracle: &'a SnapshotOracle<'a>,
         universe: &'a Universe,
     ) -> Self {
-        Detector { psl, oracle, universe, seen: HashSet::new(), stats: DetectorStats::default() }
+        Detector { psl, oracle, universe, seen: NameSet::default(), stats: DetectorStats::default() }
     }
 
     pub fn stats(&self) -> DetectorStats {
@@ -179,7 +179,7 @@ mod tests {
         let oracle = SnapshotOracle::new(&f.schedule);
         let mut detector = Detector::new(&f.psl, &oracle, &f.universe);
         let candidates = detector.run(f.stream.entries());
-        let mut seen = HashSet::new();
+        let mut seen = std::collections::HashSet::new();
         for c in &candidates {
             assert!(seen.insert(c.domain.clone()), "{} reported twice", c.domain);
         }

@@ -3,7 +3,10 @@
 //! Everything the pipeline and the ecosystem simulator need from the DNS
 //! itself lives here, implemented from scratch:
 //!
-//! * [`name`] — domain names (LDH validation, label manipulation, ordering);
+//! * [`name`] — domain names (LDH validation, label manipulation,
+//!   ordering), stored as 23-byte `Copy` values: inline for names ≤ 22
+//!   bytes, interned in the global [`name::NameTable`] beyond that;
+//! * [`hash`] — fast Fx hashing for name-keyed containers on hot paths;
 //! * [`psl`] — a Public Suffix List with wildcard/exception rules and
 //!   registrable-domain ("pay-level domain") extraction, the operation
 //!   whose corner cases the paper blames for part of Figure 1's long tail;
@@ -19,6 +22,7 @@
 //!   incremental journal) that the bench harness races against each other.
 
 pub mod diff;
+pub mod hash;
 pub mod name;
 pub mod psl;
 pub mod record;
@@ -28,9 +32,9 @@ pub mod wire;
 pub mod zone;
 
 pub use diff::{ZoneDelta, ZoneDiffEngine};
-pub use name::{DomainName, NameError};
+pub use name::{DomainName, NameError, NameTable};
 pub use psl::PublicSuffixList;
 pub use record::{RData, RecordClass, RecordType, ResourceRecord};
 pub use serial::Serial;
 pub use snapshot::ZoneSnapshot;
-pub use zone::{Delegation, Zone};
+pub use zone::{Delegation, NsSet, Zone};

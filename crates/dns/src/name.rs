@@ -1,9 +1,29 @@
-//! Domain names.
+//! Domain names, interned and `Copy`-cheap.
 //!
 //! A [`DomainName`] is a validated, lowercase, dot-separated sequence of
-//! LDH (letters-digits-hyphen) labels, stored in presentation format
-//! without the trailing root dot. The root zone itself is represented by
+//! LDH (letters-digits-hyphen) labels in presentation format without the
+//! trailing root dot. The root zone itself is represented by
 //! [`DomainName::root`], displayed as `"."`.
+//!
+//! # Representation
+//!
+//! `DomainName` is a fixed 23-byte `Copy` value with two layouts:
+//!
+//! * **inline** — names of at most [`INLINE_LEN`] (22) bytes are stored
+//!   directly in the value (the tag byte is the length; length 0 is the
+//!   root). At `.com` scale the overwhelming majority of delegated names
+//!   fit inline, so cloning a snapshot entry or a diff record is a 23-byte
+//!   copy with no allocator traffic.
+//! * **interned** — longer names hold a `u32` id into the process-global
+//!   [`NameTable`], an append-only interner. Interning happens once per
+//!   unique spelling; every subsequent parse of the same name returns the
+//!   same id.
+//!
+//! Equality and hashing are O(1) byte/id comparisons in both layouts
+//! (equal interned strings always share one id, and an inline name can
+//! never equal an interned one because their lengths differ). Ordering is
+//! lexicographic on the presentation bytes, identical to the previous
+//! `String`-backed ordering; the fast path short-circuits on equality.
 //!
 //! Validation follows RFC 1035 §2.3.4 sizes (labels 1..=63 octets, name
 //! ≤ 253 octets in presentation form) with the LDH rule of RFC 3696:
@@ -11,9 +31,16 @@
 //! expected in their punycode (`xn--`) form, as they appear in zone files
 //! and CT log entries.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// Maximum name length stored inline (without interning).
+pub const INLINE_LEN: usize = 22;
+
+/// Tag value marking the interned layout.
+const TAG_INTERNED: u8 = 0xFF;
 
 /// Reasons a string is not a valid domain name.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,19 +72,128 @@ impl fmt::Display for NameError {
 
 impl std::error::Error for NameError {}
 
+// Interner geometry: ids index a two-level table of string slots so that
+// resolution is lock-free and existing slots are never moved. 4096 chunks
+// of 32768 slots bound the table at ~134M unique long names — comfortably
+// above .com scale.
+const CHUNK_BITS: u32 = 15;
+const CHUNK_SLOTS: usize = 1 << CHUNK_BITS;
+const MAX_CHUNKS: usize = 4096;
+
+/// The process-global domain-name interner.
+///
+/// Append-only: names are interned once and live for the process lifetime
+/// (their storage is intentionally leaked). Insertion takes a mutex;
+/// id-to-string resolution is a pair of atomic loads, so the diff engines'
+/// comparison hot paths never contend.
+pub struct NameTable {
+    /// Spelling → id. Re-parsing an already-interned spelling (the common
+    /// case once a universe is built) takes only the read lock.
+    map: RwLock<std::collections::HashMap<&'static str, u32, crate::hash::FxBuildHasher>>,
+    /// Two-level id → string table. Chunks are allocated on demand and
+    /// published with release stores; slots likewise.
+    chunks: [AtomicPtr<AtomicPtr<&'static str>>; MAX_CHUNKS],
+    /// Number of interned names (ids are `0..len`).
+    len: AtomicU32,
+    /// Total bytes of interned string payload (stats only).
+    bytes: AtomicU64,
+}
+
+impl NameTable {
+    /// The global interner instance.
+    pub fn global() -> &'static NameTable {
+        static TABLE: OnceLock<NameTable> = OnceLock::new();
+        TABLE.get_or_init(|| NameTable {
+            map: RwLock::new(std::collections::HashMap::default()),
+            chunks: [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_CHUNKS],
+            len: AtomicU32::new(0),
+            bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of unique names interned so far.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload bytes held by the interner.
+    pub fn interned_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed) as usize
+    }
+
+    /// Intern `s` (already validated, canonical lowercase), returning its id.
+    fn intern(&self, s: &str) -> u32 {
+        if let Some(&id) =
+            self.map.read().unwrap_or_else(|poison| poison.into_inner()).get(s)
+        {
+            return id;
+        }
+        let mut map = self.map.write().unwrap_or_else(|poison| poison.into_inner());
+        // Re-check: another thread may have interned between the locks.
+        if let Some(&id) = map.get(s) {
+            return id;
+        }
+        let id = self.len.load(Ordering::Relaxed);
+        assert!(
+            (id as usize) < MAX_CHUNKS * CHUNK_SLOTS,
+            "NameTable capacity exhausted ({} names)",
+            id
+        );
+        // The string and its slot cell live for the process lifetime.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let cell: &'static mut &'static str = Box::leak(Box::new(leaked));
+        let chunk_idx = (id >> CHUNK_BITS) as usize;
+        let slot_idx = (id as usize) & (CHUNK_SLOTS - 1);
+        let mut chunk = self.chunks[chunk_idx].load(Ordering::Acquire);
+        if chunk.is_null() {
+            let fresh: Box<[AtomicPtr<&'static str>]> =
+                (0..CHUNK_SLOTS).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect();
+            chunk = Box::leak(fresh).as_mut_ptr();
+            self.chunks[chunk_idx].store(chunk, Ordering::Release);
+        }
+        // Safety: `chunk` points at CHUNK_SLOTS live slots and slot_idx is
+        // in range; all writers are serialized by the map mutex.
+        unsafe { &*chunk.add(slot_idx) }.store(cell, Ordering::Release);
+        map.insert(leaked, id);
+        self.bytes.fetch_add(s.len() as u64, Ordering::Relaxed);
+        self.len.store(id + 1, Ordering::Release);
+        id
+    }
+
+    /// Resolve an id handed out by [`NameTable::intern`].
+    fn resolve(&self, id: u32) -> &'static str {
+        let chunk = self.chunks[(id >> CHUNK_BITS) as usize].load(Ordering::Acquire);
+        debug_assert!(!chunk.is_null(), "resolve of unknown name id {id}");
+        // Safety: a live id implies its chunk and slot were published with
+        // release stores before the id escaped the interner.
+        let slot = unsafe { &*chunk.add((id as usize) & (CHUNK_SLOTS - 1)) };
+        let cell = slot.load(Ordering::Acquire);
+        debug_assert!(!cell.is_null(), "resolve of unpublished name id {id}");
+        unsafe { *cell }
+    }
+}
+
 /// A validated, fully-qualified domain name in lowercase presentation form.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+///
+/// A fixed-size `Copy` value: see the module docs for the inline/interned
+/// layout. Cloning never allocates; equality and hashing are O(1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DomainName {
-    // Invariant: lowercase, no trailing dot, every label valid LDH;
-    // empty string means the root.
-    name: String,
+    /// Length of the inline name (0..=22; 0 is the root), or
+    /// [`TAG_INTERNED`] when `data[..4]` holds the interner id.
+    tag: u8,
+    /// Inline name bytes (zero-padded), or the little-endian id.
+    data: [u8; INLINE_LEN],
 }
 
 impl DomainName {
     /// The DNS root.
     pub fn root() -> Self {
-        DomainName { name: String::new() }
+        DomainName { tag: 0, data: [0; INLINE_LEN] }
     }
 
     /// Parse and validate a name. Accepts an optional trailing root dot and
@@ -70,11 +206,41 @@ impl DomainName {
         if trimmed.len() > 253 {
             return Err(NameError::TooLong(trimmed.len()));
         }
-        let lower = trimmed.to_ascii_lowercase();
-        for label in lower.split('.') {
+        // Validate and lowercase in one pass over a stack buffer: no heap
+        // allocation on the (dominant) inline path.
+        let mut buf = [0u8; 253];
+        let mut pos = 0usize;
+        for label in trimmed.split('.') {
             validate_label(label)?;
+            if pos > 0 {
+                buf[pos] = b'.';
+                pos += 1;
+            }
+            for b in label.bytes() {
+                buf[pos] = b.to_ascii_lowercase();
+                pos += 1;
+            }
         }
-        Ok(DomainName { name: lower })
+        // Safety: validated labels are pure ASCII.
+        let canonical = unsafe { std::str::from_utf8_unchecked(&buf[..pos]) };
+        Ok(Self::from_canonical(canonical))
+    }
+
+    /// Build from an already-canonical (lowercase, validated, no trailing
+    /// dot) spelling. The internal constructor for parse and the
+    /// label-manipulation methods.
+    fn from_canonical(name: &str) -> Self {
+        debug_assert!(name.len() <= 253);
+        if name.len() <= INLINE_LEN {
+            let mut data = [0u8; INLINE_LEN];
+            data[..name.len()].copy_from_slice(name.as_bytes());
+            DomainName { tag: name.len() as u8, data }
+        } else {
+            let id = NameTable::global().intern(name);
+            let mut data = [0u8; INLINE_LEN];
+            data[..4].copy_from_slice(&id.to_le_bytes());
+            DomainName { tag: TAG_INTERNED, data }
+        }
     }
 
     /// Build a name from labels, most-specific first (`["www","example","com"]`).
@@ -83,81 +249,106 @@ impl DomainName {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let joined = labels.into_iter().map(|l| l.as_ref().to_owned()).collect::<Vec<_>>().join(".");
+        let joined =
+            labels.into_iter().map(|l| l.as_ref().to_owned()).collect::<Vec<_>>().join(".");
         DomainName::parse(&joined)
     }
 
+    /// True when this name is stored inline (not via the interner).
+    pub fn is_inline(&self) -> bool {
+        self.tag != TAG_INTERNED
+    }
+
+    /// The canonical spelling: empty for the root, otherwise the lowercase
+    /// dotted name. (Internal: the public form is [`DomainName::as_str`],
+    /// which renders the root as `"."`.)
+    #[inline]
+    fn raw(&self) -> &str {
+        if self.tag == TAG_INTERNED {
+            let id = u32::from_le_bytes(self.data[..4].try_into().expect("4 id bytes"));
+            NameTable::global().resolve(id)
+        } else {
+            // Safety: inline bytes are ASCII written by from_canonical.
+            unsafe { std::str::from_utf8_unchecked(&self.data[..self.tag as usize]) }
+        }
+    }
+
     pub fn is_root(&self) -> bool {
-        self.name.is_empty()
+        self.tag == 0
     }
 
     /// Presentation form without the trailing dot; `"."` for the root.
+    ///
+    /// For inline names the returned slice borrows from `self`; interned
+    /// names resolve to the `'static` interner storage.
     pub fn as_str(&self) -> &str {
-        if self.name.is_empty() {
+        if self.is_root() {
             "."
         } else {
-            &self.name
+            self.raw()
         }
     }
 
     /// Labels, most-specific first. Empty for the root.
     pub fn labels(&self) -> Vec<&str> {
-        if self.name.is_empty() {
+        if self.is_root() {
             Vec::new()
         } else {
-            self.name.split('.').collect()
+            self.raw().split('.').collect()
         }
     }
 
     pub fn label_count(&self) -> usize {
-        if self.name.is_empty() {
+        if self.is_root() {
             0
         } else {
-            self.name.bytes().filter(|&b| b == b'.').count() + 1
+            self.raw().bytes().filter(|&b| b == b'.').count() + 1
         }
     }
 
     /// The name with its leftmost label removed; `None` for the root.
     pub fn parent(&self) -> Option<DomainName> {
-        if self.name.is_empty() {
+        if self.is_root() {
             return None;
         }
-        match self.name.find('.') {
-            Some(i) => Some(DomainName { name: self.name[i + 1..].to_owned() }),
+        let raw = self.raw();
+        match raw.find('.') {
+            Some(i) => Some(DomainName::from_canonical(&raw[i + 1..])),
             None => Some(DomainName::root()),
         }
     }
 
     /// The last (rightmost) label — the TLD — or `None` for the root.
     pub fn tld(&self) -> Option<&str> {
-        if self.name.is_empty() {
+        if self.is_root() {
             None
         } else {
-            Some(self.name.rsplit('.').next().expect("non-empty name has a label"))
+            Some(self.raw().rsplit('.').next().expect("non-empty name has a label"))
         }
     }
 
     /// True if `self` is `other` or a descendant of `other`. Every name is
     /// a subdomain of the root.
     pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
-        if other.name.is_empty() {
+        if other.is_root() {
             return true;
         }
-        if self.name == other.name {
+        if self == other {
             return true;
         }
-        self.name.len() > other.name.len()
-            && self.name.ends_with(&other.name)
-            && self.name.as_bytes()[self.name.len() - other.name.len() - 1] == b'.'
+        let (a, b) = (self.raw(), other.raw());
+        a.len() > b.len()
+            && a.ends_with(b)
+            && a.as_bytes()[a.len() - b.len() - 1] == b'.'
     }
 
     /// Prepend a label, producing `label.self`.
     pub fn child(&self, label: &str) -> Result<DomainName, NameError> {
-        validate_label(&label.to_ascii_lowercase())?;
-        let child = if self.name.is_empty() {
+        validate_label(label)?;
+        let child = if self.is_root() {
             label.to_ascii_lowercase()
         } else {
-            format!("{}.{}", label.to_ascii_lowercase(), self.name)
+            format!("{}.{}", label.to_ascii_lowercase(), self.raw())
         };
         DomainName::parse(&child)
     }
@@ -171,22 +362,23 @@ impl DomainName {
             return DomainName::root();
         }
         if n >= count {
-            return self.clone();
+            return *self;
         }
-        let mut idx = self.name.len();
+        let raw = self.raw();
+        let mut idx = raw.len();
         for _ in 0..n {
-            idx = self.name[..idx].rfind('.').expect("label count checked");
+            idx = raw[..idx].rfind('.').expect("label count checked");
         }
-        DomainName { name: self.name[idx + 1..].to_owned() }
+        DomainName::from_canonical(&raw[idx + 1..])
     }
 
     /// Length in octets of the uncompressed wire encoding (length-prefixed
     /// labels plus the terminating zero octet).
     pub fn wire_len(&self) -> usize {
-        if self.name.is_empty() {
+        if self.is_root() {
             1
         } else {
-            self.name.len() + 2
+            self.raw().len() + 2
         }
     }
 }
@@ -200,8 +392,9 @@ fn validate_label(label: &str) -> Result<(), NameError> {
     }
     for c in label.chars() {
         // `_` is tolerated as a leading character for service labels
-        // (e.g. `_dmarc`), which occur in CT log SAN entries.
-        let ok = c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_';
+        // (e.g. `_dmarc`), which occur in CT log SAN entries. Uppercase is
+        // accepted here and lowercased by the caller.
+        let ok = c.is_ascii_alphanumeric() || c == '-' || c == '_';
         if !ok {
             return Err(NameError::BadCharacter(c));
         }
@@ -210,6 +403,50 @@ fn validate_label(label: &str) -> Result<(), NameError> {
         return Err(NameError::HyphenEdge(label.to_owned()));
     }
     Ok(())
+}
+
+impl PartialOrd for DomainName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DomainName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Equality (including interned-id equality) is a 23-byte compare;
+        // only genuinely different names fall through to byte ordering.
+        if self == other {
+            return std::cmp::Ordering::Equal;
+        }
+        self.raw().as_bytes().cmp(other.raw().as_bytes())
+    }
+}
+
+impl fmt::Debug for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("DomainName").field(&self.as_str()).finish()
+    }
+}
+
+impl serde::Serialize for DomainName {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(if self.is_root() { String::new() } else { self.raw().to_owned() })
+    }
+}
+
+impl serde::Deserialize for DomainName {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => DomainName::parse(s).map_err(serde::Error::custom),
+            _ => Err(serde::Error::custom("expected domain-name string")),
+        }
+    }
+}
+
+impl serde::DeserializeKey for DomainName {
+    fn from_key(key: &str) -> Result<Self, serde::Error> {
+        DomainName::parse(key).map_err(serde::Error::custom)
+    }
 }
 
 impl fmt::Display for DomainName {
@@ -348,5 +585,108 @@ mod tests {
         let n = DomainName::from_labels(["www", "example", "com"]).unwrap();
         assert_eq!(n.as_str(), "www.example.com");
         assert_eq!(DomainName::from_labels(Vec::<&str>::new()).unwrap(), DomainName::root());
+    }
+
+    // ---- interner-specific coverage ----
+
+    #[test]
+    fn inline_boundary_at_22_bytes() {
+        // 18 + 4 = 22 bytes: the longest inline form.
+        let at = DomainName::parse("a23456789012345678.com").unwrap();
+        assert_eq!(at.as_str().len(), INLINE_LEN);
+        assert!(at.is_inline());
+        // 23 bytes: first interned form.
+        let over = DomainName::parse("a2345678901234567890.cc").unwrap();
+        assert_eq!(over.as_str().len(), INLINE_LEN + 1);
+        assert!(!over.is_inline());
+        assert_eq!(over.as_str(), "a2345678901234567890.cc");
+    }
+
+    #[test]
+    fn interned_names_share_one_id() {
+        let a = DomainName::parse("this-is-a-rather-long.example.com").unwrap();
+        let before = NameTable::global().len();
+        let b = DomainName::parse("THIS-IS-A-RATHER-LONG.Example.COM.").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(NameTable::global().len(), before, "reparse must not re-intern");
+    }
+
+    #[test]
+    fn root_is_inline_and_copy_semantics_hold() {
+        let root = DomainName::root();
+        assert!(root.is_inline());
+        let copy = root;
+        assert_eq!(copy, root);
+        assert_eq!(copy.as_str(), ".");
+    }
+
+    #[test]
+    fn sixtythree_octet_labels_intern_and_round_trip() {
+        let label = "a".repeat(63);
+        let name = DomainName::parse(&format!("{label}.com")).unwrap();
+        assert!(!name.is_inline());
+        assert_eq!(name.labels()[0], label);
+        assert_eq!(name.parent().unwrap().as_str(), "com");
+        // Reparse from display form is identity.
+        assert_eq!(DomainName::parse(name.as_str()).unwrap(), name);
+    }
+
+    #[test]
+    fn punycode_long_names_intern_cleanly() {
+        let n = DomainName::parse("xn--bcher-kva.xn--vermgensberatung-pwb").unwrap();
+        assert!(!n.is_inline());
+        assert_eq!(n.tld(), Some("xn--vermgensberatung-pwb"));
+        assert_eq!(n.suffix(1).as_str(), "xn--vermgensberatung-pwb");
+    }
+
+    #[test]
+    fn ordering_is_consistent_across_layouts() {
+        // Mixed inline/interned names sort exactly like their strings.
+        let mut names = vec![
+            DomainName::parse("zz.com").unwrap(),
+            DomainName::parse("a-very-long-interned-name.com").unwrap(),
+            DomainName::parse("a.com").unwrap(),
+            DomainName::parse("a-very-long-interned-name.net").unwrap(),
+        ];
+        names.sort();
+        let strs: Vec<_> = names.iter().map(|n| n.as_str().to_owned()).collect();
+        let mut by_string = strs.clone();
+        by_string.sort();
+        assert_eq!(strs, by_string);
+    }
+
+    #[test]
+    fn hash_is_consistent_with_eq_across_reparse() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(DomainName::parse("some-quite-long-name.example.org").unwrap());
+        set.insert(DomainName::parse("short.org").unwrap());
+        assert!(set.contains(&DomainName::parse("some-quite-long-name.example.org").unwrap()));
+        assert!(set.contains(&DomainName::parse("SHORT.org.").unwrap()));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn interner_is_usable_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|i| {
+                            DomainName::parse(&format!(
+                                "shared-cross-thread-name-{}.example{t}.com",
+                                i % 50
+                            ))
+                            .unwrap()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for n in h.join().unwrap() {
+                assert!(n.as_str().starts_with("shared-cross-thread-name-"));
+            }
+        }
     }
 }

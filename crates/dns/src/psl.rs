@@ -8,6 +8,7 @@
 //! rule, `*` wildcard rules, and `!` exception rules — over a rule set
 //! loaded from the same text format as the real list.
 
+use crate::hash::FxBuildHasher;
 use crate::name::DomainName;
 use std::collections::HashSet;
 
@@ -15,11 +16,11 @@ use std::collections::HashSet;
 #[derive(Debug, Clone, Default)]
 pub struct PublicSuffixList {
     /// Exact suffix rules, e.g. `com`, `co.uk`.
-    exact: HashSet<String>,
+    exact: HashSet<String, FxBuildHasher>,
     /// Wildcard rules stored by their parent, e.g. `ck` for `*.ck`.
-    wildcard_parents: HashSet<String>,
+    wildcard_parents: HashSet<String, FxBuildHasher>,
     /// Exception rules stored without the `!`, e.g. `www.ck`.
-    exceptions: HashSet<String>,
+    exceptions: HashSet<String, FxBuildHasher>,
 }
 
 impl PublicSuffixList {
@@ -87,8 +88,8 @@ nl\nde\nuk\nco.uk\norg.uk\nac.uk\nus\nio\nco\nau\ncom.au\nnet.au\n\
             return true;
         }
         // `*.parent` matches exactly one label under parent.
-        if let Some(parent) = name.parent() {
-            if !parent.is_root() && self.wildcard_parents.contains(parent.as_str()) {
+        if let Some(dot) = s.find('.') {
+            if self.wildcard_parents.contains(&s[dot + 1..]) {
                 return true;
             }
         }
@@ -99,29 +100,39 @@ nl\nde\nuk\nco.uk\norg.uk\nac.uk\nus\nio\nco\nau\ncom.au\nnet.au\n\
     /// if no rule matches. Per the PSL algorithm, when no rule matches the
     /// prevailing rule is `*` (the unknown TLD itself is the suffix) — the
     /// caller decides whether to apply that fallback.
+    ///
+    /// Walks candidate suffixes as string slices of `name` — the hot path
+    /// of the Step-1 detector constructs no intermediate names and never
+    /// touches the interner.
     fn matching_suffix_labels(&self, name: &DomainName) -> Option<usize> {
-        let labels = name.labels();
-        let n = labels.len();
+        let s = name.as_str();
         let mut best: Option<usize> = None;
-        // Candidate suffixes from shortest (TLD) to longest.
-        for take in 1..=n {
-            let suffix = name.suffix(take);
-            let s = suffix.as_str();
-            if self.exceptions.contains(s) {
+        let mut take = 0usize;
+        // A previous candidate's start doubles as the `*.parent` parent
+        // check for the next (longer) candidate.
+        let mut prev_start: Option<usize> = None;
+        // Suffix start offsets, rightmost label (TLD) first: the position
+        // after each '.', walked right-to-left, then the whole name.
+        let starts_rev =
+            s.match_indices('.').map(|(i, _)| i + 1).rev().chain(std::iter::once(0));
+        for start in starts_rev {
+            let suf = &s[start..];
+            take += 1;
+            if self.exceptions.contains(suf) {
                 // An exception rule prevails over all other matching rules:
                 // the *parent* of the exception is the public suffix, i.e.
                 // the exception label itself is registrable.
                 return Some(take - 1);
             }
-            if self.exact.contains(s) {
-                best = Some(best.map_or(take, |b: usize| b.max(take)));
+            if self.exact.contains(suf) {
+                best = Some(take);
             }
-            if take >= 2 {
-                let parent = suffix.suffix(take - 1);
-                if self.wildcard_parents.contains(parent.as_str()) {
-                    best = Some(best.map_or(take, |b: usize| b.max(take)));
+            if let Some(parent_start) = prev_start {
+                if self.wildcard_parents.contains(&s[parent_start..]) {
+                    best = Some(take);
                 }
             }
+            prev_start = Some(start);
         }
         best
     }

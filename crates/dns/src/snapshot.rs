@@ -6,12 +6,21 @@
 //! diff engines in [`crate::diff`] consume pairs of them; and the pipeline
 //! tests membership against the latest available snapshot set.
 //!
+//! # Layout
+//!
+//! Entries are stored columnar: one sorted column of `Copy`
+//! [`DomainName`]s and one parallel column of shared [`NsSet`]s, both
+//! behind a single `Arc`. Capturing a snapshot from a [`Zone`] copies 23
+//! bytes per owner name and bumps one refcount per NS set — no per-entry
+//! heap allocation — and the diff engines walk the columns without
+//! touching the allocator at all.
+//!
 //! Snapshots also round-trip through a zone-file-like text format so the
 //! repository can materialise CZDS-style files on disk for the examples.
 
 use crate::name::DomainName;
 use crate::serial::Serial;
-use crate::zone::Zone;
+use crate::zone::{NsSet, Zone};
 use darkdns_sim::time::SimTime;
 use std::fmt;
 use std::sync::Arc;
@@ -42,36 +51,51 @@ impl fmt::Display for SnapshotParseError {
 
 impl std::error::Error for SnapshotParseError {}
 
+/// The shared columnar entry store: `domains[i]`'s NS set is `ns[i]`.
+#[derive(Debug, PartialEq)]
+struct Columns {
+    /// Sorted by name.
+    domains: Vec<DomainName>,
+    ns: Vec<NsSet>,
+}
+
 /// A point-in-time, immutable view of a TLD zone's delegations.
 ///
 /// Entries are stored sorted by owner name; membership queries are binary
 /// searches and the sorted order is what the merge diff engine exploits.
-/// The entry vector is behind an `Arc` so snapshots can be shared between
-/// the publisher, the pipeline and the diff engines without copying
+/// The columns are behind an `Arc` so snapshots can be shared between the
+/// publisher, the pipeline and the diff engines without copying
 /// million-entry tables.
 #[derive(Debug, Clone)]
 pub struct ZoneSnapshot {
     origin: DomainName,
     serial: Serial,
     taken_at: SimTime,
-    /// Sorted by domain.
-    entries: Arc<Vec<(DomainName, Vec<DomainName>)>>,
+    cols: Arc<Columns>,
 }
 
 impl ZoneSnapshot {
     /// Capture the current state of `zone` at time `taken_at`.
     pub fn capture(zone: &Zone, taken_at: SimTime) -> Self {
-        let entries: Vec<(DomainName, Vec<DomainName>)> = zone
-            .iter()
-            .map(|(d, delegation)| (d.clone(), delegation.ns().to_vec()))
-            .collect();
-        // BTreeMap iteration is already sorted by owner name.
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
-        ZoneSnapshot { origin: zone.origin().clone(), serial: zone.serial(), taken_at, entries: Arc::new(entries) }
+        let mut domains = Vec::with_capacity(zone.len());
+        let mut ns = Vec::with_capacity(zone.len());
+        // BTreeMap iteration is already sorted by owner name; NS sets are
+        // shared with the live zone, not copied.
+        for (d, delegation) in zone.iter() {
+            domains.push(*d);
+            ns.push(delegation.ns_set().clone());
+        }
+        debug_assert!(domains.windows(2).all(|w| w[0] < w[1]));
+        ZoneSnapshot {
+            origin: *zone.origin(),
+            serial: zone.serial(),
+            taken_at,
+            cols: Arc::new(Columns { domains, ns }),
+        }
     }
 
     /// Build from parts. Entries are sorted and deduplicated by domain
-    /// (last occurrence wins).
+    /// (last occurrence wins); NS sets are taken as given.
     pub fn from_entries(
         origin: DomainName,
         serial: Serial,
@@ -89,7 +113,27 @@ impl ZoneSnapshot {
                 false
             }
         });
-        ZoneSnapshot { origin, serial, taken_at, entries: Arc::new(entries) }
+        let mut domains = Vec::with_capacity(entries.len());
+        let mut ns = Vec::with_capacity(entries.len());
+        for (d, hosts) in entries {
+            domains.push(d);
+            ns.push(NsSet::from_raw(hosts));
+        }
+        ZoneSnapshot { origin, serial, taken_at, cols: Arc::new(Columns { domains, ns }) }
+    }
+
+    /// Assemble from already-sorted columns — the fast path for
+    /// [`crate::diff::ZoneDelta::apply`], which produces entries in order.
+    pub(crate) fn from_sorted_columns(
+        origin: DomainName,
+        serial: Serial,
+        taken_at: SimTime,
+        domains: Vec<DomainName>,
+        ns: Vec<NsSet>,
+    ) -> Self {
+        debug_assert_eq!(domains.len(), ns.len());
+        debug_assert!(domains.windows(2).all(|w| w[0] < w[1]));
+        ZoneSnapshot { origin, serial, taken_at, cols: Arc::new(Columns { domains, ns }) }
     }
 
     pub fn origin(&self) -> &DomainName {
@@ -105,31 +149,45 @@ impl ZoneSnapshot {
     }
 
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.cols.domains.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.cols.domains.is_empty()
     }
 
     pub fn contains(&self, domain: &DomainName) -> bool {
-        self.entries.binary_search_by(|(d, _)| d.cmp(domain)).is_ok()
+        self.cols.domains.binary_search(domain).is_ok()
     }
 
     /// NS set for `domain`, if present.
     pub fn ns_of(&self, domain: &DomainName) -> Option<&[DomainName]> {
-        self.entries
-            .binary_search_by(|(d, _)| d.cmp(domain))
-            .ok()
-            .map(|i| self.entries[i].1.as_slice())
+        self.cols.domains.binary_search(domain).ok().map(|i| self.cols.ns[i].as_slice())
     }
 
-    pub fn entries(&self) -> &[(DomainName, Vec<DomainName>)] {
-        &self.entries
+    /// Shared NS set for `domain`, if present (clone to carry it onward
+    /// without copying hosts).
+    pub fn ns_set_of(&self, domain: &DomainName) -> Option<&NsSet> {
+        self.cols.domains.binary_search(domain).ok().map(|i| &self.cols.ns[i])
+    }
+
+    /// The sorted owner-name column.
+    pub fn domain_column(&self) -> &[DomainName] {
+        &self.cols.domains
+    }
+
+    /// The NS column, parallel to [`ZoneSnapshot::domain_column`].
+    pub fn ns_column(&self) -> &[NsSet] {
+        &self.cols.ns
+    }
+
+    /// Iterate entries in owner-name order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (DomainName, &NsSet)> + '_ {
+        self.cols.domains.iter().copied().zip(self.cols.ns.iter())
     }
 
     pub fn domains(&self) -> impl Iterator<Item = &DomainName> {
-        self.entries.iter().map(|(d, _)| d)
+        self.cols.domains.iter()
     }
 
     /// Serialise to the CZDS-like text format:
@@ -141,13 +199,14 @@ impl ZoneSnapshot {
     /// example.com. 86400 IN NS ns1.cloudflare.com.
     /// ```
     pub fn to_text(&self) -> String {
-        let mut out = String::with_capacity(64 + self.entries.len() * 48);
-        out.push_str(&format!("; origin: {}\n", self.origin));
-        out.push_str(&format!("; serial: {}\n", self.serial));
-        out.push_str(&format!("; taken: {}\n", self.taken_at.as_secs()));
-        for (domain, ns_set) in self.entries.iter() {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64 + self.len() * 48);
+        let _ = writeln!(out, "; origin: {}", self.origin);
+        let _ = writeln!(out, "; serial: {}", self.serial);
+        let _ = writeln!(out, "; taken: {}", self.taken_at.as_secs());
+        for (domain, ns_set) in self.iter() {
             for ns in ns_set {
-                out.push_str(&format!("{domain}. 86400 IN NS {ns}.\n"));
+                let _ = writeln!(out, "{domain}. 86400 IN NS {ns}.");
             }
         }
         out
@@ -207,7 +266,7 @@ impl ZoneSnapshot {
         let taken = taken.ok_or_else(|| SnapshotParseError::BadHeader("missing taken".into()))?;
         // Sort NS sets for canonical equality.
         for (_, set) in by_domain.iter_mut() {
-            set.sort();
+            set.sort_unstable();
             set.dedup();
         }
         Ok(ZoneSnapshot::from_entries(origin, serial, taken, by_domain))
@@ -219,7 +278,7 @@ impl PartialEq for ZoneSnapshot {
         self.origin == other.origin
             && self.serial == other.serial
             && self.taken_at == other.taken_at
-            && self.entries == other.entries
+            && (Arc::ptr_eq(&self.cols, &other.cols) || self.cols == other.cols)
     }
 }
 impl Eq for ZoneSnapshot {}
@@ -245,11 +304,22 @@ mod tests {
         let z = sample_zone();
         let snap = ZoneSnapshot::capture(&z, SimTime::from_days(1));
         assert_eq!(snap.len(), 2);
-        assert_eq!(snap.entries()[0].0, name("alpha.com"));
+        assert_eq!(snap.domain_column()[0], name("alpha.com"));
         assert!(snap.contains(&name("bravo.com")));
         assert!(!snap.contains(&name("charlie.com")));
         assert_eq!(snap.ns_of(&name("alpha.com")).unwrap(), &[name("ns1.cloudflare.com")]);
         assert_eq!(snap.ns_of(&name("missing.com")), None);
+    }
+
+    #[test]
+    fn capture_shares_ns_sets_with_zone() {
+        let z = sample_zone();
+        let snap = ZoneSnapshot::capture(&z, SimTime::ZERO);
+        let zone_set = match z.lookup(&name("bravo.com")) {
+            crate::zone::LookupOutcome::Delegated(d) => d.ns_set().clone(),
+            other => panic!("expected delegation, got {other:?}"),
+        };
+        assert!(snap.ns_set_of(&name("bravo.com")).unwrap().ptr_eq(&zone_set));
     }
 
     #[test]
@@ -335,6 +405,6 @@ mod tests {
         let z = sample_zone();
         let snap = ZoneSnapshot::capture(&z, SimTime::ZERO);
         let clone = snap.clone();
-        assert!(Arc::ptr_eq(&snap.entries, &clone.entries));
+        assert!(Arc::ptr_eq(&snap.cols, &clone.cols));
     }
 }

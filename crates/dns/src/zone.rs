@@ -5,6 +5,11 @@
 //! deletions and nameserver changes mutate the zone and bump the SOA serial
 //! — exactly the churn the paper measures through daily CZDS snapshots and
 //! proposes to expose through rapid zone updates.
+//!
+//! NS sets are held as [`NsSet`] — an immutable, shared `Arc<[DomainName]>`
+//! — so that snapshot capture, diffing, journaling and delta application
+//! pass them around by reference-count bump instead of deep-cloning
+//! per-domain vectors.
 
 use crate::name::DomainName;
 use crate::record::{RData, ResourceRecord, SoaData};
@@ -12,13 +17,164 @@ use crate::serial::Serial;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::net::IpAddr;
+use std::sync::Arc;
+
+/// An immutable, cheaply-clonable set of nameserver host names.
+///
+/// Cloning bumps a reference count; comparing starts with a pointer check
+/// so snapshot entries that share storage (the common case along the
+/// capture → diff → apply pipeline) compare in O(1). Equality is by host
+/// sequence, matching the previous `Vec<DomainName>` semantics; the
+/// canonical sorted/deduplicated form is established by [`NsSet::new`] (or
+/// by the caller for [`NsSet::from_sorted`]).
+#[derive(Clone)]
+pub struct NsSet {
+    hosts: Arc<[DomainName]>,
+    /// True when `hosts` is known to be strictly sorted and deduplicated —
+    /// lets zone reconstruction take the `Delegation::from_sorted` fast
+    /// path without rescanning. Ignored by equality/hashing.
+    canonical: bool,
+}
+
+impl NsSet {
+    /// Canonicalise (sort + dedup) and freeze a host list.
+    pub fn new(mut hosts: Vec<DomainName>) -> Self {
+        hosts.sort_unstable();
+        hosts.dedup();
+        NsSet { hosts: hosts.into(), canonical: true }
+    }
+
+    /// Freeze an already-sorted, already-deduplicated host list without
+    /// re-canonicalising — the fast path for snapshot-load and diff-apply,
+    /// where the input is canonical by construction.
+    pub fn from_sorted(hosts: Vec<DomainName>) -> Self {
+        debug_assert!(
+            hosts.windows(2).all(|w| w[0] < w[1]),
+            "NsSet::from_sorted requires strictly sorted hosts"
+        );
+        NsSet { hosts: hosts.into(), canonical: true }
+    }
+
+    /// Freeze a host list as-is, preserving the given order. Used where
+    /// the legacy text formats supply sets whose order is meaningful to
+    /// equality (snapshot text round-trips).
+    pub fn from_raw(hosts: Vec<DomainName>) -> Self {
+        let canonical = hosts.windows(2).all(|w| w[0] < w[1]);
+        NsSet { hosts: hosts.into(), canonical }
+    }
+
+    /// True when the set is known sorted + deduplicated.
+    pub fn is_canonical(&self) -> bool {
+        self.canonical
+    }
+
+    pub fn as_slice(&self) -> &[DomainName] {
+        &self.hosts
+    }
+
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, DomainName> {
+        self.hosts.iter()
+    }
+
+    /// True when both sets share the same storage (O(1) equality witness).
+    pub fn ptr_eq(&self, other: &NsSet) -> bool {
+        Arc::ptr_eq(&self.hosts, &other.hosts)
+    }
+}
+
+impl std::ops::Deref for NsSet {
+    type Target = [DomainName];
+
+    fn deref(&self) -> &[DomainName] {
+        &self.hosts
+    }
+}
+
+impl PartialEq for NsSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.ptr_eq(other) || self.hosts == other.hosts
+    }
+}
+
+impl Eq for NsSet {}
+
+impl std::hash::Hash for NsSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.hosts.hash(state);
+    }
+}
+
+impl PartialEq<Vec<DomainName>> for NsSet {
+    fn eq(&self, other: &Vec<DomainName>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[DomainName]> for NsSet {
+    fn eq(&self, other: &[DomainName]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[DomainName; N]> for NsSet {
+    fn eq(&self, other: &[DomainName; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::fmt::Debug for NsSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.hosts.iter()).finish()
+    }
+}
+
+impl From<Vec<DomainName>> for NsSet {
+    fn from(hosts: Vec<DomainName>) -> Self {
+        NsSet::from_raw(hosts)
+    }
+}
+
+impl FromIterator<DomainName> for NsSet {
+    fn from_iter<I: IntoIterator<Item = DomainName>>(iter: I) -> Self {
+        NsSet::from_raw(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a NsSet {
+    type Item = &'a DomainName;
+    type IntoIter = std::slice::Iter<'a, DomainName>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.hosts.iter()
+    }
+}
+
+impl serde::Serialize for NsSet {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(self.hosts.iter().map(serde::Serialize::to_value).collect())
+    }
+}
+
+impl serde::Deserialize for NsSet {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Vec::<DomainName>::from_value(v).map(NsSet::from_raw)
+    }
+}
 
 /// The delegation data a TLD zone holds for one registered domain.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Delegation {
     /// Nameserver host names, kept sorted and deduplicated so that equality
     /// comparisons (and therefore diffs) are order-insensitive.
-    ns: Vec<DomainName>,
+    ns: NsSet,
     /// In-bailiwick glue addresses, keyed by nameserver host name.
     glue: BTreeMap<DomainName, Vec<IpAddr>>,
 }
@@ -27,10 +183,21 @@ impl Delegation {
     /// # Panics
     /// Panics if `ns` is empty: a delegation without nameservers cannot
     /// exist in a zone.
-    pub fn new(mut ns: Vec<DomainName>) -> Self {
+    pub fn new(ns: Vec<DomainName>) -> Self {
         assert!(!ns.is_empty(), "delegation requires at least one NS");
-        ns.sort();
-        ns.dedup();
+        Delegation { ns: NsSet::new(ns), glue: BTreeMap::new() }
+    }
+
+    /// Unchecked-fast constructor for NS sets that are canonical (sorted,
+    /// deduplicated, non-empty) by construction — the snapshot-load and
+    /// diff-apply paths, which would otherwise pay a redundant sort+dedup
+    /// per delegation.
+    pub fn from_sorted(ns: NsSet) -> Self {
+        debug_assert!(!ns.is_empty(), "delegation requires at least one NS");
+        debug_assert!(
+            ns.windows(2).all(|w| w[0] < w[1]),
+            "Delegation::from_sorted requires canonical NS order"
+        );
         Delegation { ns, glue: BTreeMap::new() }
     }
 
@@ -40,6 +207,12 @@ impl Delegation {
     }
 
     pub fn ns(&self) -> &[DomainName] {
+        &self.ns
+    }
+
+    /// The shared NS set — clone this (a refcount bump) to carry the set
+    /// into snapshots, journals and deltas without copying.
+    pub fn ns_set(&self) -> &NsSet {
         &self.ns
     }
 
@@ -77,8 +250,8 @@ impl Zone {
     /// Create an empty zone for `origin` with an initial serial.
     pub fn new(origin: DomainName, initial_serial: Serial) -> Self {
         let soa_template = SoaData {
-            mname: origin.child("ns0").unwrap_or_else(|_| origin.clone()),
-            rname: origin.child("hostmaster").unwrap_or_else(|_| origin.clone()),
+            mname: origin.child("ns0").unwrap_or(origin),
+            rname: origin.child("hostmaster").unwrap_or(origin),
             serial: initial_serial.get(),
             refresh: 1800,
             retry: 900,
@@ -100,7 +273,7 @@ impl Zone {
     pub fn soa(&self) -> ResourceRecord {
         let mut soa = self.soa_template.clone();
         soa.serial = self.serial.get();
-        ResourceRecord::new(self.origin.clone(), 900, RData::Soa(soa))
+        ResourceRecord::new(self.origin, 900, RData::Soa(soa))
     }
 
     pub fn len(&self) -> usize {
@@ -121,6 +294,30 @@ impl Zone {
             "{domain} is not a proper subdomain of zone {origin}",
             origin = self.origin
         );
+    }
+
+    /// Rebuild a live zone from a snapshot — the RZU-subscriber bootstrap
+    /// ("download the latest CZDS snapshot, then follow the feed"). NS
+    /// sets are shared with the snapshot; canonical sets take the
+    /// [`Delegation::from_sorted`] fast path and skip re-sorting.
+    ///
+    /// # Panics
+    /// Panics if any snapshot entry violates the zone invariants that
+    /// [`Zone::upsert`] / [`Delegation::new`] enforce: an owner that is
+    /// not a proper subdomain of the origin, or an empty NS set.
+    pub fn from_snapshot(snapshot: &crate::snapshot::ZoneSnapshot) -> Zone {
+        let mut zone = Zone::new(*snapshot.origin(), snapshot.serial());
+        for (domain, ns) in snapshot.iter() {
+            zone.assert_in_bailiwick(&domain);
+            assert!(!ns.is_empty(), "delegation for {domain} requires at least one NS");
+            let delegation = if ns.is_canonical() {
+                Delegation::from_sorted(ns.clone())
+            } else {
+                Delegation::new(ns.to_vec())
+            };
+            zone.delegations.insert(domain, delegation);
+        }
+        zone
     }
 
     /// Insert or replace a delegation, bumping the serial. Returns the
@@ -148,7 +345,7 @@ impl Zone {
     pub fn lookup(&self, name: &DomainName) -> LookupOutcome<'_> {
         // Find the delegation covering `name`: walk ancestor-wards from the
         // registrable candidate.
-        let mut candidate = Some(name.clone());
+        let mut candidate = Some(*name);
         while let Some(c) = candidate {
             if c == self.origin || !c.is_subdomain_of(&self.origin) {
                 break;
@@ -261,10 +458,82 @@ mod tests {
     }
 
     #[test]
+    fn delegation_from_sorted_skips_canonicalisation() {
+        let canonical = NsSet::from_sorted(vec![name("a.net"), name("b.net")]);
+        let d = Delegation::from_sorted(canonical.clone());
+        assert_eq!(d.ns(), canonical.as_slice());
+        // The set is shared, not copied.
+        assert!(d.ns_set().ptr_eq(&canonical));
+    }
+
+    #[test]
+    fn ns_set_sharing_and_equality() {
+        let a = NsSet::new(vec![name("b.net"), name("a.net")]);
+        let b = a.clone();
+        assert!(a.ptr_eq(&b));
+        let c = NsSet::new(vec![name("a.net"), name("b.net")]);
+        assert!(!a.ptr_eq(&c));
+        assert_eq!(a, c);
+    }
+
+    #[test]
     fn glue_round_trip() {
         let d = Delegation::new(ns("ns1.example.com"))
             .with_glue(name("ns1.example.com"), vec!["192.0.2.53".parse().unwrap()]);
         assert_eq!(d.glue().len(), 1);
+    }
+
+    #[test]
+    fn from_snapshot_round_trips_without_resorting() {
+        use crate::snapshot::ZoneSnapshot;
+        use darkdns_sim::SimTime;
+        let mut z = com_zone();
+        z.upsert(name("a.com"), Delegation::new(vec![name("ns2.x.net"), name("ns1.x.net")]));
+        z.upsert(name("b.com"), Delegation::new(ns("ns9.y.net")));
+        let snap = ZoneSnapshot::capture(&z, SimTime::ZERO);
+        let rebuilt = Zone::from_snapshot(&snap);
+        assert_eq!(rebuilt.serial(), z.serial());
+        assert_eq!(rebuilt.len(), 2);
+        match rebuilt.lookup(&name("a.com")) {
+            LookupOutcome::Delegated(d) => {
+                assert_eq!(d.ns(), &[name("ns1.x.net"), name("ns2.x.net")]);
+                // The NS set is shared with the snapshot (and the source
+                // zone), not copied or re-sorted.
+                assert!(d.ns_set().ptr_eq(snap.ns_set_of(&name("a.com")).unwrap()));
+            }
+            other => panic!("expected delegation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a proper subdomain")]
+    fn from_snapshot_rejects_out_of_bailiwick_entries() {
+        use crate::snapshot::ZoneSnapshot;
+        use darkdns_sim::SimTime;
+        // from_entries takes entries as given, so a malformed snapshot can
+        // exist; reconstructing a live zone from it must uphold the zone
+        // invariants.
+        let snap = ZoneSnapshot::from_entries(
+            name("com"),
+            Serial::new(1),
+            SimTime::ZERO,
+            vec![(name("x.net"), vec![name("ns1.x.net")])],
+        );
+        Zone::from_snapshot(&snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one NS")]
+    fn from_snapshot_rejects_empty_ns_sets() {
+        use crate::snapshot::ZoneSnapshot;
+        use darkdns_sim::SimTime;
+        let snap = ZoneSnapshot::from_entries(
+            name("com"),
+            Serial::new(1),
+            SimTime::ZERO,
+            vec![(name("a.com"), Vec::new())],
+        );
+        Zone::from_snapshot(&snap);
     }
 
     #[test]

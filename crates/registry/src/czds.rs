@@ -233,18 +233,23 @@ impl<'a> SnapshotOracle<'a> {
         day: u64,
     ) -> ZoneSnapshot {
         let capture = self.schedule.capture_time(tld, day);
+        // One synthetic NS pair per provider; the hosting landscape
+        // supplies real host names in the full experiment. Parse each
+        // provider's host once, not once per delegation.
+        let mut provider_ns: darkdns_dns::hash::NameMap<u16, Vec<darkdns_dns::DomainName>> =
+            Default::default();
         let entries: Vec<_> = universe
             .in_tld(tld)
             .filter(|r| r.in_zone_at(capture))
             .map(|r| {
-                // One synthetic NS pair per provider; the hosting landscape
-                // supplies real host names in the full experiment.
-                let ns = darkdns_dns::DomainName::parse(&format!(
-                    "ns1.provider{}.net",
-                    r.dns_provider.0
-                ))
-                .expect("static name is valid");
-                (r.name.clone(), vec![ns])
+                let ns = provider_ns.entry(r.dns_provider.0).or_insert_with(|| {
+                    vec![darkdns_dns::DomainName::parse(&format!(
+                        "ns1.provider{}.net",
+                        r.dns_provider.0
+                    ))
+                    .expect("static name is valid")]
+                });
+                (r.name, ns.clone())
             })
             .collect();
         ZoneSnapshot::from_entries(

@@ -13,7 +13,6 @@ use crate::tld::TldId;
 use darkdns_dns::DomainName;
 use darkdns_sim::time::SimTime;
 use serde::Serialize;
-use std::collections::HashMap;
 
 /// Index of a domain record within its universe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
@@ -126,7 +125,7 @@ impl DomainRecord {
 #[derive(Debug, Default)]
 pub struct Universe {
     records: Vec<DomainRecord>,
-    by_name: HashMap<DomainName, DomainId>,
+    by_name: darkdns_dns::hash::NameMap<DomainName, DomainId>,
 }
 
 impl Universe {

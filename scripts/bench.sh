@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Run the perf-tracking criterion suites (B1 zone-diff race, B3 pipeline
+# throughput) with reduced sample counts and emit BENCH_<tag>.json at the
+# repo root, recording the per-PR baseline alongside the fresh numbers.
+#
+# Usage:
+#   scripts/bench.sh [tag]       # default tag: pr1  → BENCH_pr1.json
+#
+# Knobs (env): DARKDNS_BENCH_MS (sampling budget per bench, ms),
+# DARKDNS_BENCH_SAMPLES (samples per bench).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TAG="${1:-pr1}"
+OUT="BENCH_${TAG}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+export DARKDNS_BENCH_MS="${DARKDNS_BENCH_MS:-1500}"
+export DARKDNS_BENCH_SAMPLES="${DARKDNS_BENCH_SAMPLES:-11}"
+
+DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench zone_diff
+DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench pipeline
+
+python3 - "$RAW" "$OUT" <<'PY'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+
+# Pre-PR-1 baseline: the seed implementation (String-backed DomainName,
+# deep-cloning diff paths) measured on the same machine before the
+# interning/zero-copy refactor landed. Tracked so every later PR can see
+# the full perf trajectory, not just its own delta.
+BASELINE = {
+    "zone_diff/sorted-merge/10000": {"median_ns": 225288.0, "elems_per_sec": 44387634.1},
+    "zone_diff/hash-partitioned/10000": {"median_ns": 3445120.4, "elems_per_sec": 2902656.2},
+    "zone_diff/incremental-journal/10000": {"median_ns": 90991.8, "elems_per_sec": 109899970.0},
+    "zone_diff/sorted-merge/100000": {"median_ns": 1985205.8, "elems_per_sec": 50372611.6},
+    "zone_diff/hash-partitioned/100000": {"median_ns": 56414718.7, "elems_per_sec": 1772587.1},
+    "zone_diff/incremental-journal/100000": {"median_ns": 1136737.3, "elems_per_sec": 87971070.0},
+    "zone_diff/sorted-merge/500000": {"median_ns": 19360699.7, "elems_per_sec": 25825512.9},
+    "zone_diff/hash-partitioned/500000": {"median_ns": 556402176.0, "elems_per_sec": 898630.6},
+    "zone_diff/incremental-journal/500000": {"median_ns": 7207062.6, "elems_per_sec": 69376391.7},
+    "pipeline/detector/certstream": {"median_ns": 4678959.7, "elems_per_sec": 897208.0},
+    "pipeline/experiment/small": {"median_ns": 420460661.0, "elems_per_sec": 9984.3},
+}
+
+current = {}
+with open(raw_path) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        current[rec["id"]] = {
+            "median_ns": rec["median_ns"],
+            "elems_per_sec": rec.get("elems_per_sec"),
+        }
+
+report = {
+    "baseline_label": "seed (pre interning + zero-copy diff)",
+    "baseline": BASELINE,
+    "current": current,
+    "speedup": {
+        bench: round(BASELINE[bench]["median_ns"] / current[bench]["median_ns"], 2)
+        for bench in BASELINE
+        if bench in current and current[bench]["median_ns"]
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+for bench, ratio in sorted(report["speedup"].items()):
+    print(f"  {bench:<44} {ratio:>6}x vs baseline")
+PY

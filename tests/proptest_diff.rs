@@ -34,6 +34,62 @@ fn snapshot_of(state: &BTreeMap<u16, u8>, serial: u32) -> ZoneSnapshot {
     )
 }
 
+/// Like [`snapshot_of`], but with owner names and NS hosts long enough
+/// that every one takes the interned (not inline) representation.
+fn interned_snapshot_of(state: &BTreeMap<u16, u8>, serial: u32) -> ZoneSnapshot {
+    let entries = state
+        .iter()
+        .map(|(i, ns)| {
+            let owner =
+                DomainName::parse(&format!("quite-long-interned-owner-name-{i:04}.com")).unwrap();
+            let host =
+                DomainName::parse(&format!("ns{ns}.a-long-interned-hosting-provider.net")).unwrap();
+            (owner, vec![host])
+        })
+        .collect();
+    ZoneSnapshot::from_entries(
+        DomainName::parse("com").unwrap(),
+        Serial::new(serial),
+        SimTime::from_secs(u64::from(serial)),
+        entries,
+    )
+}
+
+/// Synthesize the journal a zone would have recorded while moving from
+/// state `old` to state `new` (one event per differing domain).
+fn journal_between(old: &ZoneSnapshot, new: &ZoneSnapshot) -> ZoneJournal {
+    let mut journal = ZoneJournal::new();
+    let mut serial = Serial::new(100);
+    let mut record = |event| {
+        serial = serial.next();
+        journal.record(serial, event);
+    };
+    let mut i = 0;
+    let mut j = 0;
+    let (od, on) = (old.domain_column(), old.ns_column());
+    let (nd, nn) = (new.domain_column(), new.ns_column());
+    while i < od.len() || j < nd.len() {
+        if j >= nd.len() || (i < od.len() && od[i] < nd[j]) {
+            record(JournalEvent::Removed { domain: od[i], prev_ns: on[i].clone() });
+            i += 1;
+        } else if i >= od.len() || nd[j] < od[i] {
+            record(JournalEvent::Added { domain: nd[j], ns: nn[j].clone() });
+            j += 1;
+        } else {
+            if on[i] != nn[j] {
+                record(JournalEvent::NsChanged {
+                    domain: od[i],
+                    prev_ns: on[i].clone(),
+                    ns: nn[j].clone(),
+                });
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    journal
+}
+
 proptest! {
     #[test]
     fn diff_engines_agree(old in zone_state_strategy(), new in zone_state_strategy()) {
@@ -44,6 +100,28 @@ proptest! {
             let hashed = HashPartitionedDiff::new(partitions).diff(&a, &b);
             prop_assert_eq!(&hashed, &merge, "partitions={}", partitions);
         }
+    }
+
+    #[test]
+    fn all_engines_agree_on_interned_snapshots(
+        old in zone_state_strategy(),
+        new in zone_state_strategy(),
+    ) {
+        // Interned (>22-byte) names exercise the id-equality fast paths;
+        // all three engines — both snapshot diffs and the incremental
+        // journal — must produce byte-identical canonical deltas.
+        let a = interned_snapshot_of(&old, 1);
+        let b = interned_snapshot_of(&new, 2);
+        let merge = SortedMergeDiff.diff(&a, &b);
+        for partitions in [1usize, 4, 64] {
+            let hashed = HashPartitionedDiff::new(partitions).diff(&a, &b);
+            prop_assert_eq!(&hashed, &merge, "partitions={}", partitions);
+        }
+        let journal = journal_between(&a, &b);
+        let head = journal.head().unwrap_or(Serial::new(100));
+        prop_assert_eq!(&journal.delta_between(Serial::new(100), head), &merge);
+        // And the delta still applies cleanly back onto the interned base.
+        prop_assert_eq!(merge.apply(&a, b.serial(), b.taken_at()), b);
     }
 
     #[test]
@@ -78,9 +156,9 @@ proptest! {
             .chain(delta.removed.iter().map(|(d, _)| d.clone()))
             .chain(delta.changed.iter().map(|c| c.domain.clone()))
             .collect();
-        for (d, ns) in a.entries() {
-            if !touched.contains(d) {
-                prop_assert_eq!(b.ns_of(d), Some(ns.as_slice()));
+        for (d, ns) in a.iter() {
+            if !touched.contains(&d) {
+                prop_assert_eq!(b.ns_of(&d), Some(ns.as_slice()));
             }
         }
     }
@@ -102,17 +180,18 @@ proptest! {
                 if let Some(prev) = zone.remove(&domain) {
                     journal.record(
                         zone.serial(),
-                        JournalEvent::Removed { domain, prev_ns: prev.ns().to_vec() },
+                        JournalEvent::Removed { domain, prev_ns: prev.ns_set().clone() },
                     );
                 }
             } else {
-                let ns = vec![ns_host(op)];
-                let prev = zone.upsert(domain.clone(), Delegation::new(ns.clone()));
+                let delegation = Delegation::new(vec![ns_host(op)]);
+                let ns = delegation.ns_set().clone();
+                let prev = zone.upsert(domain, delegation);
                 match prev {
                     None => journal.record(zone.serial(), JournalEvent::Added { domain, ns }),
-                    Some(old) if old.ns() != ns.as_slice() => journal.record(
+                    Some(old) if *old.ns_set() != ns => journal.record(
                         zone.serial(),
-                        JournalEvent::NsChanged { domain, prev_ns: old.ns().to_vec(), ns },
+                        JournalEvent::NsChanged { domain, prev_ns: old.ns_set().clone(), ns },
                     ),
                     Some(_) => journal.record(
                         zone.serial(),
@@ -161,6 +240,24 @@ proptest! {
     }
 
     #[test]
+    fn cross_engine_agreement_is_exact_not_just_equal(
+        old in zone_state_strategy(),
+        new in zone_state_strategy(),
+    ) {
+        // "Byte-identical canonical deltas": pin the serialized form, not
+        // just `PartialEq`, so canonicalisation order can never drift
+        // between engines.
+        let a = snapshot_of(&old, 1);
+        let b = snapshot_of(&new, 2);
+        let merge_json = serde_json::to_string(&SortedMergeDiff.diff(&a, &b)).unwrap();
+        for partitions in [1usize, 16] {
+            let hashed_json =
+                serde_json::to_string(&HashPartitionedDiff::new(partitions).diff(&a, &b)).unwrap();
+            prop_assert_eq!(&hashed_json, &merge_json, "partitions={}", partitions);
+        }
+    }
+
+    #[test]
     fn token_bucket_never_exceeds_declared_rate(
         capacity in 1u32..20,
         rate_per_hour in 60.0f64..7200.0,
@@ -186,4 +283,52 @@ proptest! {
             max_grants
         );
     }
+}
+
+/// A deterministic 100k-delegation churn workload: `apply(diff(a, b), a)`
+/// must reconstruct `b` exactly, and the sorted-merge and hash-partitioned
+/// engines must agree, at a scale where any per-entry clone or map rebuild
+/// in the hot paths would be visible as a timeout.
+#[test]
+fn apply_roundtrip_at_100k_entries() {
+    const SIZE: u32 = 100_000;
+    let origin = DomainName::parse("com").unwrap();
+    let ns_a = DomainName::parse("ns1.cloudflare.com").unwrap();
+    let ns_b = DomainName::parse("ns1.domaincontrol.com").unwrap();
+    // Simple xorshift so the churn pattern is reproducible without rand.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut old = Vec::with_capacity(SIZE as usize);
+    let mut new = Vec::with_capacity(SIZE as usize);
+    for i in 0..SIZE {
+        let name = DomainName::parse(&format!("domain-{i:09}.com")).unwrap();
+        match next() % 100 {
+            0 => old.push((name, vec![ns_a])),                                  // removed
+            1 => new.push((name, vec![ns_a])),                                  // added
+            2 => {
+                old.push((name, vec![ns_a]));                                   // NS change
+                new.push((name, vec![ns_b]));
+            }
+            _ => {
+                old.push((name, vec![ns_a]));
+                new.push((name, vec![ns_a]));
+            }
+        }
+    }
+    let a = ZoneSnapshot::from_entries(origin, Serial::new(1), SimTime::ZERO, old);
+    let b = ZoneSnapshot::from_entries(origin, Serial::new(2), SimTime::from_secs(86_400), new);
+    let delta = SortedMergeDiff.diff(&a, &b);
+    assert!(!delta.is_empty(), "workload must have churn");
+    assert_eq!(delta, HashPartitionedDiff::new(16).diff(&a, &b));
+    let rebuilt = delta.apply(&a, b.serial(), b.taken_at());
+    assert_eq!(rebuilt, b);
+    // Reconstructing a live zone from the rebuilt snapshot exercises the
+    // Delegation::from_sorted fast path at scale.
+    let zone = Zone::from_snapshot(&rebuilt);
+    assert_eq!(zone.len(), b.len());
 }

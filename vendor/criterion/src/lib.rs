@@ -1,0 +1,223 @@
+//! Minimal vendored stand-in for `criterion` that really measures.
+//!
+//! Implements the subset of the criterion API the bench suites use
+//! (groups, throughput annotations, `bench_with_input` / `bench_function`,
+//! the `criterion_group!` / `criterion_main!` macros) with a
+//! warmup-then-sample measurement loop reporting the median per-iteration
+//! time and derived throughput.
+//!
+//! Environment knobs (read once per process):
+//! * `DARKDNS_BENCH_SAMPLES` — samples per benchmark (default 15);
+//! * `DARKDNS_BENCH_MS` — total sampling budget per benchmark in
+//!   milliseconds (default 1200);
+//! * `DARKDNS_BENCH_JSON` — when set, append one JSON line per benchmark
+//!   (`id`, `median_ns`, `elems`, `elems_per_sec`) to the given file.
+
+use std::fmt::Display;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimization barrier (criterion's `black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { name: name.into(), param: param.to_string() }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: default_samples(),
+        }
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("DARKDNS_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(15)
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("DARKDNS_BENCH_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(1200u64);
+    Duration::from_millis(ms)
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(2);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}/{}", self.name, id.name, id.param);
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        self.report(&full, &bencher);
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        self.report(&full, &bencher);
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let Some(median_ns) = bencher.median_ns else {
+            println!("{id:<48} (no measurement)");
+            return;
+        };
+        let mut line = format!("{id:<48} time: {}", fmt_ns(median_ns));
+        let mut elems = None;
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let per_sec = n as f64 / (median_ns / 1e9);
+            line.push_str(&format!("   thrpt: {} elem/s", fmt_count(per_sec)));
+            elems = Some(n);
+        }
+        if let Some(Throughput::Bytes(n)) = self.throughput {
+            let per_sec = n as f64 / (median_ns / 1e9);
+            line.push_str(&format!("   thrpt: {} B/s", fmt_count(per_sec)));
+        }
+        println!("{line}");
+        if let Ok(path) = std::env::var("DARKDNS_BENCH_JSON") {
+            let elems_per_sec = elems.map(|n| n as f64 / (median_ns / 1e9));
+            let json = format!(
+                "{{\"id\":\"{id}\",\"median_ns\":{median_ns:.1},\"elems\":{},\"elems_per_sec\":{}}}\n",
+                elems.map_or("null".to_string(), |n| n.to_string()),
+                elems_per_sec.map_or("null".to_string(), |x| format!("{x:.1}")),
+            );
+            if let Ok(mut file) =
+                std::fs::OpenOptions::new().create(true).append(true).open(&path)
+            {
+                let _ = file.write_all(json.as_bytes());
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn fmt_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.3} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.3} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.3} K", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Runs the closure under measurement when `iter` is called.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and per-iteration estimate.
+        let warmup_budget = Duration::from_millis(200);
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < warmup_budget {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let est_ns = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+
+        let samples = default_samples();
+        let per_sample = budget().as_nanos() as f64 / samples as f64;
+        let iters_per_sample = ((per_sample / est_ns).floor() as u64).max(1);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.median_ns = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

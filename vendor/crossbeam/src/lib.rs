@@ -1,0 +1,55 @@
+//! Minimal vendored stand-in for `crossbeam`: the `channel` module backed
+//! by `std::sync::mpsc`, which provides the unbounded MPSC semantics the
+//! in-process topic bus needs.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::TryRecvError;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Create an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}

@@ -1,0 +1,287 @@
+//! Minimal vendored stand-in for `rand` 0.8, sufficient for this
+//! workspace: [`rngs::SmallRng`] (xoshiro256++ seeded via SplitMix64,
+//! matching the determinism guarantees the simulator relies on — stable
+//! across platforms and across this crate's lifetime), the [`Rng`] /
+//! [`SeedableRng`] traits, uniform ranges via `gen_range`, and the
+//! [`distributions::Standard`] distribution.
+
+pub mod rngs {
+    /// A small, fast, deterministic RNG (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_state(mut seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the full state,
+            // as rand_core does for seed_from_u64.
+            let mut next = || {
+                seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng { s: [next(), next(), next(), next()] }
+        }
+
+        #[inline]
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.next_u64_impl()
+        }
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng::from_state(state)
+        }
+    }
+}
+
+/// Core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod distributions {
+    use crate::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: uniform over the full integer range,
+    /// uniform in `[0, 1)` for floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                #[inline]
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<bool> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    /// An iterator of samples, as returned by [`crate::Rng::sample_iter`].
+    pub struct DistIter<D, R, T> {
+        pub(crate) distr: D,
+        pub(crate) rng: R,
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
+        type Item = T;
+
+        #[inline]
+        fn next(&mut self) -> Option<T> {
+            Some(self.distr.sample(&mut self.rng))
+        }
+    }
+}
+
+use distributions::{DistIter, Distribution, Standard};
+
+/// Types uniformly sampleable over a range. The single generic
+/// `SampleRange` impl below is what lets integer-literal ranges unify
+/// with the surrounding inference context, as with the real `rand`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u64;
+                // Multiply-shift bounded uniform (Lemire); bias is < 2^-64
+                // per draw which is negligible for simulation purposes.
+                let draw = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                (lo as i128 + draw as i128) as $t
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = hi as i128 - lo as i128 + 1;
+                if span > u64::MAX as i128 {
+                    return rng.next_u64() as $t;
+                }
+                let draw = ((u128::from(rng.next_u64()) * (span as u128)) >> 64) as u64;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                let unit: $t = Standard.sample(rng);
+                lo + unit * (hi - lo)
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                Self::sample_half_open(rng, lo, hi)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range types usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// User-facing RNG methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit: f64 = self.gen();
+        unit < p
+    }
+
+    #[inline]
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    #[inline]
+    fn sample_iter<T, D: Distribution<T>>(self, distr: D) -> DistIter<D, Self, T>
+    where
+        Self: Sized,
+    {
+        DistIter { distr, rng: self, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(2..=4u64);
+            assert!((2..=4).contains(&y));
+            let f = rng.gen_range(0.5f64..1.5);
+            assert!((0.5..1.5).contains(&f));
+            let unit: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&unit));
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Hand-parses the item token stream (no `syn` available in this build
+//! environment) and emits `Serialize` / `Deserialize` impls against the
+//! shim's `Value` data model. Supports the shapes this workspace uses:
+//! non-generic structs (named, tuple, unit) and enums (unit, tuple and
+//! struct variants). `#[serde(transparent)]` on a newtype struct defers to
+//! the inner field; other `#[serde(...)]` attributes are accepted and
+//! ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<String>, transparent: bool },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Skip `#[...]` attribute groups, collecting the raw text of any
+/// `#[serde(...)]` attribute encountered.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, serde_attrs: &mut String) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let text = g.stream().to_string();
+                    if text.starts_with("serde") {
+                        serde_attrs.push_str(&text);
+                    }
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut serde_attrs = String::new();
+    let mut i = skip_attrs(&tokens, 0, &mut serde_attrs);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim does not support generic type `{name}`");
+        }
+    }
+    let transparent = serde_attrs.contains("transparent");
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()), transparent }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored = String::new();
+        i = skip_attrs(&tokens, i, &mut ignored);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        }
+        i += 1;
+        // Skip `: Type` up to the next top-level comma. Generic angle
+        // brackets contain no commas at our nesting level because `<...>`
+        // is not a delimiter group — so track angle depth explicitly.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored = String::new();
+        i = skip_attrs(&tokens, i, &mut ignored);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a possible discriminant `= expr` and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields, transparent } => {
+            if *transparent && fields.len() == 1 {
+                format!(
+                    "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ serde::Serialize::to_value(&self.{f}) }}\n\
+                     }}",
+                    f = fields[0]
+                )
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ serde::Value::Map(vec![{}]) }}\n\
+                     }}",
+                    entries.join(", ")
+                )
+            }
+        }
+        Item::TupleStruct { name, arity, .. } => {
+            if *arity == 1 {
+                format!(
+                    "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ serde::Serialize::to_value(&self.0) }}\n\
+                     }}"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ serde::Value::Seq(vec![{}]) }}\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(x0) => serde::Value::Map(vec![(\"{vname}\".to_string(), serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => serde::Value::Map(vec![(\"{vname}\".to_string(), serde::Value::Seq(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                ))
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => serde::Value::Map(vec![(\"{vname}\".to_string(), serde::Value::Map(vec![{entries}]))]),",
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ match self {{ {} }} }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields, transparent } => {
+            if *transparent && fields.len() == 1 {
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     Ok({name} {{ {f}: serde::Deserialize::from_value(v)? }})\n\
+                     }}\n}}",
+                    f = fields[0]
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: serde::Deserialize::from_value(v.get(\"{f}\").unwrap_or(&serde::Value::Null))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     Ok({name} {{ {} }})\n\
+                     }}\n}}",
+                    inits.join(", ")
+                )
+            }
+        }
+        Item::TupleStruct { name, arity, .. } => {
+            if *arity == 1 {
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     Ok({name}(serde::Deserialize::from_value(v)?))\n\
+                     }}\n}}"
+                )
+            } else {
+                let inits: Vec<String> = (0..*arity)
+                    .map(|i| format!(
+                        "serde::Deserialize::from_value(items.get({i}).unwrap_or(&serde::Value::Null))?"
+                    ))
+                    .collect();
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     match v {{\n\
+                     serde::Value::Seq(items) => Ok({name}({})),\n\
+                     _ => Err(serde::Error::custom(\"expected sequence for {name}\")),\n\
+                     }}\n}}\n}}",
+                    inits.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &serde::Value) -> Result<Self, serde::Error> {{ Ok({name}) }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push(format!(
+                        "serde::Value::Str(s) if s == \"{vname}\" => return Ok({name}::{vname}),"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push(format!(
+                        "if let Some(inner) = v.get(\"{vname}\") {{\n\
+                         return Ok({name}::{vname}(serde::Deserialize::from_value(inner)?));\n\
+                         }}"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!(
+                                "serde::Deserialize::from_value(items.get({i}).unwrap_or(&serde::Value::Null))?"
+                            ))
+                            .collect();
+                        data_arms.push(format!(
+                            "if let Some(serde::Value::Seq(items)) = v.get(\"{vname}\") {{\n\
+                             return Ok({name}::{vname}({}));\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!(
+                                "{f}: serde::Deserialize::from_value(inner.get(\"{f}\").unwrap_or(&serde::Value::Null))?"
+                            ))
+                            .collect();
+                        data_arms.push(format!(
+                            "if let Some(inner) = v.get(\"{vname}\") {{\n\
+                             return Ok({name}::{vname} {{ {} }});\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 match v {{ {} _ => {{}} }}\n\
+                 {}\n\
+                 Err(serde::Error::custom(\"no variant of {name} matched\"))\n\
+                 }}\n}}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Deserialize impl parses")
+}
