@@ -1,0 +1,245 @@
+//! B4: RZU distribution broker — fan-out and cold catch-up.
+//!
+//! Two claims are measured:
+//!
+//! * **Fan-out amortises serialization.** Pushing one delta to 1k
+//!   subscribers costs one wire encode plus 1k refcount-shared queue
+//!   pushes (`broker/fanout-shared/*`). The baseline
+//!   (`broker/fanout-encode-per-sub/*`) re-encodes the frame once per
+//!   subscriber, which is what a naive per-connection serializer would
+//!   do. The shared path must win by ≥5×.
+//! * **Checkpoints beat full-journal replay for cold catch-up.** A
+//!   subscriber bootstrapping a 500k-delegation shard from the latest
+//!   checkpoint decodes and applies only the post-checkpoint deltas
+//!   (`broker/catchup-checkpoint/500000`); replaying the full sealed
+//!   history from the shard's starting snapshot
+//!   (`broker/catchup-full-replay/500000`) pays one O(n) apply per
+//!   retained delta.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use darkdns_broker::{Broker, BrokerConfig, BrokerMessage, OverflowPolicy, RetentionConfig};
+use darkdns_dns::wire::encode_delta_push;
+use darkdns_dns::{decode_delta_push, DomainName, NsSet, Serial, ZoneDelta, ZoneSnapshot};
+use darkdns_dns::diff::NsChange;
+use darkdns_registry::tld::TldId;
+use darkdns_sim::time::SimTime;
+use std::cell::Cell;
+
+fn name(s: &str) -> DomainName {
+    DomainName::parse(s).unwrap()
+}
+
+/// A shard snapshot of `size` delegations spread over `providers` NS sets.
+fn shard_snapshot(origin: &str, size: usize) -> ZoneSnapshot {
+    let providers: Vec<NsSet> = (0..8)
+        .map(|p| {
+            NsSet::new(vec![
+                name(&format!("ns1.provider{p}.net")),
+                name(&format!("ns2.provider{p}.net")),
+            ])
+        })
+        .collect();
+    let entries = (0..size)
+        .map(|i| {
+            (
+                name(&format!("domain-{i:09}.{origin}")),
+                providers[i % providers.len()].as_slice().to_vec(),
+            )
+        })
+        .collect();
+    ZoneSnapshot::from_entries(name(origin), Serial::new(0), SimTime::ZERO, entries)
+}
+
+/// An NS-flip delta over `churn` domains of `snap`: forward rotates the
+/// delegations onto a fresh host, backward restores them. Publishing
+/// forward then backward keeps the shard size constant forever.
+fn flip_deltas(snap: &ZoneSnapshot, churn: usize) -> (ZoneDelta, ZoneDelta) {
+    let rotated = NsSet::new(vec![name("ns1.rotated.net"), name("ns2.rotated.net")]);
+    let mut forward = ZoneDelta::default();
+    let mut backward = ZoneDelta::default();
+    let step = (snap.len() / churn).max(1);
+    for i in (0..snap.len()).step_by(step).take(churn) {
+        let domain = snap.domain_column()[i];
+        let old = snap.ns_column()[i].clone();
+        forward.changed.push(NsChange {
+            domain,
+            old_ns: old.clone(),
+            new_ns: rotated.clone(),
+        });
+        backward.changed.push(NsChange { domain, old_ns: rotated.clone(), new_ns: old });
+    }
+    (forward, backward)
+}
+
+/// Alternate forward/backward flips with ever-increasing serials.
+struct FlipPublisher {
+    forward: ZoneDelta,
+    backward: ZoneDelta,
+    serial: Cell<u32>,
+}
+
+impl FlipPublisher {
+    fn new(snap: &ZoneSnapshot, churn: usize) -> Self {
+        let (forward, backward) = flip_deltas(snap, churn);
+        FlipPublisher { forward, backward, serial: Cell::new(0) }
+    }
+
+    fn next(&self) -> (ZoneDelta, Serial) {
+        let s = self.serial.get() + 1;
+        self.serial.set(s);
+        let delta = if s % 2 == 1 { self.forward.clone() } else { self.backward.clone() };
+        (delta, Serial::new(s))
+    }
+}
+
+fn fanout_broker(tlds: usize, subs_per_tld: usize, shard_size: usize) -> (Broker, Vec<TldId>) {
+    let broker = Broker::new(BrokerConfig {
+        retention: RetentionConfig::new(64, 16),
+        // Small bound + Lag: queues saturate and stay flat, so steady-
+        // state publish cost is measured, not queue growth.
+        subscriber_capacity: 8,
+        overflow: OverflowPolicy::Lag,
+    });
+    let mut ids = Vec::with_capacity(tlds);
+    for t in 0..tlds {
+        let tld = TldId(t as u16);
+        broker.add_shard(tld, shard_snapshot(&format!("tld{t}"), shard_size));
+        ids.push(tld);
+    }
+    let mut handles = Vec::with_capacity(tlds * subs_per_tld);
+    for &tld in &ids {
+        for _ in 0..subs_per_tld {
+            handles.push(broker.subscribe(&[tld], Some(Serial::new(0))));
+        }
+    }
+    // Keep the subscriptions alive for the broker's lifetime.
+    std::mem::forget(handles);
+    (broker, ids)
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker");
+    const CHURN: usize = 1_000;
+
+    // 1 TLD × 1000 subscribers: one publish = one encode + 1000 shares.
+    let (broker, ids) = fanout_broker(1, 1_000, 10_000);
+    let publisher = FlipPublisher::new(&broker.head(ids[0]).unwrap(), CHURN);
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_with_input(BenchmarkId::new("fanout-shared", "1tld-1000subs"), &(), |b, _| {
+        b.iter(|| {
+            let (delta, serial) = publisher.next();
+            broker.publish(ids[0], delta, serial, SimTime::ZERO)
+        })
+    });
+
+    // Baseline: what fan-out costs if every subscriber gets its own
+    // encode of the same delta (no shared frames).
+    let (forward, _) = flip_deltas(&broker.head(ids[0]).unwrap(), CHURN);
+    group.bench_with_input(
+        BenchmarkId::new("fanout-encode-per-sub", "1tld-1000subs"),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for _ in 0..1_000 {
+                    total += encode_delta_push(
+                        &name("tld0"),
+                        Serial::new(0),
+                        Serial::new(1),
+                        SimTime::ZERO,
+                        &forward,
+                    )
+                    .len();
+                }
+                total
+            })
+        },
+    );
+
+    // 10 TLDs × 100 subscribers: the sharded layout at the same total
+    // subscriber count; one iteration publishes one push per shard.
+    let (broker10, ids10) = fanout_broker(10, 100, 10_000);
+    let publishers: Vec<FlipPublisher> = ids10
+        .iter()
+        .map(|&tld| FlipPublisher::new(&broker10.head(tld).unwrap(), CHURN / 10))
+        .collect();
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_with_input(BenchmarkId::new("fanout-shared", "10tld-100subs"), &(), |b, _| {
+        b.iter(|| {
+            for (&tld, publisher) in ids10.iter().zip(&publishers) {
+                let (delta, serial) = publisher.next();
+                broker10.publish(tld, delta, serial, SimTime::ZERO);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_catchup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker");
+    const SHARD: usize = 500_000;
+    // Not a multiple of the checkpoint cadence: the checkpoint genuinely
+    // lags the head (here by 2 deltas), so the checkpoint path still has
+    // frames to decode and apply.
+    const HISTORY: usize = 34;
+    const CHURN: usize = 2_000;
+
+    // A 500k-delegation shard with 34 sealed deltas of history and a
+    // checkpoint every 4 pushes. Retention keeps the full history so the
+    // "replay it all" baseline has something to replay.
+    let broker = Broker::new(BrokerConfig {
+        retention: RetentionConfig::new(HISTORY + 2, 4),
+        ..BrokerConfig::default()
+    });
+    let tld = TldId(0);
+    let start = shard_snapshot("com", SHARD);
+    broker.add_shard(tld, start.clone());
+    let publisher = FlipPublisher::new(&start, CHURN);
+    let mut sealed = Vec::with_capacity(HISTORY);
+    for _ in 0..HISTORY {
+        let (delta, serial) = publisher.next();
+        sealed.push(broker.publish(tld, delta, serial, SimTime::ZERO));
+    }
+    let head = broker.head(tld).unwrap();
+
+    group.throughput(Throughput::Elements(SHARD as u64));
+    // Cold catch-up as the broker serves it: checkpoint snapshot
+    // (Arc-shared) + decode/apply of the post-checkpoint deltas.
+    group.bench_with_input(BenchmarkId::new("catchup-checkpoint", SHARD), &(), |b, _| {
+        b.iter(|| {
+            let sub = broker.subscribe(&[tld], None);
+            let mut state: Option<ZoneSnapshot> = None;
+            for msg in sub.drain() {
+                match msg {
+                    BrokerMessage::Snapshot { snapshot, .. } => state = Some(snapshot),
+                    BrokerMessage::Delta { frame, .. } => {
+                        let push = decode_delta_push(&frame).expect("well-formed");
+                        let s = state.as_mut().expect("snapshot first");
+                        *s = push.delta.apply(s, push.to_serial, push.pushed_at);
+                    }
+                }
+            }
+            let state = state.expect("bootstrapped");
+            assert_eq!(state.serial(), head.serial());
+            state
+        })
+    });
+
+    // Baseline: no checkpoints — decode and apply the entire sealed
+    // history onto the shard's starting snapshot.
+    group.bench_with_input(BenchmarkId::new("catchup-full-replay", SHARD), &(), |b, _| {
+        b.iter(|| {
+            let mut state = start.clone();
+            for d in &sealed {
+                let push = decode_delta_push(&d.frame).expect("well-formed");
+                state = push.delta.apply(&state, push.to_serial, push.pushed_at);
+            }
+            assert_eq!(state.serial(), head.serial());
+            state
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout, bench_catchup);
+criterion_main!(benches);

@@ -1,0 +1,589 @@
+//! The fan-out broker: bounded subscriber buffers over the sharded
+//! journal.
+//!
+//! `publish` seals a delta once (one wire encode) and clones the
+//! resulting refcount-shared [`Bytes`] frame into every matching
+//! subscriber queue — fan-out cost is one `VecDeque` push per
+//! subscriber, independent of the delta size. `subscribe` computes the
+//! snapshot-vs-delta catch-up plan (crate docs) under the same lock that
+//! publishers take, so a joining subscriber can never miss or double-see
+//! a push.
+
+use crate::shard::{CatchUp, RetentionConfig, SealedDelta, ShardedJournal};
+use bytes::Bytes;
+use darkdns_dns::{Serial, ZoneDelta, ZoneSnapshot};
+use darkdns_registry::tld::TldId;
+use darkdns_sim::time::SimTime;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What to do with a subscriber whose buffer is full. This is the
+/// shared policy vocabulary for bounded fan-out in the workspace: the
+/// in-process `Topic` bus (`darkdns_core::feed`) re-exports and uses
+/// the same type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Drop the new message for that subscriber and count it
+    /// ([`BrokerSubscription::dropped_count`]); the subscriber lags and
+    /// must resubscribe to heal the gap.
+    #[default]
+    Lag,
+    /// Evict the subscriber outright: its queue is cleared and no
+    /// further messages are delivered.
+    Evict,
+}
+
+/// Broker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BrokerConfig {
+    pub retention: RetentionConfig,
+    /// Live-push buffer bound per subscriber (catch-up messages are
+    /// exempt; their depth is bounded by the retention ring instead).
+    pub subscriber_capacity: usize,
+    pub overflow: OverflowPolicy,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            retention: RetentionConfig::default(),
+            subscriber_capacity: 1024,
+            overflow: OverflowPolicy::Lag,
+        }
+    }
+}
+
+/// A message on a subscriber queue.
+#[derive(Debug, Clone)]
+pub enum BrokerMessage {
+    /// Catch-up bootstrap: adopt this snapshot as the shard state.
+    /// Delivered in-process as an `Arc`-shared columnar snapshot — no
+    /// serialization.
+    Snapshot { tld: TldId, snapshot: ZoneSnapshot },
+    /// One delta push, as the shared `RZU1` wire frame; decode with
+    /// [`darkdns_dns::decode_delta_push`].
+    Delta { tld: TldId, frame: Bytes },
+}
+
+/// Aggregate broker counters (monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Live subscribers currently registered.
+    pub subscribers: usize,
+    /// Wire frames encoded (exactly one per published delta).
+    pub frames_encoded: u64,
+    /// Total bytes of encoded frames (before sharing).
+    pub frame_bytes_encoded: u64,
+    /// Messages enqueued to subscriber buffers.
+    pub deliveries: u64,
+    /// Messages dropped because a subscriber buffer was full (Lag).
+    pub lagged_messages: u64,
+    /// Subscribers evicted for falling behind (Evict).
+    pub evictions: u64,
+    /// Catch-ups answered with a checkpoint snapshot (rule 3).
+    pub snapshot_catchups: u64,
+    /// Catch-ups answered with a delta replay (rule 2).
+    pub delta_catchups: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    frames_encoded: AtomicU64,
+    frame_bytes_encoded: AtomicU64,
+    deliveries: AtomicU64,
+    lagged_messages: AtomicU64,
+    evictions: AtomicU64,
+    snapshot_catchups: AtomicU64,
+    delta_catchups: AtomicU64,
+}
+
+/// Queue state shared between the broker and one subscription handle.
+struct SubShared {
+    id: u64,
+    queue: Mutex<VecDeque<BrokerMessage>>,
+    /// Catch-up messages still at the front of the queue. They are
+    /// exempt from the live-push capacity bound (their depth is bounded
+    /// by the retention ring); FIFO order means the first
+    /// `catchup_pending` pops are exactly the catch-up messages.
+    catchup_pending: AtomicU64,
+    dropped: AtomicU64,
+    evicted: AtomicBool,
+    closed: AtomicBool,
+}
+
+struct SubEntry {
+    tlds: Vec<TldId>,
+    shared: Arc<SubShared>,
+}
+
+/// Consumer handle returned by [`Broker::subscribe`]. Dropping it
+/// deregisters the subscriber at the next publish.
+pub struct BrokerSubscription {
+    shared: Arc<SubShared>,
+}
+
+impl BrokerSubscription {
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Non-blocking poll.
+    pub fn try_next(&self) -> Option<BrokerMessage> {
+        let msg = self.shared.queue.lock().pop_front();
+        if msg.is_some() {
+            // FIFO: the first pops retire the catch-up backlog.
+            let _ = self.shared.catchup_pending.fetch_update(
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+                |n| n.checked_sub(1),
+            );
+        }
+        msg
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&self) -> Vec<BrokerMessage> {
+        let mut q = self.shared.queue.lock();
+        let out: Vec<BrokerMessage> = q.drain(..).collect();
+        if !out.is_empty() {
+            let _ = self.shared.catchup_pending.fetch_update(
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+                |n| Some(n.saturating_sub(out.len() as u64)),
+            );
+        }
+        out
+    }
+
+    /// Messages queued right now.
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().len()
+    }
+
+    /// Messages dropped for this subscriber under the Lag policy.
+    pub fn dropped_count(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// True once the broker evicted this subscriber for falling behind.
+    pub fn is_evicted(&self) -> bool {
+        self.shared.evicted.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for BrokerSubscription {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The sharded RZU distribution broker. Cheap to clone (`Arc`-shared);
+/// clones publish into and subscribe from the same state.
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<BrokerInner>,
+}
+
+struct BrokerInner {
+    config: BrokerConfig,
+    journal: Mutex<ShardedJournal>,
+    subs: Mutex<Vec<SubEntry>>,
+    next_id: AtomicU64,
+    counters: Counters,
+}
+
+impl Broker {
+    pub fn new(config: BrokerConfig) -> Self {
+        Broker {
+            inner: Arc::new(BrokerInner {
+                journal: Mutex::new(ShardedJournal::new(config.retention)),
+                subs: Mutex::new(Vec::new()),
+                next_id: AtomicU64::new(0),
+                counters: Counters::default(),
+                config,
+            }),
+        }
+    }
+
+    pub fn config(&self) -> &BrokerConfig {
+        &self.inner.config
+    }
+
+    /// Register a TLD shard starting at `initial`.
+    ///
+    /// # Panics
+    /// Panics if the TLD already has a shard.
+    pub fn add_shard(&self, tld: TldId, initial: ZoneSnapshot) {
+        self.inner.journal.lock().add_shard(tld, initial);
+    }
+
+    /// Current head snapshot of a shard (an `Arc`-shared clone).
+    pub fn head(&self, tld: TldId) -> Option<ZoneSnapshot> {
+        self.inner.journal.lock().shard(tld).map(|s| s.head().clone())
+    }
+
+    pub fn subscriber_count(&self) -> usize {
+        let mut subs = self.inner.subs.lock();
+        subs.retain(|s| !s.shared.closed.load(Ordering::Relaxed));
+        subs.len()
+    }
+
+    /// Subscribe to `tlds`, claiming `from_serial` for each (None = no
+    /// prior state). Serials are per-shard, so a uniform claim only
+    /// makes sense for fresh joins or single-TLD subscribers; a resuming
+    /// multi-TLD consumer should use [`Broker::subscribe_with`] with its
+    /// actual per-TLD serials.
+    ///
+    /// # Panics
+    /// Panics if any TLD has no shard.
+    pub fn subscribe(&self, tlds: &[TldId], from_serial: Option<Serial>) -> BrokerSubscription {
+        let claims: Vec<(TldId, Option<Serial>)> =
+            tlds.iter().map(|&t| (t, from_serial)).collect();
+        self.subscribe_with(&claims)
+    }
+
+    /// Subscribe with an explicit per-TLD serial claim (None = no prior
+    /// state for that shard). The returned handle's queue is pre-loaded
+    /// with the catch-up plan per shard; live pushes follow, in order,
+    /// with no gap or overlap relative to the catch-up.
+    ///
+    /// # Panics
+    /// Panics if any TLD has no shard.
+    pub fn subscribe_with(&self, claims: &[(TldId, Option<Serial>)]) -> BrokerSubscription {
+        let shared = Arc::new(SubShared {
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            queue: Mutex::new(VecDeque::new()),
+            catchup_pending: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            evicted: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+        });
+        {
+            // Hold the journal lock across plan + registration so a
+            // concurrent publish cannot slip between them.
+            let journal = self.inner.journal.lock();
+            let mut queue = shared.queue.lock();
+            for &(tld, claim) in claims {
+                match journal.catch_up(tld, claim) {
+                    CatchUp::UpToDate => {}
+                    CatchUp::Deltas(deltas) => {
+                        self.inner.counters.delta_catchups.fetch_add(1, Ordering::Relaxed);
+                        for d in deltas {
+                            queue.push_back(BrokerMessage::Delta { tld, frame: d.frame.clone() });
+                        }
+                    }
+                    CatchUp::SnapshotThenDeltas { snapshot, deltas } => {
+                        self.inner.counters.snapshot_catchups.fetch_add(1, Ordering::Relaxed);
+                        queue.push_back(BrokerMessage::Snapshot { tld, snapshot });
+                        for d in deltas {
+                            queue.push_back(BrokerMessage::Delta { tld, frame: d.frame.clone() });
+                        }
+                    }
+                }
+            }
+            shared.catchup_pending.store(queue.len() as u64, Ordering::Relaxed);
+            self.inner.subs.lock().push(SubEntry {
+                tlds: claims.iter().map(|&(t, _)| t).collect(),
+                shared: Arc::clone(&shared),
+            });
+        }
+        BrokerSubscription { shared }
+    }
+
+    /// Publish a delta into `tld`'s shard and fan the sealed frame out
+    /// to every live subscriber of that TLD. The frame is encoded once;
+    /// subscribers receive refcount-shared clones.
+    ///
+    /// # Panics
+    /// Panics if no shard is registered for `tld` or the serial/delta
+    /// does not apply (publisher bug).
+    pub fn publish(
+        &self,
+        tld: TldId,
+        delta: ZoneDelta,
+        new_serial: Serial,
+        pushed_at: SimTime,
+    ) -> Arc<SealedDelta> {
+        // Seal and fan out under the journal lock (subs nests inside it,
+        // same order as subscribe): releasing the journal before fan-out
+        // would let a subscriber compute a catch-up plan that already
+        // includes this delta, register, and then receive it a second
+        // time from the fan-out below.
+        let mut journal = self.inner.journal.lock();
+        let sealed = journal.publish(tld, delta, new_serial, pushed_at);
+        let c = &self.inner.counters;
+        c.frames_encoded.fetch_add(1, Ordering::Relaxed);
+        c.frame_bytes_encoded.fetch_add(sealed.frame.len() as u64, Ordering::Relaxed);
+        let capacity = self.inner.config.subscriber_capacity;
+        let overflow = self.inner.config.overflow;
+        let mut subs = self.inner.subs.lock();
+        subs.retain(|entry| {
+            if entry.shared.closed.load(Ordering::Relaxed) {
+                return false;
+            }
+            if !entry.tlds.contains(&tld) {
+                return true;
+            }
+            let mut queue = entry.shared.queue.lock();
+            // Only *live* pushes count against the capacity bound; an
+            // undrained catch-up backlog (bounded by the retention ring)
+            // must not get a fresh subscriber lagged or evicted.
+            let catchup = entry.shared.catchup_pending.load(Ordering::Relaxed) as usize;
+            let live_len = queue.len().saturating_sub(catchup);
+            if live_len < capacity {
+                queue.push_back(BrokerMessage::Delta { tld, frame: sealed.frame.clone() });
+                c.deliveries.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            match overflow {
+                OverflowPolicy::Lag => {
+                    entry.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                    c.lagged_messages.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                OverflowPolicy::Evict => {
+                    queue.clear();
+                    entry.shared.catchup_pending.store(0, Ordering::Relaxed);
+                    entry.shared.evicted.store(true, Ordering::Relaxed);
+                    c.evictions.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
+        });
+        sealed
+    }
+
+    /// A point-in-time copy of the aggregate counters.
+    pub fn stats(&self) -> BrokerStats {
+        let c = &self.inner.counters;
+        BrokerStats {
+            subscribers: self.subscriber_count(),
+            frames_encoded: c.frames_encoded.load(Ordering::Relaxed),
+            frame_bytes_encoded: c.frame_bytes_encoded.load(Ordering::Relaxed),
+            deliveries: c.deliveries.load(Ordering::Relaxed),
+            lagged_messages: c.lagged_messages.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            snapshot_catchups: c.snapshot_catchups.load(Ordering::Relaxed),
+            delta_catchups: c.delta_catchups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkdns_dns::{decode_delta_push, DomainName, NsSet, Zone};
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn empty_snap() -> ZoneSnapshot {
+        ZoneSnapshot::from_entries(name("com"), Serial::new(0), SimTime::ZERO, vec![])
+    }
+
+    fn add_delta(domain: &str) -> ZoneDelta {
+        let mut d = ZoneDelta::default();
+        d.added.push((name(domain), NsSet::new(vec![name("ns1.provider0.net")])));
+        d
+    }
+
+    fn broker_with_com(config: BrokerConfig) -> Broker {
+        let broker = Broker::new(config);
+        broker.add_shard(TldId(0), empty_snap());
+        broker
+    }
+
+    /// Apply every queued message to a snapshot view and return it.
+    fn replay(sub: &BrokerSubscription, mut state: ZoneSnapshot) -> ZoneSnapshot {
+        for msg in sub.drain() {
+            match msg {
+                BrokerMessage::Snapshot { snapshot, .. } => state = snapshot,
+                BrokerMessage::Delta { frame, .. } => {
+                    let push = decode_delta_push(&frame).unwrap();
+                    assert_eq!(push.from_serial, state.serial(), "gap in delta stream");
+                    state = push.delta.apply(&state, push.to_serial, push.pushed_at);
+                }
+            }
+        }
+        state
+    }
+
+    #[test]
+    fn live_subscriber_converges_to_head() {
+        let broker = broker_with_com(BrokerConfig::default());
+        let sub = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        for i in 1..=5u32 {
+            broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+        }
+        let state = replay(&sub, empty_snap());
+        assert_eq!(state, broker.head(TldId(0)).unwrap());
+        // The replayed view is a real zone.
+        assert_eq!(Zone::from_snapshot(&state).len(), 5);
+    }
+
+    #[test]
+    fn fan_out_shares_one_frame_across_subscribers() {
+        let broker = broker_with_com(BrokerConfig::default());
+        let subs: Vec<_> =
+            (0..8).map(|_| broker.subscribe(&[TldId(0)], Some(Serial::new(0)))).collect();
+        let sealed = broker.publish(TldId(0), add_delta("a.com"), Serial::new(1), SimTime::ZERO);
+        for sub in &subs {
+            match sub.try_next().unwrap() {
+                BrokerMessage::Delta { frame, .. } => assert!(frame.ptr_eq(&sealed.frame)),
+                other => panic!("expected delta, got {other:?}"),
+            }
+        }
+        let stats = broker.stats();
+        assert_eq!(stats.frames_encoded, 1, "frame must be encoded exactly once");
+        assert_eq!(stats.deliveries, 8);
+    }
+
+    #[test]
+    fn mid_stream_join_catches_up_via_deltas() {
+        let broker = broker_with_com(BrokerConfig::default());
+        for i in 1..=4u32 {
+            broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+        }
+        let sub = broker.subscribe(&[TldId(0)], Some(Serial::new(2)));
+        for i in 5..=6u32 {
+            broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+        }
+        // Subscriber replays from its own serial-2 state.
+        let mut base = empty_snap();
+        for i in 1..=2u32 {
+            base = add_delta(&format!("d{i}.com")).apply(&base, Serial::new(i), SimTime::ZERO);
+        }
+        assert_eq!(replay(&sub, base), broker.head(TldId(0)).unwrap());
+        assert_eq!(broker.stats().delta_catchups, 1);
+    }
+
+    #[test]
+    fn ancient_join_catches_up_via_snapshot() {
+        let config = BrokerConfig {
+            retention: RetentionConfig::new(4, 2),
+            ..BrokerConfig::default()
+        };
+        let broker = broker_with_com(config);
+        for i in 1..=20u32 {
+            broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+        }
+        let sub = broker.subscribe(&[TldId(0)], None);
+        // Starting state is irrelevant: the snapshot message replaces it.
+        let state = replay(&sub, empty_snap());
+        assert_eq!(state, broker.head(TldId(0)).unwrap());
+        assert_eq!(broker.stats().snapshot_catchups, 1);
+    }
+
+    #[test]
+    fn multi_tld_subscription_only_sees_its_tlds() {
+        let broker = broker_with_com(BrokerConfig::default());
+        broker.add_shard(
+            TldId(1),
+            ZoneSnapshot::from_entries(name("net"), Serial::new(0), SimTime::ZERO, vec![]),
+        );
+        let com_only = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        let both = broker.subscribe(&[TldId(0), TldId(1)], Some(Serial::new(0)));
+        broker.publish(TldId(0), add_delta("a.com"), Serial::new(1), SimTime::ZERO);
+        let mut net_delta = ZoneDelta::default();
+        net_delta.added.push((name("b.net"), NsSet::new(vec![name("ns1.provider0.net")])));
+        broker.publish(TldId(1), net_delta, Serial::new(1), SimTime::ZERO);
+        assert_eq!(com_only.drain().len(), 1);
+        assert_eq!(both.drain().len(), 2);
+    }
+
+    #[test]
+    fn lag_policy_counts_drops() {
+        let config = BrokerConfig {
+            subscriber_capacity: 2,
+            overflow: OverflowPolicy::Lag,
+            ..BrokerConfig::default()
+        };
+        let broker = broker_with_com(config);
+        let sub = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        for i in 1..=5u32 {
+            broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+        }
+        assert_eq!(sub.queued(), 2);
+        assert_eq!(sub.dropped_count(), 3);
+        assert!(!sub.is_evicted());
+        assert_eq!(broker.stats().lagged_messages, 3);
+    }
+
+    #[test]
+    fn evict_policy_removes_slow_subscriber() {
+        let config = BrokerConfig {
+            subscriber_capacity: 1,
+            overflow: OverflowPolicy::Evict,
+            ..BrokerConfig::default()
+        };
+        let broker = broker_with_com(config);
+        let slow = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        let fast = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        broker.publish(TldId(0), add_delta("d1.com"), Serial::new(1), SimTime::ZERO);
+        fast.drain(); // fast keeps up
+        broker.publish(TldId(0), add_delta("d2.com"), Serial::new(2), SimTime::ZERO);
+        assert!(slow.is_evicted());
+        assert_eq!(slow.queued(), 0, "evicted queue is cleared");
+        assert_eq!(fast.queued(), 1);
+        assert_eq!(broker.subscriber_count(), 1);
+        assert_eq!(broker.stats().evictions, 1);
+    }
+
+    #[test]
+    fn catch_up_backlog_is_exempt_from_the_live_capacity_bound() {
+        // A fresh subscriber with a catch-up backlog larger than its
+        // live capacity must not be lagged or evicted by the next push.
+        let config = BrokerConfig {
+            retention: RetentionConfig::new(16, 16),
+            subscriber_capacity: 2,
+            overflow: OverflowPolicy::Evict,
+        };
+        let broker = broker_with_com(config);
+        for i in 1..=10u32 {
+            broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+        }
+        // Backlog: snapshot + 10 deltas = 11 messages >> capacity 2.
+        let sub = broker.subscribe(&[TldId(0)], None);
+        assert_eq!(sub.queued(), 11);
+        broker.publish(TldId(0), add_delta("live1.com"), Serial::new(11), SimTime::ZERO);
+        broker.publish(TldId(0), add_delta("live2.com"), Serial::new(12), SimTime::ZERO);
+        assert!(!sub.is_evicted(), "catch-up backlog must not trigger eviction");
+        // A third live push exceeds the live bound and evicts.
+        broker.publish(TldId(0), add_delta("live3.com"), Serial::new(13), SimTime::ZERO);
+        assert!(sub.is_evicted());
+    }
+
+    #[test]
+    fn dropped_handles_are_pruned() {
+        let broker = broker_with_com(BrokerConfig::default());
+        {
+            let _sub = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        }
+        broker.publish(TldId(0), add_delta("a.com"), Serial::new(1), SimTime::ZERO);
+        assert_eq!(broker.subscriber_count(), 0);
+        assert_eq!(broker.stats().deliveries, 0);
+    }
+
+    #[test]
+    fn evicted_subscriber_can_resubscribe_and_recover() {
+        let config = BrokerConfig {
+            retention: RetentionConfig::new(8, 4),
+            subscriber_capacity: 1,
+            overflow: OverflowPolicy::Evict,
+        };
+        let broker = broker_with_com(config);
+        let slow = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        for i in 1..=6u32 {
+            broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+        }
+        assert!(slow.is_evicted());
+        drop(slow);
+        // Rejoin with no claimed state: snapshot catch-up to the head.
+        let again = broker.subscribe(&[TldId(0)], None);
+        let state = replay(&again, empty_snap());
+        assert_eq!(state, broker.head(TldId(0)).unwrap());
+    }
+}

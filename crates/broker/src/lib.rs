@@ -1,0 +1,57 @@
+//! The RZU distribution broker — snapshot-plus-delta fan-out at scale.
+//!
+//! The paper's §5 / Appendix B argument is that a Rapid Zone Update
+//! service pushing accumulated zone changes every few minutes closes the
+//! visibility gap daily zone files leave open. The registry side of that
+//! service already exists in this repository (`darkdns_registry::rzu`
+//! batches events onto a push grid; `darkdns_dns::diff::ZoneJournal`
+//! synthesises net deltas). What was missing is *distribution*: getting
+//! each push to many concurrent subscribers without per-subscriber work
+//! proportional to the push size, and getting late joiners back to the
+//! head without replaying history from the beginning of time.
+//!
+//! This crate provides that layer:
+//!
+//! * [`shard::ShardedJournal`] — one [`shard::JournalShard`] per TLD, each
+//!   retaining a bounded ring of sealed deltas plus a periodic checkpoint
+//!   [`darkdns_dns::ZoneSnapshot`]. Snapshots are columnar and
+//!   `Arc`-shared (PR 1), so a checkpoint costs two pointer copies, not a
+//!   million-entry table copy.
+//! * [`broker::Broker`] — `subscribe(tlds, from_serial)` answers with a
+//!   catch-up plan and a live bounded buffer; `publish` seals each delta
+//!   into a wire frame **once** ([`darkdns_dns::wire::encode_delta_push`])
+//!   and fans the refcount-shared bytes out to every subscriber. Slow
+//!   subscribers lag (counted) or are evicted, per policy — replacing the
+//!   unbounded in-process `Topic` semantics.
+//! * [`feed`] — glue that materialises a multi-TLD universe's RZU pushes
+//!   as zone deltas and drives them through a broker.
+//!
+//! # The snapshot-vs-delta catch-up decision rule
+//!
+//! A subscriber arrives claiming serial `s` for a shard whose head is `h`
+//! and whose retained delta ring spans `(r₀, h]`:
+//!
+//! 1. `s == h` — up to date; nothing to send.
+//! 2. `s ∈ [r₀, h)` and a retained delta starts exactly at `s` — the ring
+//!    covers the gap: replay the delta suffix from `s`. Cost is
+//!    proportional to the *churn* the subscriber missed, independent of
+//!    zone size — the computational argument for RZU feeds.
+//! 3. otherwise (`s` too old, in the future, or unknown) — the subscriber
+//!    is beyond delta repair: send the latest checkpoint snapshot plus
+//!    the deltas sealed after it. The shard maintains the invariant that
+//!    the ring always covers `(checkpoint, h]`, so this plan always
+//!    reconstructs the head exactly.
+//!
+//! Rule 3 is why checkpoints exist: without them, a subscriber that
+//! sleeps past the retention horizon could never recover, and retention
+//! would have to be unbounded (the `Topic` footgun, at zone scale).
+
+pub mod broker;
+pub mod feed;
+pub mod shard;
+
+pub use broker::{
+    Broker, BrokerConfig, BrokerMessage, BrokerStats, BrokerSubscription, OverflowPolicy,
+};
+pub use feed::UniverseFeed;
+pub use shard::{CatchUp, JournalShard, RetentionConfig, SealedDelta, ShardedJournal};

@@ -1,0 +1,419 @@
+//! Per-TLD journal shards with bounded retention and checkpoints.
+//!
+//! A [`JournalShard`] is the publisher-side state for one TLD: the live
+//! head snapshot, a periodic checkpoint snapshot, and a bounded ring of
+//! [`SealedDelta`]s — each the net change of one RZU push, already
+//! encoded into its wire frame. [`ShardedJournal`] is the multi-TLD
+//! collection the broker locks as a unit.
+//!
+//! Retention invariant: the delta ring always covers the serial range
+//! `(checkpoint, head]`. Trimming never drops a delta newer than the
+//! checkpoint, so the snapshot-plus-delta catch-up plan (crate docs,
+//! rule 3) can always reconstruct the head exactly.
+
+use bytes::Bytes;
+use darkdns_dns::hash::NameMap;
+use darkdns_dns::wire::encode_delta_push;
+use darkdns_dns::{Serial, ZoneDelta, ZoneSnapshot};
+use darkdns_registry::tld::TldId;
+use darkdns_sim::time::SimTime;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How much history a shard keeps.
+#[derive(Debug, Clone, Copy)]
+pub struct RetentionConfig {
+    /// Maximum sealed deltas retained per shard (the ring bound).
+    pub max_deltas: usize,
+    /// Refresh the checkpoint snapshot every this many publishes.
+    pub checkpoint_every: usize,
+}
+
+impl RetentionConfig {
+    /// # Panics
+    /// Panics unless `1 <= checkpoint_every <= max_deltas` — a checkpoint
+    /// cadence coarser than the ring would break the retention invariant.
+    pub fn new(max_deltas: usize, checkpoint_every: usize) -> Self {
+        assert!(checkpoint_every >= 1, "checkpoint_every must be at least 1");
+        assert!(
+            checkpoint_every <= max_deltas,
+            "checkpoint_every ({checkpoint_every}) must not exceed max_deltas ({max_deltas})"
+        );
+        RetentionConfig { max_deltas, checkpoint_every }
+    }
+}
+
+impl Default for RetentionConfig {
+    fn default() -> Self {
+        RetentionConfig::new(64, 16)
+    }
+}
+
+/// One published delta, sealed: serial range, the net changes, and the
+/// wire frame encoded exactly once. Shared via `Arc` between the shard's
+/// retention ring and every subscriber queue it is fanned out to.
+#[derive(Debug)]
+pub struct SealedDelta {
+    pub tld: TldId,
+    pub from_serial: Serial,
+    pub to_serial: Serial,
+    pub pushed_at: SimTime,
+    /// The net changes (NS sets `Arc`-shared with the snapshots).
+    pub delta: ZoneDelta,
+    /// The `RZU1` wire frame; clones share storage.
+    pub frame: Bytes,
+}
+
+/// A subscriber catch-up plan (crate docs: the decision rule).
+#[derive(Debug, Clone)]
+pub enum CatchUp {
+    /// Subscriber is at the head already.
+    UpToDate,
+    /// The retained ring covers the gap: replay these deltas in order.
+    Deltas(Vec<Arc<SealedDelta>>),
+    /// Too far behind (or unknown): bootstrap from the checkpoint
+    /// snapshot, then apply the deltas sealed after it.
+    SnapshotThenDeltas { snapshot: ZoneSnapshot, deltas: Vec<Arc<SealedDelta>> },
+}
+
+impl CatchUp {
+    /// Number of messages this plan will enqueue.
+    pub fn message_count(&self) -> usize {
+        match self {
+            CatchUp::UpToDate => 0,
+            CatchUp::Deltas(d) => d.len(),
+            CatchUp::SnapshotThenDeltas { deltas, .. } => 1 + deltas.len(),
+        }
+    }
+}
+
+/// Publisher-side state for one TLD.
+#[derive(Debug)]
+pub struct JournalShard {
+    tld: TldId,
+    head: ZoneSnapshot,
+    checkpoint: ZoneSnapshot,
+    deltas: VecDeque<Arc<SealedDelta>>,
+    publishes_since_checkpoint: usize,
+    dropped_deltas: u64,
+}
+
+impl JournalShard {
+    /// Start a shard at `initial` (which doubles as the first checkpoint).
+    pub fn new(tld: TldId, initial: ZoneSnapshot) -> Self {
+        JournalShard {
+            tld,
+            checkpoint: initial.clone(),
+            head: initial,
+            deltas: VecDeque::new(),
+            publishes_since_checkpoint: 0,
+            dropped_deltas: 0,
+        }
+    }
+
+    pub fn tld(&self) -> TldId {
+        self.tld
+    }
+
+    pub fn head(&self) -> &ZoneSnapshot {
+        &self.head
+    }
+
+    pub fn checkpoint(&self) -> &ZoneSnapshot {
+        &self.checkpoint
+    }
+
+    /// Sealed deltas currently retained, oldest first.
+    pub fn retained(&self) -> impl ExactSizeIterator<Item = &Arc<SealedDelta>> {
+        self.deltas.iter()
+    }
+
+    /// Deltas dropped from the ring so far (served only via checkpoint).
+    pub fn dropped_deltas(&self) -> u64 {
+        self.dropped_deltas
+    }
+
+    /// Advance the head by `delta`, sealing it into a shareable frame.
+    ///
+    /// # Panics
+    /// Panics if `new_serial` is not newer than the head serial, or if
+    /// the delta does not apply to the head (a publisher bug).
+    pub fn publish(
+        &mut self,
+        delta: ZoneDelta,
+        new_serial: Serial,
+        pushed_at: SimTime,
+        retention: &RetentionConfig,
+    ) -> Arc<SealedDelta> {
+        let from_serial = self.head.serial();
+        assert!(
+            new_serial.is_newer_than(from_serial),
+            "shard serials must advance: {from_serial} -> {new_serial}"
+        );
+        let new_head = delta.apply(&self.head, new_serial, pushed_at);
+        let frame = encode_delta_push(self.head.origin(), from_serial, new_serial, pushed_at, &delta);
+        self.head = new_head;
+        let sealed = Arc::new(SealedDelta {
+            tld: self.tld,
+            from_serial,
+            to_serial: new_serial,
+            pushed_at,
+            delta,
+            frame,
+        });
+        self.deltas.push_back(Arc::clone(&sealed));
+        self.publishes_since_checkpoint += 1;
+        if self.publishes_since_checkpoint >= retention.checkpoint_every {
+            // A checkpoint is two Arc clones (columnar snapshot), not a
+            // table copy.
+            self.checkpoint = self.head.clone();
+            self.publishes_since_checkpoint = 0;
+        }
+        while self.deltas.len() > retention.max_deltas {
+            let oldest = self.deltas.front().expect("non-empty ring");
+            if oldest.to_serial.is_newer_than(self.checkpoint.serial()) {
+                // Still needed to rebuild head from the checkpoint.
+                break;
+            }
+            self.deltas.pop_front();
+            self.dropped_deltas += 1;
+        }
+        sealed
+    }
+
+    /// Compute the catch-up plan for a subscriber claiming `from`.
+    pub fn catch_up(&self, from: Option<Serial>) -> CatchUp {
+        if let Some(s) = from {
+            if s == self.head.serial() {
+                return CatchUp::UpToDate;
+            }
+            if let Some(start) = self.deltas.iter().position(|d| d.from_serial == s) {
+                return CatchUp::Deltas(self.deltas.iter().skip(start).cloned().collect());
+            }
+        }
+        // Beyond delta repair: checkpoint + everything sealed after it.
+        let cp_serial = self.checkpoint.serial();
+        let start = self.deltas.iter().position(|d| d.from_serial == cp_serial).unwrap_or(self.deltas.len());
+        CatchUp::SnapshotThenDeltas {
+            snapshot: self.checkpoint.clone(),
+            deltas: self.deltas.iter().skip(start).cloned().collect(),
+        }
+    }
+}
+
+/// The multi-TLD shard collection.
+#[derive(Debug, Default)]
+pub struct ShardedJournal {
+    shards: NameMap<TldId, JournalShard>,
+    retention: RetentionConfig,
+}
+
+impl ShardedJournal {
+    pub fn new(retention: RetentionConfig) -> Self {
+        ShardedJournal { shards: NameMap::default(), retention }
+    }
+
+    pub fn retention(&self) -> &RetentionConfig {
+        &self.retention
+    }
+
+    /// Register a shard starting at `initial`.
+    ///
+    /// # Panics
+    /// Panics if the TLD already has a shard.
+    pub fn add_shard(&mut self, tld: TldId, initial: ZoneSnapshot) {
+        let prev = self.shards.insert(tld, JournalShard::new(tld, initial));
+        assert!(prev.is_none(), "duplicate shard for {tld:?}");
+    }
+
+    pub fn shard(&self, tld: TldId) -> Option<&JournalShard> {
+        self.shards.get(&tld)
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Publish a delta into the TLD's shard.
+    ///
+    /// # Panics
+    /// Panics if no shard is registered for `tld`.
+    pub fn publish(
+        &mut self,
+        tld: TldId,
+        delta: ZoneDelta,
+        new_serial: Serial,
+        pushed_at: SimTime,
+    ) -> Arc<SealedDelta> {
+        let retention = self.retention;
+        self.shards
+            .get_mut(&tld)
+            .unwrap_or_else(|| panic!("no shard for {tld:?}"))
+            .publish(delta, new_serial, pushed_at, &retention)
+    }
+
+    /// Catch-up plan for `tld` from the claimed serial.
+    ///
+    /// # Panics
+    /// Panics if no shard is registered for `tld`.
+    pub fn catch_up(&self, tld: TldId, from: Option<Serial>) -> CatchUp {
+        self.shards.get(&tld).unwrap_or_else(|| panic!("no shard for {tld:?}")).catch_up(from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkdns_dns::{DomainName, NsSet};
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn nsset(hosts: &[&str]) -> NsSet {
+        NsSet::new(hosts.iter().map(|h| name(h)).collect())
+    }
+
+    fn empty_snap() -> ZoneSnapshot {
+        ZoneSnapshot::from_entries(name("com"), Serial::new(0), SimTime::ZERO, vec![])
+    }
+
+    fn add_delta(domain: &str) -> ZoneDelta {
+        let mut d = ZoneDelta::default();
+        d.added.push((name(domain), nsset(&["ns1.provider0.net"])));
+        d
+    }
+
+    /// Publish n single-add deltas with serials 1..=n.
+    fn publish_n(shard: &mut JournalShard, retention: &RetentionConfig, n: u32) {
+        for i in 1..=n {
+            shard.publish(
+                add_delta(&format!("d{i:04}.com")),
+                Serial::new(i),
+                SimTime::from_secs(u64::from(i) * 300),
+                retention,
+            );
+        }
+    }
+
+    #[test]
+    fn head_tracks_applied_deltas() {
+        let retention = RetentionConfig::new(8, 4);
+        let mut shard = JournalShard::new(TldId(0), empty_snap());
+        publish_n(&mut shard, &retention, 3);
+        assert_eq!(shard.head().len(), 3);
+        assert_eq!(shard.head().serial(), Serial::new(3));
+        assert!(shard.head().contains(&name("d0002.com")));
+    }
+
+    #[test]
+    fn frames_are_encoded_once_and_shared() {
+        let retention = RetentionConfig::default();
+        let mut shard = JournalShard::new(TldId(0), empty_snap());
+        let sealed = shard.publish(add_delta("a.com"), Serial::new(1), SimTime::ZERO, &retention);
+        let from_ring = shard.retained().next().unwrap();
+        assert!(sealed.frame.ptr_eq(&from_ring.frame));
+        let decoded = darkdns_dns::decode_delta_push(&sealed.frame).unwrap();
+        assert_eq!(decoded.delta, sealed.delta);
+        assert_eq!(decoded.to_serial, Serial::new(1));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_checkpoint_covers_head() {
+        let retention = RetentionConfig::new(6, 3);
+        let mut shard = JournalShard::new(TldId(0), empty_snap());
+        publish_n(&mut shard, &retention, 40);
+        assert!(shard.retained().len() <= 6, "ring grew past bound");
+        assert!(shard.dropped_deltas() > 0);
+        // Invariant: ring covers (checkpoint, head].
+        let cp = shard.checkpoint().serial();
+        let mut at = cp;
+        for d in shard.retained().skip_while(|d| d.from_serial != cp) {
+            assert_eq!(d.from_serial, at);
+            at = d.to_serial;
+        }
+        assert_eq!(at, shard.head().serial());
+    }
+
+    #[test]
+    fn catch_up_rule_1_up_to_date() {
+        let retention = RetentionConfig::default();
+        let mut shard = JournalShard::new(TldId(0), empty_snap());
+        publish_n(&mut shard, &retention, 5);
+        assert!(matches!(shard.catch_up(Some(Serial::new(5))), CatchUp::UpToDate));
+    }
+
+    #[test]
+    fn catch_up_rule_2_delta_replay() {
+        let retention = RetentionConfig::new(16, 8);
+        let mut shard = JournalShard::new(TldId(0), empty_snap());
+        publish_n(&mut shard, &retention, 10);
+        match shard.catch_up(Some(Serial::new(7))) {
+            CatchUp::Deltas(deltas) => {
+                assert_eq!(deltas.len(), 3);
+                assert_eq!(deltas[0].from_serial, Serial::new(7));
+                assert_eq!(deltas.last().unwrap().to_serial, Serial::new(10));
+            }
+            other => panic!("expected delta replay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn catch_up_rule_3_snapshot_for_ancient_or_unknown() {
+        let retention = RetentionConfig::new(4, 2);
+        let mut shard = JournalShard::new(TldId(0), empty_snap());
+        publish_n(&mut shard, &retention, 30);
+        for from in [None, Some(Serial::new(1)), Some(Serial::new(9999))] {
+            match shard.catch_up(from) {
+                CatchUp::SnapshotThenDeltas { snapshot, deltas } => {
+                    // Snapshot + deltas must land exactly on the head.
+                    let mut state = snapshot;
+                    for d in &deltas {
+                        assert_eq!(d.from_serial, state.serial());
+                        state = d.delta.apply(&state, d.to_serial, d.pushed_at);
+                    }
+                    assert_eq!(state, *shard.head());
+                }
+                other => panic!("expected snapshot plan for {from:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoints_share_columns_with_head() {
+        let retention = RetentionConfig::new(4, 1); // checkpoint every publish
+        let mut shard = JournalShard::new(TldId(0), empty_snap());
+        publish_n(&mut shard, &retention, 3);
+        // checkpoint_every=1: checkpoint *is* the head, refcount-shared.
+        assert_eq!(shard.checkpoint(), shard.head());
+    }
+
+    #[test]
+    #[should_panic(expected = "serials must advance")]
+    fn stale_serial_rejected() {
+        let retention = RetentionConfig::default();
+        let mut shard = JournalShard::new(TldId(0), empty_snap());
+        publish_n(&mut shard, &retention, 2);
+        shard.publish(add_delta("x.com"), Serial::new(2), SimTime::ZERO, &retention);
+    }
+
+    #[test]
+    fn sharded_journal_isolates_tlds() {
+        let mut journal = ShardedJournal::new(RetentionConfig::default());
+        journal.add_shard(TldId(0), empty_snap());
+        journal.add_shard(
+            TldId(1),
+            ZoneSnapshot::from_entries(name("net"), Serial::new(0), SimTime::ZERO, vec![]),
+        );
+        journal.publish(TldId(0), add_delta("a.com"), Serial::new(1), SimTime::ZERO);
+        assert_eq!(journal.shard(TldId(0)).unwrap().head().len(), 1);
+        assert_eq!(journal.shard(TldId(1)).unwrap().head().len(), 0);
+        assert_eq!(journal.shard_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint_every")]
+    fn retention_rejects_checkpoint_coarser_than_ring() {
+        RetentionConfig::new(4, 8);
+    }
+}

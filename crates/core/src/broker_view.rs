@@ -1,0 +1,277 @@
+//! The broker-backed subscriber path of the pipeline.
+//!
+//! The batch pipeline answers "is this name already in the zone?" from
+//! the [`darkdns_registry::czds::SnapshotOracle`] — ground truth at
+//! daily-snapshot granularity. This module is the RZU deployment shape:
+//! a [`BrokerZoneView`] subscribes to the distribution broker
+//! (`darkdns_broker`), bootstraps each TLD from a checkpoint snapshot,
+//! applies the shared delta frames as they arrive, and serves two
+//! pipeline needs from the live view:
+//!
+//! * **membership** — [`BrokerZoneView::contains`], the detector's
+//!   "already delegated?" check at push (not daily) freshness;
+//! * **zone NRDs** — every delta's `added` section is the
+//!   newly-registered-domain population of Table 1's `Zone NRD` column;
+//!   the view accumulates them for the ablation comparisons.
+//!
+//! A view that lags past its buffer bound loses deltas; it detects the
+//! serial gap on the next frame, stops applying (a torn zone view is
+//! worse than a stale one), and [`BrokerZoneView::resync`] rejoins the
+//! broker, which answers with a delta replay or a checkpoint snapshot
+//! per the catch-up decision rule.
+
+use darkdns_broker::{Broker, BrokerMessage, BrokerSubscription};
+use darkdns_dns::hash::NameMap;
+use darkdns_dns::{decode_delta_push, DomainName, Serial, ZoneSnapshot};
+use darkdns_registry::tld::TldId;
+
+/// A subscriber-side, multi-TLD live zone view.
+pub struct BrokerZoneView {
+    sub: BrokerSubscription,
+    tlds: Vec<TldId>,
+    states: NameMap<TldId, ZoneSnapshot>,
+    /// Domains first seen in a delta's `added` section, in arrival order.
+    new_domains: Vec<DomainName>,
+    frames_applied: u64,
+    snapshots_adopted: u64,
+    lost_sync: bool,
+}
+
+impl BrokerZoneView {
+    /// Subscribe with no prior state: the broker bootstraps every shard
+    /// from its checkpoint snapshot (catch-up rule 3).
+    pub fn subscribe(broker: &Broker, tlds: &[TldId]) -> Self {
+        BrokerZoneView {
+            sub: broker.subscribe(tlds, None),
+            tlds: tlds.to_vec(),
+            states: NameMap::default(),
+            new_domains: Vec::new(),
+            frames_applied: 0,
+            snapshots_adopted: 0,
+            lost_sync: false,
+        }
+    }
+
+    /// Apply everything queued. Returns the number of messages applied.
+    /// Stops early (returning what was applied so far) if a serial gap
+    /// is detected; the view then reports [`BrokerZoneView::lost_sync`]
+    /// until [`BrokerZoneView::resync`] is called.
+    pub fn pump(&mut self) -> usize {
+        if self.lost_sync {
+            return 0;
+        }
+        let mut applied = 0;
+        while let Some(msg) = self.sub.try_next() {
+            match msg {
+                BrokerMessage::Snapshot { tld, snapshot } => {
+                    self.states.insert(tld, snapshot);
+                    self.snapshots_adopted += 1;
+                }
+                BrokerMessage::Delta { tld, frame } => {
+                    let push = decode_delta_push(&frame).expect("broker frames are well-formed");
+                    let Some(state) = self.states.get_mut(&tld) else {
+                        // Delta before any snapshot for this TLD: only
+                        // possible after losing the bootstrap to lag.
+                        self.lost_sync = true;
+                        return applied;
+                    };
+                    if push.from_serial != state.serial() {
+                        self.lost_sync = true;
+                        return applied;
+                    }
+                    for (domain, _) in &push.delta.added {
+                        self.new_domains.push(*domain);
+                    }
+                    *state = push.delta.apply(state, push.to_serial, push.pushed_at);
+                    self.frames_applied += 1;
+                }
+            }
+            applied += 1;
+        }
+        applied
+    }
+
+    /// True once a dropped frame left the view unable to advance.
+    pub fn lost_sync(&self) -> bool {
+        self.lost_sync
+    }
+
+    /// Rejoin the broker, claiming the view's actual per-TLD serials, so
+    /// shards the view *is* current on (or only slightly behind) catch
+    /// up via the cheap delta-replay path; only shards beyond the
+    /// retention ring pay for a snapshot bootstrap. Clears the lost-sync
+    /// state; queued-but-unapplied messages from the old subscription
+    /// are discarded (the catch-up replaces them).
+    pub fn resync(&mut self, broker: &Broker) {
+        let claims: Vec<_> = self.tlds.iter().map(|&t| (t, self.serial(t))).collect();
+        self.sub = broker.subscribe_with(&claims);
+        // Views with no serial (never bootstrapped) get a snapshot; the
+        // rest keep their state and continue from their claimed serial.
+        self.lost_sync = false;
+    }
+
+    /// Is `domain` currently delegated in `tld`'s view?
+    pub fn contains(&self, tld: TldId, domain: &DomainName) -> bool {
+        self.states.get(&tld).is_some_and(|s| s.contains(domain))
+    }
+
+    /// Is `domain` delegated in any subscribed TLD's view?
+    pub fn contains_anywhere(&self, domain: &DomainName) -> bool {
+        self.states.values().any(|s| s.contains(domain))
+    }
+
+    /// The view's serial for `tld` (None before the bootstrap arrived).
+    pub fn serial(&self, tld: TldId) -> Option<Serial> {
+        self.states.get(&tld).map(|s| s.serial())
+    }
+
+    /// Delegation count for `tld`.
+    pub fn len(&self, tld: TldId) -> Option<usize> {
+        self.states.get(&tld).map(|s| s.len())
+    }
+
+    /// The view's snapshot of `tld`, if bootstrapped.
+    pub fn snapshot(&self, tld: TldId) -> Option<&ZoneSnapshot> {
+        self.states.get(&tld)
+    }
+
+    /// Take the accumulated zone-NRD log (delta `added` domains, arrival
+    /// order), clearing it.
+    pub fn take_new_domains(&mut self) -> Vec<DomainName> {
+        std::mem::take(&mut self.new_domains)
+    }
+
+    pub fn frames_applied(&self) -> u64 {
+        self.frames_applied
+    }
+
+    pub fn snapshots_adopted(&self) -> u64 {
+        self.snapshots_adopted
+    }
+
+    /// Frames the broker dropped for this subscriber (Lag policy).
+    pub fn dropped_count(&self) -> u64 {
+        self.sub.dropped_count()
+    }
+
+    /// True for every subscribed TLD whose view serial matches the
+    /// broker head.
+    pub fn synced_with(&self, broker: &Broker) -> bool {
+        self.tlds.iter().all(|&tld| {
+            broker.head(tld).map(|h| h.serial()) == self.serial(tld)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkdns_broker::{BrokerConfig, OverflowPolicy, RetentionConfig};
+    use darkdns_dns::{NsSet, ZoneDelta};
+    use darkdns_sim::time::SimTime;
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn empty_snap(origin: &str) -> ZoneSnapshot {
+        ZoneSnapshot::from_entries(name(origin), Serial::new(0), SimTime::ZERO, vec![])
+    }
+
+    fn add_delta(domain: &str) -> ZoneDelta {
+        let mut d = ZoneDelta::default();
+        d.added.push((name(domain), NsSet::new(vec![name("ns1.provider0.net")])));
+        d
+    }
+
+    fn remove_delta(domain: &str) -> ZoneDelta {
+        let mut d = ZoneDelta::default();
+        d.removed.push((name(domain), NsSet::new(vec![name("ns1.provider0.net")])));
+        d
+    }
+
+    #[test]
+    fn view_tracks_membership_and_nrds() {
+        let broker = Broker::new(BrokerConfig::default());
+        broker.add_shard(TldId(0), empty_snap("com"));
+        let mut view = BrokerZoneView::subscribe(&broker, &[TldId(0)]);
+        broker.publish(TldId(0), add_delta("fresh.com"), Serial::new(1), SimTime::ZERO);
+        broker.publish(TldId(0), add_delta("later.com"), Serial::new(2), SimTime::ZERO);
+        broker.publish(TldId(0), remove_delta("fresh.com"), Serial::new(3), SimTime::ZERO);
+        view.pump();
+        assert!(!view.contains(TldId(0), &name("fresh.com")), "removed again");
+        assert!(view.contains(TldId(0), &name("later.com")));
+        // Both appeared as zone NRDs even though one is transient.
+        assert_eq!(view.take_new_domains(), vec![name("fresh.com"), name("later.com")]);
+        assert!(view.synced_with(&broker));
+        assert_eq!(view.serial(TldId(0)), Some(Serial::new(3)));
+        assert_eq!(view.snapshots_adopted(), 1);
+    }
+
+    #[test]
+    fn multi_tld_view_isolates_shards() {
+        let broker = Broker::new(BrokerConfig::default());
+        broker.add_shard(TldId(0), empty_snap("com"));
+        broker.add_shard(TldId(1), empty_snap("net"));
+        let mut view = BrokerZoneView::subscribe(&broker, &[TldId(0), TldId(1)]);
+        broker.publish(TldId(0), add_delta("a.com"), Serial::new(1), SimTime::ZERO);
+        view.pump();
+        assert!(view.contains_anywhere(&name("a.com")));
+        assert!(!view.contains(TldId(1), &name("a.com")));
+        assert_eq!(view.len(TldId(1)), Some(0));
+    }
+
+    #[test]
+    fn lagging_view_detects_gap_and_resyncs() {
+        let config = BrokerConfig {
+            retention: RetentionConfig::new(8, 4),
+            subscriber_capacity: 2,
+            overflow: OverflowPolicy::Lag,
+        };
+        let broker = Broker::new(config);
+        broker.add_shard(TldId(0), empty_snap("com"));
+        let mut view = BrokerZoneView::subscribe(&broker, &[TldId(0)]);
+        view.pump(); // apply the (empty) bootstrap snapshot
+        // 6 pushes against a capacity-2 buffer: 4 dropped.
+        for i in 1..=6u32 {
+            broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+        }
+        assert_eq!(view.dropped_count(), 4);
+        view.pump();
+        // The two buffered frames applied cleanly; the gap is only
+        // visible once the next frame arrives.
+        assert!(!view.lost_sync());
+        assert_eq!(view.serial(TldId(0)), Some(Serial::new(2)));
+        broker.publish(TldId(0), add_delta("d7.com"), Serial::new(7), SimTime::ZERO);
+        view.pump();
+        assert!(view.lost_sync());
+        assert!(!view.synced_with(&broker));
+        view.resync(&broker);
+        view.pump();
+        assert!(!view.lost_sync());
+        assert!(view.synced_with(&broker));
+        assert_eq!(view.len(TldId(0)), Some(7));
+        // The resync claimed the view's actual serial, so the ring served
+        // a delta replay — no second snapshot bootstrap.
+        assert_eq!(broker.stats().delta_catchups, 1);
+        assert_eq!(view.snapshots_adopted(), 1);
+    }
+
+    #[test]
+    fn late_join_bootstraps_from_checkpoint() {
+        let config =
+            BrokerConfig { retention: RetentionConfig::new(4, 2), ..BrokerConfig::default() };
+        let broker = Broker::new(config);
+        broker.add_shard(TldId(0), empty_snap("com"));
+        for i in 1..=20u32 {
+            broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+        }
+        let mut view = BrokerZoneView::subscribe(&broker, &[TldId(0)]);
+        view.pump();
+        assert!(view.synced_with(&broker));
+        assert_eq!(view.len(TldId(0)), Some(20));
+        // Bootstrap came from a checkpoint, so only post-checkpoint
+        // additions count as NRDs observed live.
+        assert!(view.take_new_domains().len() <= 4);
+    }
+}

@@ -55,7 +55,13 @@ pub struct RunArtifacts {
 
 impl Experiment {
     pub fn new(config: ExperimentConfig) -> Self {
-        Experiment { config, nrd_feed: NrdFeed::new() }
+        // The zonestream feed is the released artifact: its subscribers
+        // legitimately drain once at the end of a run, so it gets the
+        // archive capacity, not the live-consumer default — a paper-scale
+        // run must not silently truncate the artifact.
+        let nrd_feed =
+            NrdFeed::with_config(crate::feed::ARTIFACT_FEED_CAPACITY, crate::feed::OverflowPolicy::Lag);
+        Experiment { config, nrd_feed }
     }
 
     pub fn config(&self) -> &ExperimentConfig {
@@ -117,6 +123,14 @@ impl Experiment {
                 registrar: v.rdap.as_ref().ok().map(|r| r.registrar.clone()),
             });
         }
+        // Release builds are exactly where paper-scale runs happen, so
+        // this must not be a debug-only check: a truncated released
+        // artifact is a hard error, not a silent drop.
+        assert_eq!(
+            self.nrd_feed.dropped_total(),
+            0,
+            "zonestream artifact truncated; raise ARTIFACT_FEED_CAPACITY"
+        );
 
         // --- step 3: monitoring ---------------------------------------------
         let mut monitor = Monitor::new(&universe, &landscape);

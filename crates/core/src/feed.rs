@@ -5,19 +5,45 @@
 //! on crossbeam channels. The same machinery implements the paper's
 //! released artifact — the public "zonestream" feed of newly
 //! registered domains (reference 33 of the paper) — which the repository's examples subscribe to.
+//!
+//! Topics are **bounded**: every subscriber has a channel of fixed
+//! capacity, and a publisher never blocks on a slow consumer. On
+//! overflow the topic either drops the message for that subscriber
+//! (counted — [`Subscription::dropped_count`]) or evicts the subscriber
+//! outright, per [`OverflowPolicy`]. This replaces the earlier unbounded
+//! semantics, under which one stalled consumer grew its queue without
+//! limit — at zone scale, an OOM with extra steps. The same policy
+//! vocabulary is used by the RZU distribution broker
+//! (`darkdns_broker`), which additionally offers snapshot catch-up for
+//! subscribers that fell behind.
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use darkdns_dns::DomainName;
 use darkdns_sim::time::SimTime;
 use parking_lot::Mutex;
 use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// What a topic does with a subscriber whose channel is full — the same
+/// policy vocabulary the RZU distribution broker uses.
+pub use darkdns_broker::OverflowPolicy;
+
+/// Default per-subscriber channel capacity.
+pub const DEFAULT_TOPIC_CAPACITY: usize = 4096;
+
+struct TopicSubscriber<T> {
+    tx: Sender<T>,
+    dropped: Arc<AtomicU64>,
+}
+
 /// A broadcast topic: every subscriber receives every message published
-/// after it subscribed.
+/// after it subscribed, up to its bounded buffer.
 pub struct Topic<T: Clone> {
-    subscribers: Arc<Mutex<Vec<Sender<T>>>>,
-    published: Arc<Mutex<u64>>,
+    subscribers: Arc<Mutex<Vec<TopicSubscriber<T>>>>,
+    published: Arc<AtomicU64>,
+    capacity: usize,
+    overflow: OverflowPolicy,
 }
 
 impl<T: Clone> Default for Topic<T> {
@@ -28,42 +54,89 @@ impl<T: Clone> Default for Topic<T> {
 
 impl<T: Clone> Clone for Topic<T> {
     fn clone(&self) -> Self {
-        Topic { subscribers: Arc::clone(&self.subscribers), published: Arc::clone(&self.published) }
+        Topic {
+            subscribers: Arc::clone(&self.subscribers),
+            published: Arc::clone(&self.published),
+            capacity: self.capacity,
+            overflow: self.overflow,
+        }
     }
 }
 
 impl<T: Clone> Topic<T> {
+    /// A topic with the default capacity and the Lag overflow policy.
     pub fn new() -> Self {
-        Topic { subscribers: Arc::new(Mutex::new(Vec::new())), published: Arc::new(Mutex::new(0)) }
+        Topic::with_config(DEFAULT_TOPIC_CAPACITY, OverflowPolicy::Lag)
     }
 
-    /// Subscribe; messages published from now on are delivered.
+    /// A topic with explicit per-subscriber capacity and overflow policy.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_config(capacity: usize, overflow: OverflowPolicy) -> Self {
+        assert!(capacity > 0, "topic capacity must be positive");
+        Topic {
+            subscribers: Arc::new(Mutex::new(Vec::new())),
+            published: Arc::new(AtomicU64::new(0)),
+            capacity,
+            overflow,
+        }
+    }
+
+    /// Subscribe; messages published from now on are delivered, up to
+    /// the topic's per-subscriber capacity.
     pub fn subscribe(&self) -> Subscription<T> {
-        let (tx, rx) = unbounded();
-        self.subscribers.lock().push(tx);
-        Subscription { rx }
+        let (tx, rx) = bounded(self.capacity);
+        let dropped = Arc::new(AtomicU64::new(0));
+        self.subscribers.lock().push(TopicSubscriber { tx, dropped: Arc::clone(&dropped) });
+        Subscription { rx, dropped }
     }
 
-    /// Publish to all live subscribers. Dropped subscribers are pruned.
+    /// Publish to all live subscribers. Dropped subscribers are pruned;
+    /// full subscribers lag or are evicted per the overflow policy.
     pub fn publish(&self, message: T) {
         let mut subs = self.subscribers.lock();
-        subs.retain(|tx| tx.send(message.clone()).is_ok());
-        *self.published.lock() += 1;
+        let overflow = self.overflow;
+        subs.retain(|sub| match sub.tx.try_send(message.clone()) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => match overflow {
+                OverflowPolicy::Lag => {
+                    sub.dropped.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                OverflowPolicy::Evict => false,
+            },
+            Err(TrySendError::Disconnected(_)) => false,
+        });
+        self.published.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Messages published so far (delivered or not).
     pub fn published_count(&self) -> u64 {
-        *self.published.lock()
+        self.published.load(Ordering::Relaxed)
     }
 
     pub fn subscriber_count(&self) -> usize {
         self.subscribers.lock().len()
+    }
+
+    /// Messages dropped across all *current* subscribers (evicted ones
+    /// no longer count). A publisher that must not lose records checks
+    /// this after the run instead of trusting silence.
+    pub fn dropped_total(&self) -> u64 {
+        self.subscribers.lock().iter().map(|s| s.dropped.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Per-subscriber channel capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
 /// A consumer handle for a [`Topic`].
 pub struct Subscription<T> {
     rx: Receiver<T>,
+    dropped: Arc<AtomicU64>,
 }
 
 impl<T> Subscription<T> {
@@ -83,6 +156,11 @@ impl<T> Subscription<T> {
         }
         out
     }
+
+    /// Messages this subscriber missed because its buffer was full.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
 }
 
 /// One record on the public newly-registered-domain feed ("zonestream").
@@ -99,6 +177,13 @@ pub struct NrdFeedRecord {
 
 /// The public feed the paper releases: a topic of [`NrdFeedRecord`]s.
 pub type NrdFeed = Topic<NrdFeedRecord>;
+
+/// Capacity for archive-shaped feeds whose consumers drain once at the
+/// end of a run (the experiment's released zonestream artifact): large
+/// enough to hold every NRD of a paper-scale window, while still
+/// bounding a runaway publisher. Live consumers that poll as they go
+/// are fine with [`DEFAULT_TOPIC_CAPACITY`].
+pub const ARTIFACT_FEED_CAPACITY: usize = 1 << 20;
 
 #[cfg(test)]
 mod tests {
@@ -149,6 +234,67 @@ mod tests {
         let topic: Topic<u32> = Topic::new();
         let sub = topic.subscribe();
         assert_eq!(sub.try_next(), None);
+    }
+
+    #[test]
+    fn full_subscriber_lags_and_counts_drops() {
+        let topic: Topic<u32> = Topic::with_config(3, OverflowPolicy::Lag);
+        let sub = topic.subscribe();
+        for i in 0..10 {
+            topic.publish(i);
+        }
+        // The first 3 fit; the rest were dropped for this subscriber.
+        assert_eq!(sub.drain(), vec![0, 1, 2]);
+        assert_eq!(sub.dropped_count(), 7);
+        assert_eq!(topic.published_count(), 10);
+        assert_eq!(topic.subscriber_count(), 1, "lagging subscriber stays registered");
+    }
+
+    #[test]
+    fn draining_heals_a_lagging_subscriber() {
+        let topic: Topic<u32> = Topic::with_config(2, OverflowPolicy::Lag);
+        let sub = topic.subscribe();
+        topic.publish(1);
+        topic.publish(2);
+        topic.publish(3); // dropped
+        assert_eq!(sub.drain(), vec![1, 2]);
+        topic.publish(4); // fits again after the drain
+        assert_eq!(sub.drain(), vec![4]);
+        assert_eq!(sub.dropped_count(), 1);
+    }
+
+    #[test]
+    fn evict_policy_removes_slow_subscribers() {
+        let topic: Topic<u32> = Topic::with_config(1, OverflowPolicy::Evict);
+        let slow = topic.subscribe();
+        let fast = topic.subscribe();
+        topic.publish(1);
+        fast.drain();
+        topic.publish(2); // slow still holds 1 -> evicted
+        assert_eq!(topic.subscriber_count(), 1);
+        assert_eq!(slow.drain(), vec![1], "evicted subscriber keeps what it had");
+        assert_eq!(fast.drain(), vec![2]);
+        topic.publish(3);
+        assert_eq!(slow.try_next(), None, "nothing delivered after eviction");
+        assert_eq!(fast.drain(), vec![3]);
+    }
+
+    #[test]
+    fn independent_drop_counters_per_subscriber() {
+        let topic: Topic<u32> = Topic::with_config(1, OverflowPolicy::Lag);
+        let busy = topic.subscribe();
+        let idle = topic.subscribe();
+        topic.publish(1);
+        busy.drain();
+        topic.publish(2); // idle is full, busy is not
+        assert_eq!(busy.dropped_count(), 0);
+        assert_eq!(idle.dropped_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Topic::<u32>::with_config(0, OverflowPolicy::Lag);
     }
 
     #[test]

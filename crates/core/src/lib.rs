@@ -21,8 +21,11 @@
 //! in-memory topic bus (the simulation's Kafka) plus the public
 //! "zonestream" NRD feed the paper releases. [`rzu_ablation`] sweeps
 //! snapshot/push cadences to quantify the value of rapid zone updates —
-//! the §5 argument, turned into an experiment.
+//! the §5 argument, turned into an experiment. [`broker_view`] is the
+//! RZU deployment shape of the membership check: a live zone view fed by
+//! the `darkdns_broker` distribution broker instead of daily snapshots.
 
+pub mod broker_view;
 pub mod config;
 pub mod detector;
 pub mod experiment;

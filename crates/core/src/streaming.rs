@@ -38,7 +38,20 @@ pub struct StreamingStats {
 
 impl StreamingPipeline {
     pub fn new() -> Self {
-        StreamingPipeline { certstream: Topic::new(), candidates: Topic::new() }
+        // Both topics serve run-once archive consumers (subscribe up
+        // front, drain after the run), so they get the artifact
+        // capacity rather than the live-consumer default — a big run
+        // must not silently truncate what such a subscriber sees.
+        StreamingPipeline {
+            certstream: Topic::with_config(
+                crate::feed::ARTIFACT_FEED_CAPACITY,
+                crate::feed::OverflowPolicy::Lag,
+            ),
+            candidates: Topic::with_config(
+                crate::feed::ARTIFACT_FEED_CAPACITY,
+                crate::feed::OverflowPolicy::Lag,
+            ),
+        }
     }
 
     /// Pump `entries` through detector and validator stages, publishing on

@@ -37,4 +37,5 @@ pub use psl::PublicSuffixList;
 pub use record::{RData, RecordClass, RecordType, ResourceRecord};
 pub use serial::Serial;
 pub use snapshot::ZoneSnapshot;
+pub use wire::{decode_delta_push, encode_delta_push, DeltaPush};
 pub use zone::{Delegation, NsSet, Zone};

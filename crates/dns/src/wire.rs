@@ -7,9 +7,13 @@
 //! compression-pointer loops, forward pointers and truncated fields are all
 //! errors rather than silent acceptance.
 
+use crate::diff::{NsChange, ZoneDelta};
 use crate::name::DomainName;
 use crate::record::{RData, RecordClass, RecordType, ResourceRecord, SoaData};
-use bytes::{Buf, BufMut, BytesMut};
+use crate::serial::Serial;
+use crate::zone::NsSet;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use darkdns_sim::time::SimTime;
 use std::collections::HashMap;
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
@@ -33,6 +37,8 @@ pub enum WireError {
     RdataLength { declared: usize, actual: usize },
     /// Bytes remained after the message was fully parsed.
     TrailingBytes(usize),
+    /// A delta-push frame did not start with the `RZU1` magic.
+    BadMagic,
 }
 
 impl fmt::Display for WireError {
@@ -50,6 +56,7 @@ impl fmt::Display for WireError {
                 write!(f, "RDLENGTH {declared} but RDATA is {actual} bytes")
             }
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadMagic => write!(f, "not an RZU1 delta-push frame"),
         }
     }
 }
@@ -272,6 +279,15 @@ impl Encoder {
         self.buf.put_u8(0);
     }
 
+    /// Encode an NS set as a u16 count followed by the host names.
+    fn ns_set(&mut self, ns: &NsSet) {
+        debug_assert!(ns.len() <= u16::MAX as usize);
+        self.buf.put_u16(ns.len() as u16);
+        for host in ns {
+            self.name(host);
+        }
+    }
+
     fn record(&mut self, rr: &ResourceRecord) {
         self.name(&rr.name);
         self.buf.put_u16(rr.record_type().code());
@@ -351,6 +367,28 @@ impl<'a> Decoder<'a> {
     fn u32(&mut self) -> Result<u32, WireError> {
         let mut b = self.take(4)?;
         Ok(b.get_u32())
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Decode an NS set encoded by [`Encoder::ns_set`]. Host order is
+    /// preserved as encoded.
+    fn ns_set(&mut self) -> Result<NsSet, WireError> {
+        let count = self.u16()? as usize;
+        // Untrusted count: every host name costs at least 1 byte, so a
+        // count the rest of the buffer cannot hold is a truncation —
+        // caught before the allocation is sized from it.
+        if count > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let mut hosts = Vec::with_capacity(count);
+        for _ in 0..count {
+            hosts.push(self.name()?);
+        }
+        Ok(NsSet::from_raw(hosts))
     }
 
     #[allow(clippy::type_complexity)]
@@ -501,6 +539,125 @@ impl<'a> Decoder<'a> {
             }),
         })
     }
+}
+
+/// Magic prefix of an RZU delta-push frame ("RZU1").
+const DELTA_PUSH_MAGIC: &[u8; 4] = b"RZU1";
+
+/// A decoded RZU delta-push frame: the net zone change that advanced one
+/// shard from `from_serial` to `to_serial`.
+///
+/// This is the unit the distribution broker fans out: the publisher calls
+/// [`encode_delta_push`] **once** per push and hands the resulting
+/// [`Bytes`] to every subscriber — the bytes are refcount-shared, never
+/// re-encoded or copied per subscriber.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaPush {
+    /// Zone origin (the shard's TLD).
+    pub origin: DomainName,
+    /// Serial the subscriber must be at for the delta to apply.
+    pub from_serial: Serial,
+    /// Serial the subscriber reaches after applying the delta.
+    pub to_serial: Serial,
+    /// Publisher-side timestamp of the push.
+    pub pushed_at: SimTime,
+    /// The net changes, in canonical (sorted-by-domain) order.
+    pub delta: ZoneDelta,
+}
+
+/// Encode a delta push into a compact shareable frame.
+///
+/// Layout (all integers big-endian):
+///
+/// ```text
+/// "RZU1"                     magic, 4 bytes
+/// origin                     wire-format name (compression target)
+/// from_serial u32, to_serial u32, pushed_at u64
+/// added u32, removed u32, changed u32        section counts
+/// added:   (name, u16 ns_count, ns names...) per entry
+/// removed: (name, u16 ns_count, ns names...) per entry
+/// changed: (name, u16 old_count, old..., u16 new_count, new...) per entry
+/// ```
+///
+/// Names use RFC 1035 label encoding with compression pointers scoped to
+/// the frame, so the heavily repeated NS host names (a handful of DNS
+/// providers serve most delegations) collapse to 2-byte pointers.
+pub fn encode_delta_push(
+    origin: &DomainName,
+    from_serial: Serial,
+    to_serial: Serial,
+    pushed_at: SimTime,
+    delta: &ZoneDelta,
+) -> Bytes {
+    let mut enc = Encoder::new();
+    enc.buf.put_slice(DELTA_PUSH_MAGIC);
+    enc.name(origin);
+    enc.buf.put_u32(from_serial.get());
+    enc.buf.put_u32(to_serial.get());
+    enc.buf.put_u64(pushed_at.as_secs());
+    enc.buf.put_u32(delta.added.len() as u32);
+    enc.buf.put_u32(delta.removed.len() as u32);
+    enc.buf.put_u32(delta.changed.len() as u32);
+    for (domain, ns) in delta.added.iter().chain(&delta.removed) {
+        enc.name(domain);
+        enc.ns_set(ns);
+    }
+    for chg in &delta.changed {
+        enc.name(&chg.domain);
+        enc.ns_set(&chg.old_ns);
+        enc.ns_set(&chg.new_ns);
+    }
+    enc.buf.freeze()
+}
+
+/// Decode a frame produced by [`encode_delta_push`]. The entire buffer
+/// must be consumed. Section order within the frame is preserved, so a
+/// frame encoded from a canonical [`ZoneDelta`] decodes to a canonical
+/// one (a property [`ZoneDelta::apply`] re-verifies before applying).
+pub fn decode_delta_push(bytes: &[u8]) -> Result<DeltaPush, WireError> {
+    let mut dec = Decoder { bytes, pos: 0 };
+    if dec.take(4)? != DELTA_PUSH_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let origin = dec.name()?;
+    let from_serial = Serial::new(dec.u32()?);
+    let to_serial = Serial::new(dec.u32()?);
+    let pushed_at = SimTime::from_secs(dec.u64()?);
+    let added_count = dec.u32()? as usize;
+    let removed_count = dec.u32()? as usize;
+    let changed_count = dec.u32()? as usize;
+    // Counts are untrusted: every entry costs at least 3 bytes (a 1-byte
+    // root/pointer-free name plus a 2-byte NS count), so counts the
+    // remaining buffer cannot possibly hold are a truncation, caught
+    // here before any allocation is sized from them.
+    let min_bytes = (added_count + removed_count)
+        .checked_mul(3)
+        .and_then(|n| n.checked_add(changed_count.checked_mul(5)?))
+        .ok_or(WireError::Truncated)?;
+    if min_bytes > dec.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut delta = ZoneDelta::default();
+    delta.added.reserve_exact(added_count);
+    for _ in 0..added_count {
+        delta.added.push((dec.name()?, dec.ns_set()?));
+    }
+    delta.removed.reserve_exact(removed_count);
+    for _ in 0..removed_count {
+        delta.removed.push((dec.name()?, dec.ns_set()?));
+    }
+    delta.changed.reserve_exact(changed_count);
+    for _ in 0..changed_count {
+        delta.changed.push(NsChange {
+            domain: dec.name()?,
+            old_ns: dec.ns_set()?,
+            new_ns: dec.ns_set()?,
+        });
+    }
+    if dec.pos != bytes.len() {
+        return Err(WireError::TrailingBytes(bytes.len() - dec.pos));
+    }
+    Ok(DeltaPush { origin, from_serial, to_serial, pushed_at, delta })
 }
 
 #[cfg(test)]
@@ -677,6 +834,118 @@ mod tests {
             additionals: vec![],
         };
         assert_eq!(round_trip(&msg).header, h);
+    }
+
+    fn sample_delta() -> ZoneDelta {
+        let ns_a = NsSet::new(vec![name("ns1.cloudflare.com"), name("ns2.cloudflare.com")]);
+        let ns_b = NsSet::new(vec![name("ns1.domaincontrol.com")]);
+        let mut delta = ZoneDelta::default();
+        delta.added.push((name("alpha.com"), ns_a.clone()));
+        delta.added.push((name("bravo.com"), ns_a.clone()));
+        delta.removed.push((name("gone.com"), ns_b.clone()));
+        delta.changed.push(NsChange { domain: name("moved.com"), old_ns: ns_b, new_ns: ns_a });
+        delta
+    }
+
+    #[test]
+    fn delta_push_round_trips() {
+        let delta = sample_delta();
+        let frame = encode_delta_push(
+            &name("com"),
+            Serial::new(41),
+            Serial::new(45),
+            SimTime::from_secs(1_234),
+            &delta,
+        );
+        let push = decode_delta_push(&frame).unwrap();
+        assert_eq!(push.origin, name("com"));
+        assert_eq!(push.from_serial, Serial::new(41));
+        assert_eq!(push.to_serial, Serial::new(45));
+        assert_eq!(push.pushed_at, SimTime::from_secs(1_234));
+        assert_eq!(push.delta, delta);
+    }
+
+    #[test]
+    fn empty_delta_push_round_trips() {
+        let frame = encode_delta_push(
+            &name("net"),
+            Serial::new(0),
+            Serial::new(0),
+            SimTime::ZERO,
+            &ZoneDelta::default(),
+        );
+        let push = decode_delta_push(&frame).unwrap();
+        assert!(push.delta.is_empty());
+        assert_eq!(push.origin, name("net"));
+    }
+
+    #[test]
+    fn delta_push_frames_share_bytes_on_clone() {
+        let frame = encode_delta_push(
+            &name("com"),
+            Serial::new(1),
+            Serial::new(2),
+            SimTime::ZERO,
+            &sample_delta(),
+        );
+        let fanned_out = frame.clone();
+        assert!(frame.ptr_eq(&fanned_out));
+    }
+
+    #[test]
+    fn delta_push_compression_collapses_repeated_ns_hosts() {
+        // 100 delegations all on the same two NS hosts: with frame-scoped
+        // compression each repeated host costs a 2-byte pointer, not a
+        // full re-encoding.
+        let ns = NsSet::new(vec![name("ns1.cloudflare.com"), name("ns2.cloudflare.com")]);
+        let mut delta = ZoneDelta::default();
+        for i in 0..100 {
+            delta.added.push((name(&format!("domain-{i:03}.com")), ns.clone()));
+        }
+        let frame = encode_delta_push(
+            &name("com"),
+            Serial::new(1),
+            Serial::new(2),
+            SimTime::ZERO,
+            &delta,
+        );
+        // Uncompressed, each entry would carry two ~20-byte host names;
+        // compressed, entries after the first carry two 2-byte pointers.
+        assert!(frame.len() < 100 * 24, "frame unexpectedly large: {}", frame.len());
+        assert_eq!(decode_delta_push(&frame).unwrap().delta, delta);
+    }
+
+    #[test]
+    fn delta_push_rejects_oversized_counts_without_allocating() {
+        // A tiny frame claiming u32::MAX entries must fail cleanly
+        // (Truncated), not size allocations from the claimed counts.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(b"RZU1");
+        frame.push(0); // root origin name
+        frame.extend_from_slice(&41u32.to_be_bytes()); // from_serial
+        frame.extend_from_slice(&42u32.to_be_bytes()); // to_serial
+        frame.extend_from_slice(&0u64.to_be_bytes()); // pushed_at
+        frame.extend_from_slice(&u32::MAX.to_be_bytes()); // added count
+        frame.extend_from_slice(&0u32.to_be_bytes());
+        frame.extend_from_slice(&0u32.to_be_bytes());
+        assert_eq!(decode_delta_push(&frame), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn delta_push_rejects_bad_magic_and_truncation() {
+        assert_eq!(decode_delta_push(b"NOPE"), Err(WireError::BadMagic));
+        assert_eq!(decode_delta_push(b"RZ"), Err(WireError::Truncated));
+        let frame = encode_delta_push(
+            &name("com"),
+            Serial::new(1),
+            Serial::new(2),
+            SimTime::ZERO,
+            &sample_delta(),
+        );
+        assert_eq!(decode_delta_push(&frame[..frame.len() - 3]), Err(WireError::Truncated));
+        let mut padded = frame.to_vec();
+        padded.push(0);
+        assert_eq!(decode_delta_push(&padded), Err(WireError::TrailingBytes(1)));
     }
 
     #[test]

@@ -13,6 +13,9 @@
 use crate::events::{RegistryEvent, RegistryEventKind};
 use crate::universe::{DomainRecord, Universe};
 use crate::tld::TldId;
+use darkdns_dns::diff::{JournalEvent, ZoneJournal};
+use darkdns_dns::zone::NsSet;
+use darkdns_dns::{DomainName, Serial, ZoneDelta, ZoneSnapshot};
 use darkdns_sim::time::{SimDuration, SimTime};
 use serde::Serialize;
 
@@ -112,6 +115,145 @@ impl RzuFeed {
             }
         }
         None
+    }
+}
+
+/// One RZU push expressed as the net zone delta it carries, with the
+/// serial range it advances a subscriber across. This is the payload the
+/// distribution broker seals into a wire frame.
+#[derive(Debug, Clone)]
+pub struct RzuZonePush {
+    pub pushed_at: SimTime,
+    /// Zone serial before the push.
+    pub from_serial: Serial,
+    /// Zone serial after the push.
+    pub to_serial: Serial,
+    /// Net changes in canonical order; applies to the zone at
+    /// `from_serial`.
+    pub delta: ZoneDelta,
+}
+
+/// The zone-level materialisation of one TLD's RZU feed: a starting
+/// snapshot plus a sequence of contiguous delta pushes whose serial
+/// ranges chain (`pushes[i].to_serial == pushes[i+1].from_serial`), and
+/// the resulting head snapshot.
+///
+/// Built by replaying the registry event log through a live
+/// [`darkdns_dns::Zone`] while journaling every mutation; each push's
+/// delta is the journal's compacted window, so a domain registered and
+/// deleted *within* one push interval cancels out (exactly the paper's
+/// transient-domain semantics at the chosen cadence), while one that
+/// spans pushes is visible.
+#[derive(Debug, Clone)]
+pub struct RzuZoneStream {
+    pub tld: TldId,
+    pub origin: DomainName,
+    pub cadence: SimDuration,
+    /// Zone state at the anchor (before any push).
+    pub start: ZoneSnapshot,
+    /// Zone state after every push.
+    pub head: ZoneSnapshot,
+    pub pushes: Vec<RzuZonePush>,
+}
+
+impl RzuZoneStream {
+    /// Materialise the zone-delta stream for `tld` from a universe.
+    /// `origin` is the TLD's domain (e.g. `com`); the push grid is
+    /// anchored at `anchor` with the given `cadence`.
+    ///
+    /// NS sets follow the same provider scheme as the CZDS materialiser
+    /// (`ns1.provider<N>.net`); an NS-change event rotates the
+    /// delegation onto the provider's secondary host so the change is
+    /// visible in the delta stream.
+    pub fn from_universe(
+        universe: &Universe,
+        origin: DomainName,
+        tld: TldId,
+        anchor: SimTime,
+        cadence: SimDuration,
+    ) -> Self {
+        use darkdns_dns::zone::{Delegation, Zone};
+
+        let events = crate::events::event_log(universe, Some(tld));
+        let feed = RzuFeed::build(tld, anchor, cadence, &events);
+        let mut zone = Zone::new(origin, Serial::new(0));
+        let start = ZoneSnapshot::capture(&zone, anchor);
+        // One NS pair per provider, parsed once: (primary, rotated).
+        let mut provider_ns: darkdns_dns::hash::NameMap<u16, (NsSet, NsSet)> = Default::default();
+        let mut ns_for = |provider: u16, rotated: bool| -> NsSet {
+            let (primary, secondary) = provider_ns.entry(provider).or_insert_with(|| {
+                let parse = |i: u8| {
+                    DomainName::parse(&format!("ns{i}.provider{provider}.net"))
+                        .expect("static name is valid")
+                };
+                (NsSet::new(vec![parse(1)]), NsSet::new(vec![parse(2)]))
+            });
+            if rotated { secondary.clone() } else { primary.clone() }
+        };
+
+        let mut journal = ZoneJournal::new();
+        let mut pushes = Vec::with_capacity(feed.pushes().len());
+        for push in feed.pushes() {
+            let from_serial = zone.serial();
+            for ev in &push.events {
+                let record = universe.get(ev.domain);
+                let domain = record.name;
+                match ev.kind {
+                    RegistryEventKind::Created => {
+                        let ns = ns_for(record.dns_provider.0, false);
+                        let prev = zone.upsert(domain, Delegation::from_sorted(ns.clone()));
+                        let event = match prev {
+                            // A name can be re-registered after an earlier
+                            // record's deletion; journal it as whatever it
+                            // nets out to.
+                            Some(prev) if *prev.ns_set() != ns => JournalEvent::NsChanged {
+                                domain,
+                                prev_ns: prev.ns_set().clone(),
+                                ns,
+                            },
+                            Some(_) => continue, // same delegation; no net change
+                            None => JournalEvent::Added { domain, ns },
+                        };
+                        journal.record(zone.serial(), event);
+                    }
+                    RegistryEventKind::Removed => {
+                        if let Some(prev) = zone.remove(&domain) {
+                            journal.record(
+                                zone.serial(),
+                                JournalEvent::Removed { domain, prev_ns: prev.ns_set().clone() },
+                            );
+                        }
+                    }
+                    RegistryEventKind::NsChanged => {
+                        let Some(prev) = zone.remove(&domain) else { continue };
+                        let prev_ns = prev.ns_set().clone();
+                        let rotated = ns_for(record.dns_provider.0, true);
+                        let ns =
+                            if prev_ns == rotated { ns_for(record.dns_provider.0, false) } else { rotated };
+                        zone.upsert(domain, Delegation::from_sorted(ns.clone()));
+                        journal.record(
+                            zone.serial(),
+                            JournalEvent::NsChanged { domain, prev_ns, ns },
+                        );
+                    }
+                }
+            }
+            let to_serial = zone.serial();
+            pushes.push(RzuZonePush {
+                pushed_at: push.pushed_at,
+                from_serial,
+                to_serial,
+                delta: journal.delta_between(from_serial, to_serial),
+            });
+        }
+        let head_at = pushes.last().map_or(anchor, |p| p.pushed_at);
+        let head = ZoneSnapshot::capture(&zone, head_at);
+        RzuZoneStream { tld, origin, cadence, start, head, pushes }
+    }
+
+    /// Total domains touched across all push deltas.
+    pub fn delta_len(&self) -> usize {
+        self.pushes.iter().map(|p| p.delta.len()).sum()
     }
 }
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Run the perf-tracking criterion suites (B1 zone-diff race, B3 pipeline
-# throughput) with reduced sample counts and emit BENCH_<tag>.json at the
-# repo root, recording the per-PR baseline alongside the fresh numbers.
+# throughput, B4 broker fan-out / cold catch-up) with reduced sample
+# counts and emit BENCH_<tag>.json at the repo root, recording the
+# per-PR baseline alongside the fresh numbers.
 #
 # Usage:
 #   scripts/bench.sh [tag]       # default tag: pr1  → BENCH_pr1.json
@@ -21,6 +22,7 @@ export DARKDNS_BENCH_SAMPLES="${DARKDNS_BENCH_SAMPLES:-11}"
 
 DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench zone_diff
 DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench pipeline
+DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench broker
 
 python3 - "$RAW" "$OUT" <<'PY'
 import json
@@ -58,6 +60,24 @@ with open(raw_path) as f:
             "elems_per_sec": rec.get("elems_per_sec"),
         }
 
+# In-run comparisons between a broker workload and its no-sharing /
+# no-checkpoint baseline, measured in the same run (ratio = slow/fast).
+DERIVED_PAIRS = {
+    "broker_fanout_shared_vs_per_sub_encode": (
+        "broker/fanout-encode-per-sub/1tld-1000subs",
+        "broker/fanout-shared/1tld-1000subs",
+    ),
+    "broker_catchup_checkpoint_vs_full_replay": (
+        "broker/catchup-full-replay/500000",
+        "broker/catchup-checkpoint/500000",
+    ),
+}
+derived = {
+    name: round(current[slow]["median_ns"] / current[fast]["median_ns"], 2)
+    for name, (slow, fast) in DERIVED_PAIRS.items()
+    if slow in current and fast in current and current[fast]["median_ns"]
+}
+
 report = {
     "baseline_label": "seed (pre interning + zero-copy diff)",
     "baseline": BASELINE,
@@ -67,6 +87,7 @@ report = {
         for bench in BASELINE
         if bench in current and current[bench]["median_ns"]
     },
+    "derived": derived,
 }
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2, sort_keys=True)
@@ -74,4 +95,6 @@ with open(out_path, "w") as f:
 print(f"wrote {out_path}")
 for bench, ratio in sorted(report["speedup"].items()):
     print(f"  {bench:<44} {ratio:>6}x vs baseline")
+for name, ratio in sorted(derived.items()):
+    print(f"  {name:<44} {ratio:>6}x (in-run baseline)")
 PY

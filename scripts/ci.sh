@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus hygiene: release build, the full test suite, and a
+# warnings-denied check build of every workspace target.
+#
+# Usage:
+#   scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> RUSTFLAGS=-Dwarnings cargo build --all-targets"
+RUSTFLAGS="-Dwarnings" cargo build --all-targets
+
+echo "ci: all green"

@@ -24,6 +24,7 @@
 //! println!("{}", report.render_text());
 //! ```
 
+pub use darkdns_broker as broker;
 pub use darkdns_core as core;
 pub use darkdns_ct as ct;
 pub use darkdns_dns as dns;

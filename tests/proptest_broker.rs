@@ -1,0 +1,181 @@
+//! Property-based tests for the RZU distribution broker: a subscriber
+//! joining at an arbitrary serial — whether served a delta replay or a
+//! checkpoint-snapshot bootstrap — converges to exactly the publisher's
+//! head, across arbitrary event interleavings, retention configs and
+//! shard counts.
+
+use darkdns::broker::{Broker, BrokerConfig, BrokerMessage, BrokerSubscription, RetentionConfig};
+use darkdns::dns::diff::{SortedMergeDiff, ZoneDiffEngine};
+use darkdns::dns::{decode_delta_push, DomainName, Serial, Zone, ZoneSnapshot};
+use darkdns::registry::tld::TldId;
+use darkdns::sim::time::SimTime;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A random zone state: map from domain index to NS choice (0..3).
+fn zone_state_strategy() -> impl Strategy<Value = BTreeMap<u16, u8>> {
+    prop::collection::btree_map(0u16..120, 0u8..3, 0..40)
+}
+
+fn ns_host(choice: u8) -> DomainName {
+    DomainName::parse(&format!("ns{choice}.provider.net")).unwrap()
+}
+
+fn snapshot_of(origin: &str, state: &BTreeMap<u16, u8>, serial: u32) -> ZoneSnapshot {
+    let entries = state
+        .iter()
+        .map(|(i, ns)| {
+            (DomainName::parse(&format!("d{i:04}.{origin}")).unwrap(), vec![ns_host(*ns)])
+        })
+        .collect();
+    ZoneSnapshot::from_entries(
+        DomainName::parse(origin).unwrap(),
+        Serial::new(serial),
+        SimTime::from_secs(u64::from(serial)),
+        entries,
+    )
+}
+
+/// Publish the state sequence into `tld`'s shard as chained deltas
+/// (serial i moves the shard to `states[i]`). Returns the source
+/// snapshots, index-aligned with serials.
+fn publish_sequence(
+    broker: &Broker,
+    tld: TldId,
+    origin: &str,
+    states: &[BTreeMap<u16, u8>],
+    upto: usize,
+    from: usize,
+) -> Vec<ZoneSnapshot> {
+    let snaps: Vec<_> =
+        (0..states.len()).map(|i| snapshot_of(origin, &states[i], i as u32)).collect();
+    for i in from.max(1)..=upto {
+        let delta = SortedMergeDiff.diff(&snaps[i - 1], &snaps[i]);
+        broker.publish(tld, delta, Serial::new(i as u32), SimTime::from_secs(i as u64));
+    }
+    snaps
+}
+
+/// Apply every queued message for `tld` onto `state`, checking serial
+/// continuity, and return the final state.
+fn replay_tld(sub: &BrokerSubscription, tld: TldId, mut state: ZoneSnapshot) -> ZoneSnapshot {
+    for msg in sub.drain() {
+        match msg {
+            BrokerMessage::Snapshot { tld: t, snapshot } if t == tld => state = snapshot,
+            BrokerMessage::Delta { tld: t, frame } if t == tld => {
+                let push = decode_delta_push(&frame).expect("well-formed frame");
+                assert_eq!(push.from_serial, state.serial(), "gap in replayed stream");
+                state = push.delta.apply(&state, push.to_serial, push.pushed_at);
+            }
+            _ => {}
+        }
+    }
+    state
+}
+
+/// Subscriber state must equal the publisher head as a *zone*, not just
+/// as columns: `Zone::from_snapshot` of both agree.
+fn assert_converged(sub_state: &ZoneSnapshot, head: &ZoneSnapshot) {
+    assert_eq!(sub_state.serial(), head.serial());
+    assert_eq!(sub_state.domain_column(), head.domain_column());
+    let sub_zone = Zone::from_snapshot(sub_state);
+    let head_zone = Zone::from_snapshot(head);
+    assert_eq!(sub_zone.len(), head_zone.len());
+    let recapture = ZoneSnapshot::capture(&sub_zone, head.taken_at());
+    let head_recapture = ZoneSnapshot::capture(&head_zone, head.taken_at());
+    assert_eq!(recapture, head_recapture);
+}
+
+proptest! {
+    #[test]
+    fn subscriber_converges_from_arbitrary_join_serial(
+        states in prop::collection::vec(zone_state_strategy(), 2..9),
+        join_pick in 0usize..1000,
+        claim_pick in 0usize..1000,
+        max_deltas in 1usize..9,
+        ckpt_pick in 0usize..8,
+    ) {
+        let retention = RetentionConfig::new(max_deltas, 1 + ckpt_pick % max_deltas);
+        let broker = Broker::new(BrokerConfig { retention, ..BrokerConfig::default() });
+        let tld = TldId(0);
+        broker.add_shard(tld, snapshot_of("com", &states[0], 0));
+
+        let last = states.len() - 1;
+        // Publish a prefix, join claiming an arbitrary earlier serial
+        // (or nothing), then publish the rest.
+        let join_at = join_pick % (last + 1);
+        let snaps = publish_sequence(&broker, tld, "com", &states, join_at, 1);
+        let claim = match claim_pick % (join_at + 2) {
+            c if c > join_at => None,
+            c => Some(Serial::new(c as u32)),
+        };
+        let sub = broker.subscribe(&[tld], claim);
+        publish_sequence(&broker, tld, "com", &states, last, join_at + 1);
+
+        // Seed with the claimed state; a snapshot bootstrap replaces it.
+        let seed = claim.map_or_else(
+            || snapshot_of("com", &BTreeMap::new(), 0),
+            |s| snaps[s.get() as usize].clone(),
+        );
+        let final_state = replay_tld(&sub, tld, seed);
+        let head = broker.head(tld).unwrap();
+        assert_converged(&final_state, &head);
+        prop_assert_eq!(final_state.domain_column(), snaps[last].domain_column());
+    }
+
+    #[test]
+    fn multi_shard_subscriber_converges_across_interleavings(
+        states_a in prop::collection::vec(zone_state_strategy(), 2..6),
+        states_b in prop::collection::vec(zone_state_strategy(), 2..6),
+        interleave in 0u64..u64::MAX,
+        max_deltas in 1usize..6,
+    ) {
+        let retention = RetentionConfig::new(max_deltas, max_deltas);
+        let broker = Broker::new(BrokerConfig { retention, ..BrokerConfig::default() });
+        let (com, net) = (TldId(0), TldId(1));
+        broker.add_shard(com, snapshot_of("com", &states_a[0], 0));
+        broker.add_shard(net, snapshot_of("net", &states_b[0], 0));
+        let snaps_a: Vec<_> =
+            (0..states_a.len()).map(|i| snapshot_of("com", &states_a[i], i as u32)).collect();
+        let snaps_b: Vec<_> =
+            (0..states_b.len()).map(|i| snapshot_of("net", &states_b[i], i as u32)).collect();
+
+        let sub = broker.subscribe(&[com, net], Some(Serial::new(0)));
+        // Interleave the two shards' publishes by the random bit pattern.
+        let (mut ia, mut ib) = (1usize, 1usize);
+        let mut bit = 0;
+        while ia < snaps_a.len() || ib < snaps_b.len() {
+            let pick_a = (interleave >> (bit % 64)) & 1 == 0;
+            bit += 1;
+            if (pick_a && ia < snaps_a.len()) || ib >= snaps_b.len() {
+                let delta = SortedMergeDiff.diff(&snaps_a[ia - 1], &snaps_a[ia]);
+                broker.publish(com, delta, Serial::new(ia as u32), SimTime::from_secs(ia as u64));
+                ia += 1;
+            } else {
+                let delta = SortedMergeDiff.diff(&snaps_b[ib - 1], &snaps_b[ib]);
+                broker.publish(net, delta, Serial::new(ib as u32), SimTime::from_secs(ib as u64));
+                ib += 1;
+            }
+        }
+
+        // One drain serves both shards' frames, tagged by TLD.
+        let messages = sub.drain();
+        let mut state_a = snaps_a[0].clone();
+        let mut state_b = snaps_b[0].clone();
+        for msg in messages {
+            match msg {
+                BrokerMessage::Snapshot { tld, snapshot } => {
+                    if tld == com { state_a = snapshot } else { state_b = snapshot }
+                }
+                BrokerMessage::Delta { tld, frame } => {
+                    let push = decode_delta_push(&frame).expect("well-formed frame");
+                    let state = if tld == com { &mut state_a } else { &mut state_b };
+                    prop_assert_eq!(push.from_serial, state.serial());
+                    *state = push.delta.apply(state, push.to_serial, push.pushed_at);
+                }
+            }
+        }
+        assert_converged(&state_a, &broker.head(com).unwrap());
+        assert_converged(&state_b, &broker.head(net).unwrap());
+    }
+}

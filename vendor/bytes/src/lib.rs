@@ -1,8 +1,87 @@
 //! Minimal vendored stand-in for `bytes`: a growable byte buffer with the
-//! `BufMut` write methods the wire codec uses, plus a `Buf` reader trait
-//! over byte slices.
+//! `BufMut` write methods the wire codec uses, a `Buf` reader trait over
+//! byte slices, and a cheaply-clonable shared [`Bytes`] handle for
+//! encode-once / fan-out-to-many distribution paths.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer. Cloning bumps a refcount;
+/// the underlying storage is shared between all clones.
+#[derive(Clone)]
+pub struct Bytes {
+    inner: Arc<[u8]>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes { inner: Arc::from([]) }
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes { inner: Arc::from(src) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// True when both handles share the same storage (O(1) witness that a
+    /// clone did not copy).
+    pub fn ptr_eq(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { inner: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.ptr_eq(other) || self.inner == other.inner
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
 
 /// A mutable, growable byte buffer.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -35,8 +114,9 @@ impl BytesMut {
         self.inner.clone()
     }
 
-    pub fn freeze(self) -> Vec<u8> {
-        self.inner
+    /// Freeze into an immutable shared [`Bytes`] handle.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
     }
 }
 
@@ -172,6 +252,17 @@ impl Buf for &[u8] {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn freeze_shares_storage() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"hello");
+        let frozen = buf.freeze();
+        let clone = frozen.clone();
+        assert!(frozen.ptr_eq(&clone));
+        assert_eq!(&clone[..], b"hello");
+        assert_eq!(frozen, Bytes::from(b"hello".as_slice()));
+    }
 
     #[test]
     fn write_and_read_round_trip() {

@@ -1,30 +1,58 @@
 //! Minimal vendored stand-in for `crossbeam`: the `channel` module backed
-//! by `std::sync::mpsc`, which provides the unbounded MPSC semantics the
-//! in-process topic bus needs.
+//! by `std::sync::mpsc`, providing both unbounded MPSC semantics (the
+//! in-process topic bus) and bounded channels with non-blocking
+//! `try_send` (backpressure-aware fan-out paths).
 
 pub mod channel {
     use std::sync::mpsc;
 
     pub use std::sync::mpsc::TryRecvError;
 
-    /// Sending half of an unbounded channel.
+    /// Sending half of a channel (unbounded or bounded).
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: SenderKind<T>,
+    }
+
+    enum SenderKind<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender { inner: self.inner.clone() }
+            let inner = match &self.inner {
+                SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+                SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+            };
+            Sender { inner }
         }
     }
 
     impl<T> Sender<T> {
+        /// Blocking send (unbounded channels never block).
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|e| SendError(e.0))
+            match &self.inner {
+                SenderKind::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                SenderKind::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Non-blocking send. On a full bounded channel returns
+        /// [`TrySendError::Full`] instead of blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                SenderKind::Unbounded(tx) => {
+                    tx.send(value).map_err(|e| TrySendError::Disconnected(e.0))
+                }
+                SenderKind::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
         }
     }
 
-    /// Receiving half of an unbounded channel.
+    /// Receiving half of a channel.
     pub struct Receiver<T> {
         inner: mpsc::Receiver<T>,
     }
@@ -47,9 +75,71 @@ pub mod channel {
     #[derive(Debug, Clone, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// The receiving side has disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, TrySendError::Disconnected(_))
+        }
+    }
+
     /// Create an unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (Sender { inner: SenderKind::Unbounded(tx) }, Receiver { inner: rx })
+    }
+
+    /// Create a bounded MPSC channel holding at most `cap` queued messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: SenderKind::Bounded(tx) }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded::<u32>(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        match tx.try_send(3) {
+            Err(e) if e.is_full() => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+    }
+
+    #[test]
+    fn unbounded_try_send_never_fills() {
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..10_000 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(rx.iter().take(10_000).count(), 10_000);
+    }
+
+    #[test]
+    fn disconnected_receiver_reported() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.try_send(1).unwrap_err().is_disconnected());
+        assert!(tx.send(2).is_err());
     }
 }
