@@ -1,21 +1,32 @@
-//! The fan-out broker: bounded subscriber buffers over the sharded
-//! journal.
+//! The fan-out broker: per-shard locks over per-TLD journal + subscriber
+//! state, routed through a swap-on-write shard directory.
+//!
+//! Concurrency architecture (the crate docs hold the full lock
+//! hierarchy): every TLD owns a [`ShardHandle`] — one mutex guarding that
+//! shard's [`JournalShard`] *and* its subscriber registry — so publishers
+//! of different TLDs never touch the same lock. Routing from `TldId` to
+//! handle goes through an immutable `Arc`-shared directory map that is
+//! swapped wholesale on (rare) shard registration; the publish/subscribe
+//! read path takes no exclusive lock to resolve a shard.
 //!
 //! `publish` seals a delta once (one wire encode) and clones the
-//! resulting refcount-shared [`Bytes`] frame into every matching
-//! subscriber queue — fan-out cost is one `VecDeque` push per
-//! subscriber, independent of the delta size. `subscribe` computes the
-//! snapshot-vs-delta catch-up plan (crate docs) under the same lock that
-//! publishers take, so a joining subscriber can never miss or double-see
-//! a push.
+//! resulting refcount-shared [`Bytes`] frame into every queue registered
+//! with that shard — fan-out cost is one `VecDeque` push per subscriber,
+//! independent of the delta size. `subscribe` computes each shard's
+//! snapshot-vs-delta catch-up plan (crate docs) and registers the
+//! subscriber under that same shard's lock, so a publisher on the shard
+//! can never slip a push between the plan and the registration: per
+//! shard, the subscriber misses nothing and double-sees nothing.
 
-use crate::shard::{CatchUp, RetentionConfig, SealedDelta, ShardedJournal};
+use crate::shard::{CatchUp, JournalShard, RetentionConfig, SealedDelta};
 use bytes::Bytes;
+use darkdns_dns::hash::NameMap;
 use darkdns_dns::{Serial, ZoneDelta, ZoneSnapshot};
 use darkdns_registry::tld::TldId;
 use darkdns_sim::time::SimTime;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -67,10 +78,11 @@ pub enum BrokerMessage {
     Delta { tld: TldId, frame: Bytes },
 }
 
-/// Aggregate broker counters (monotonic).
+/// Aggregate broker counters: the sum of every shard's [`ShardStats`]
+/// (monotonic except `subscribers`, which is the live distinct count).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BrokerStats {
-    /// Live subscribers currently registered.
+    /// Distinct live subscribers currently registered on any shard.
     pub subscribers: usize,
     /// Wire frames encoded (exactly one per published delta).
     pub frames_encoded: u64,
@@ -88,38 +100,107 @@ pub struct BrokerStats {
     pub delta_catchups: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    frames_encoded: AtomicU64,
-    frame_bytes_encoded: AtomicU64,
-    deliveries: AtomicU64,
-    lagged_messages: AtomicU64,
-    evictions: AtomicU64,
-    snapshot_catchups: AtomicU64,
-    delta_catchups: AtomicU64,
+/// Point-in-time accounting for one TLD shard: everything the bench and
+/// monitor layers need in one struct — journal progress (pushes sealed,
+/// checkpoints refreshed, ring retention), fan-out outcomes (deliveries,
+/// lag drops, evictions), catch-up plans served, and publish-path lock
+/// health (`lock_contentions` stays 0 as long as no two threads touch
+/// the same shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    pub tld: TldId,
+    /// Shard head serial at snapshot time.
+    pub head_serial: Serial,
+    /// Live subscribers registered with this shard.
+    pub subscribers: usize,
+    /// Deltas published into this shard (= wire frames sealed, each
+    /// encoded exactly once).
+    pub pushes: u64,
+    /// Total encoded frame bytes (before refcount sharing).
+    pub frame_bytes: u64,
+    /// Checkpoint snapshot refreshes.
+    pub checkpoints: u64,
+    /// Sealed deltas currently retained in the ring.
+    pub retained_deltas: usize,
+    /// Sealed deltas retired from the ring (now served only via
+    /// checkpoint).
+    pub retired_deltas: u64,
+    /// Messages enqueued to this shard's subscribers.
+    pub deliveries: u64,
+    /// Live pushes dropped under the Lag policy.
+    pub lagged_messages: u64,
+    /// Subscribers evicted from this shard for falling behind.
+    pub evictions: u64,
+    /// Catch-ups answered with a checkpoint snapshot (rule 3).
+    pub snapshot_catchups: u64,
+    /// Catch-ups answered with a delta replay (rule 2).
+    pub delta_catchups: u64,
+    /// Times a *publisher* found this shard's lock already held and had
+    /// to block (monitor reads and subscribe traffic are not counted).
+    /// Publishers on disjoint TLDs never contend, so a
+    /// single-publisher-per-shard deployment keeps this at zero.
+    pub lock_contentions: u64,
+}
+
+/// Per-shard monotonic counters, mutated under the shard lock (plain
+/// integers: the lock already serialises writers, so no atomics).
+#[derive(Debug, Default)]
+struct ShardCounters {
+    pushes: u64,
+    frame_bytes: u64,
+    deliveries: u64,
+    lagged_messages: u64,
+    evictions: u64,
+    snapshot_catchups: u64,
+    delta_catchups: u64,
+}
+
+/// One queued item: the message plus whether it belongs to the catch-up
+/// backlog (exempt from the live capacity bound; retired from
+/// `catchup_pending` exactly when popped, regardless of how live pushes
+/// interleave with a multi-shard catch-up).
+#[derive(Debug)]
+struct QueuedMessage {
+    msg: BrokerMessage,
+    catchup: bool,
 }
 
 /// Queue state shared between the broker and one subscription handle.
 struct SubShared {
     id: u64,
-    queue: Mutex<VecDeque<BrokerMessage>>,
-    /// Catch-up messages still at the front of the queue. They are
-    /// exempt from the live-push capacity bound (their depth is bounded
-    /// by the retention ring); FIFO order means the first
-    /// `catchup_pending` pops are exactly the catch-up messages.
+    queue: Mutex<VecDeque<QueuedMessage>>,
+    /// Catch-up messages still queued; their depth is bounded by the
+    /// retention ring, so they are exempt from the live-push capacity
+    /// bound.
     catchup_pending: AtomicU64,
     dropped: AtomicU64,
     evicted: AtomicBool,
     closed: AtomicBool,
 }
 
+impl SubShared {
+    fn is_live(&self) -> bool {
+        !self.closed.load(Ordering::Relaxed) && !self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Retire `n` popped catch-up messages (saturating: an eviction may
+    /// have zeroed the counter while the pop was in flight).
+    fn retire_catchup(&self, n: u64) {
+        if n > 0 {
+            let _ = self.catchup_pending.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                Some(c.saturating_sub(n))
+            });
+        }
+    }
+}
+
+/// One shard's registry entry: a refcount on the shared queue state.
 struct SubEntry {
-    tlds: Vec<TldId>,
     shared: Arc<SubShared>,
 }
 
 /// Consumer handle returned by [`Broker::subscribe`]. Dropping it
-/// deregisters the subscriber at the next publish.
+/// deregisters the subscriber at each shard's next publish.
 pub struct BrokerSubscription {
     shared: Arc<SubShared>,
 }
@@ -131,30 +212,22 @@ impl BrokerSubscription {
 
     /// Non-blocking poll.
     pub fn try_next(&self) -> Option<BrokerMessage> {
-        let msg = self.shared.queue.lock().pop_front();
-        if msg.is_some() {
-            // FIFO: the first pops retire the catch-up backlog.
-            let _ = self.shared.catchup_pending.fetch_update(
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-                |n| n.checked_sub(1),
-            );
+        let item = self.shared.queue.lock().pop_front()?;
+        if item.catchup {
+            self.shared.retire_catchup(1);
         }
-        msg
+        Some(item.msg)
     }
 
     /// Drain everything currently queued.
     pub fn drain(&self) -> Vec<BrokerMessage> {
-        let mut q = self.shared.queue.lock();
-        let out: Vec<BrokerMessage> = q.drain(..).collect();
-        if !out.is_empty() {
-            let _ = self.shared.catchup_pending.fetch_update(
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-                |n| Some(n.saturating_sub(out.len() as u64)),
-            );
-        }
-        out
+        let drained: Vec<QueuedMessage> = {
+            let mut q = self.shared.queue.lock();
+            q.drain(..).collect()
+        };
+        let catchups = drained.iter().filter(|m| m.catchup).count() as u64;
+        self.shared.retire_catchup(catchups);
+        drained.into_iter().map(|m| m.msg).collect()
     }
 
     /// Messages queued right now.
@@ -179,8 +252,93 @@ impl Drop for BrokerSubscription {
     }
 }
 
+/// Everything one TLD owns, guarded by a single per-shard mutex: the
+/// journal state and the subscribers registered with this shard.
+struct ShardShared {
+    shard: JournalShard,
+    subs: Vec<SubEntry>,
+    counters: ShardCounters,
+}
+
+/// One TLD's concurrency unit. The `contended` counter lives outside
+/// the mutex so the uncontended fast path (`try_lock` succeeds) is
+/// observable: it only moves when a thread found the lock held.
+struct ShardHandle {
+    state: Mutex<ShardShared>,
+    contended: AtomicU64,
+}
+
+/// The routing map: `TldId` → shard handle. Immutable once published;
+/// [`Broker::add_shard`] swaps in a rebuilt map under a writer lock
+/// while readers clone the `Arc` and resolve shards with no exclusive
+/// lock held.
+type ShardDirectory = NameMap<TldId, Arc<ShardHandle>>;
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Shard locks held by this thread — the lock-hierarchy guard rail.
+    static SHARD_LOCKS_HELD: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// RAII guard for a shard lock. In debug builds it enforces the crate's
+/// documented lock hierarchy: a thread holds at most one shard lock at a
+/// time (shard → subscriber queue, never shard → shard).
+struct ShardGuard<'a> {
+    guard: MutexGuard<'a, ShardShared>,
+}
+
+impl Deref for ShardGuard<'_> {
+    type Target = ShardShared;
+    fn deref(&self) -> &ShardShared {
+        &self.guard
+    }
+}
+
+impl DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ShardShared {
+        &mut self.guard
+    }
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        SHARD_LOCKS_HELD.with(|held| held.set(held.get() - 1));
+    }
+}
+
+/// Acquire a shard lock, (in debug builds) asserting the lock
+/// hierarchy. `count_contention` is set only on the publish path, so
+/// `ShardStats::lock_contentions` measures exactly the acceptance
+/// property — publishers contending on a shard — and is never polluted
+/// by monitor reads or subscribe traffic taking a busy shard's lock.
+fn lock_shard(handle: &ShardHandle, count_contention: bool) -> ShardGuard<'_> {
+    #[cfg(debug_assertions)]
+    SHARD_LOCKS_HELD.with(|held| {
+        assert_eq!(
+            held.get(),
+            0,
+            "lock hierarchy violation: shard locks never nest \
+             (shard -> subscriber queue only, never shard -> shard)"
+        );
+        held.set(1);
+    });
+    let guard = match handle.state.try_lock() {
+        Some(guard) => guard,
+        None => {
+            if count_contention {
+                handle.contended.fetch_add(1, Ordering::Relaxed);
+            }
+            handle.state.lock()
+        }
+    };
+    ShardGuard { guard }
+}
+
 /// The sharded RZU distribution broker. Cheap to clone (`Arc`-shared);
-/// clones publish into and subscribe from the same state.
+/// clones publish into and subscribe from the same state. `Send + Sync`:
+/// publishers of disjoint TLDs run fully in parallel (see
+/// [`crate::pool::PublishPool`]).
 #[derive(Clone)]
 pub struct Broker {
     inner: Arc<BrokerInner>,
@@ -188,21 +346,17 @@ pub struct Broker {
 
 struct BrokerInner {
     config: BrokerConfig,
-    journal: Mutex<ShardedJournal>,
-    subs: Mutex<Vec<SubEntry>>,
+    directory: RwLock<Arc<ShardDirectory>>,
     next_id: AtomicU64,
-    counters: Counters,
 }
 
 impl Broker {
     pub fn new(config: BrokerConfig) -> Self {
         Broker {
             inner: Arc::new(BrokerInner {
-                journal: Mutex::new(ShardedJournal::new(config.retention)),
-                subs: Mutex::new(Vec::new()),
-                next_id: AtomicU64::new(0),
-                counters: Counters::default(),
                 config,
+                directory: RwLock::new(Arc::new(ShardDirectory::default())),
+                next_id: AtomicU64::new(0),
             }),
         }
     }
@@ -211,23 +365,75 @@ impl Broker {
         &self.inner.config
     }
 
-    /// Register a TLD shard starting at `initial`.
+    /// The current routing map: a cheap `Arc` clone taken under a brief
+    /// shared read lock, then used entirely lock-free.
+    fn directory(&self) -> Arc<ShardDirectory> {
+        Arc::clone(&self.inner.directory.read())
+    }
+
+    fn handle(&self, tld: TldId) -> Arc<ShardHandle> {
+        self.directory()
+            .get(&tld)
+            .unwrap_or_else(|| panic!("no shard for {tld:?}"))
+            .clone()
+    }
+
+    /// Register a TLD shard starting at `initial`. Swaps a rebuilt
+    /// directory map in place: readers that already cloned the `Arc`
+    /// keep the old map; new lookups block only for the O(shards)
+    /// clone+insert under the writer lock — registration is a rare,
+    /// deployment-time operation, so the steady-state publish path never
+    /// sees a writer.
     ///
     /// # Panics
     /// Panics if the TLD already has a shard.
     pub fn add_shard(&self, tld: TldId, initial: ZoneSnapshot) {
-        self.inner.journal.lock().add_shard(tld, initial);
+        let handle = Arc::new(ShardHandle {
+            state: Mutex::new(ShardShared {
+                shard: JournalShard::new(tld, initial),
+                subs: Vec::new(),
+                counters: ShardCounters::default(),
+            }),
+            contended: AtomicU64::new(0),
+        });
+        let mut dir = self.inner.directory.write();
+        let mut next: ShardDirectory = (**dir).clone();
+        let prev = next.insert(tld, handle);
+        assert!(prev.is_none(), "duplicate shard for {tld:?}");
+        *dir = Arc::new(next);
+    }
+
+    /// Registered shard count.
+    pub fn shard_count(&self) -> usize {
+        self.directory().len()
+    }
+
+    /// Registered TLDs, ascending.
+    pub fn tlds(&self) -> Vec<TldId> {
+        let mut tlds: Vec<TldId> = self.directory().keys().copied().collect();
+        tlds.sort_unstable();
+        tlds
     }
 
     /// Current head snapshot of a shard (an `Arc`-shared clone).
     pub fn head(&self, tld: TldId) -> Option<ZoneSnapshot> {
-        self.inner.journal.lock().shard(tld).map(|s| s.head().clone())
+        let dir = self.directory();
+        let handle = dir.get(&tld)?;
+        let head = lock_shard(handle, false).shard.head().clone();
+        Some(head)
     }
 
+    /// Distinct live subscribers across all shards (pruning closed and
+    /// evicted registrations as a side effect).
     pub fn subscriber_count(&self) -> usize {
-        let mut subs = self.inner.subs.lock();
-        subs.retain(|s| !s.shared.closed.load(Ordering::Relaxed));
-        subs.len()
+        let dir = self.directory();
+        let mut ids = std::collections::HashSet::new();
+        for handle in dir.values() {
+            let mut st = lock_shard(handle, false);
+            st.subs.retain(|e| e.shared.is_live());
+            ids.extend(st.subs.iter().map(|e| e.shared.id));
+        }
+        ids.len()
     }
 
     /// Subscribe to `tlds`, claiming `from_serial` for each (None = no
@@ -245,9 +451,12 @@ impl Broker {
     }
 
     /// Subscribe with an explicit per-TLD serial claim (None = no prior
-    /// state for that shard). The returned handle's queue is pre-loaded
-    /// with the catch-up plan per shard; live pushes follow, in order,
-    /// with no gap or overlap relative to the catch-up.
+    /// state for that shard). Shards are visited one at a time; for each,
+    /// the catch-up plan is enqueued and the subscriber registered under
+    /// that shard's lock, so per shard the stream has no gap or overlap.
+    /// Under concurrent publishers, a shard visited later may deliver a
+    /// live push before an earlier-visited shard's — messages are tagged
+    /// by TLD and per-shard order is all the replay contract needs.
     ///
     /// # Panics
     /// Panics if any TLD has no shard.
@@ -260,41 +469,74 @@ impl Broker {
             evicted: AtomicBool::new(false),
             closed: AtomicBool::new(false),
         });
-        {
-            // Hold the journal lock across plan + registration so a
-            // concurrent publish cannot slip between them.
-            let journal = self.inner.journal.lock();
+        let dir = self.directory();
+        let mut seen: Vec<TldId> = Vec::with_capacity(claims.len());
+        for &(tld, claim) in claims {
+            if seen.contains(&tld) {
+                // Duplicate claim: first wins. Registering twice on one
+                // shard would double every live delivery.
+                continue;
+            }
+            seen.push(tld);
+            let handle = dir.get(&tld).unwrap_or_else(|| panic!("no shard for {tld:?}"));
+            // Plan + enqueue + register atomically per shard: a publisher
+            // on this shard cannot slip a push between the plan and the
+            // registration.
+            let mut st = lock_shard(handle, false);
+            let plan = st.shard.catch_up(claim);
+            let backlog = plan.message_count() as u64;
+            // Enqueue under the queue lock, which an eviction (on an
+            // already-registered shard's publish path) also holds while
+            // it clears the queue: the evicted check below is therefore
+            // race-free — either the eviction completed and we observe
+            // it, or it runs after us and clears what we enqueue.
             let mut queue = shared.queue.lock();
-            for &(tld, claim) in claims {
-                match journal.catch_up(tld, claim) {
-                    CatchUp::UpToDate => {}
-                    CatchUp::Deltas(deltas) => {
-                        self.inner.counters.delta_catchups.fetch_add(1, Ordering::Relaxed);
-                        for d in deltas {
-                            queue.push_back(BrokerMessage::Delta { tld, frame: d.frame.clone() });
-                        }
+            if shared.evicted.load(Ordering::Relaxed) {
+                // A concurrent publisher on an earlier-registered shard
+                // evicted this subscriber mid-subscribe. Enqueuing more
+                // shards' catch-ups into the cleared queue would hand a
+                // torn stream to a dead handle; stop here and let the
+                // caller observe `is_evicted` and resubscribe.
+                break;
+            }
+            match plan {
+                CatchUp::UpToDate => {}
+                CatchUp::Deltas(deltas) => {
+                    st.counters.delta_catchups += 1;
+                    for d in deltas {
+                        queue.push_back(QueuedMessage {
+                            msg: BrokerMessage::Delta { tld, frame: d.frame.clone() },
+                            catchup: true,
+                        });
                     }
-                    CatchUp::SnapshotThenDeltas { snapshot, deltas } => {
-                        self.inner.counters.snapshot_catchups.fetch_add(1, Ordering::Relaxed);
-                        queue.push_back(BrokerMessage::Snapshot { tld, snapshot });
-                        for d in deltas {
-                            queue.push_back(BrokerMessage::Delta { tld, frame: d.frame.clone() });
-                        }
+                }
+                CatchUp::SnapshotThenDeltas { snapshot, deltas } => {
+                    st.counters.snapshot_catchups += 1;
+                    queue.push_back(QueuedMessage {
+                        msg: BrokerMessage::Snapshot { tld, snapshot },
+                        catchup: true,
+                    });
+                    for d in deltas {
+                        queue.push_back(QueuedMessage {
+                            msg: BrokerMessage::Delta { tld, frame: d.frame.clone() },
+                            catchup: true,
+                        });
                     }
                 }
             }
-            shared.catchup_pending.store(queue.len() as u64, Ordering::Relaxed);
-            self.inner.subs.lock().push(SubEntry {
-                tlds: claims.iter().map(|&(t, _)| t).collect(),
-                shared: Arc::clone(&shared),
-            });
+            if backlog > 0 {
+                shared.catchup_pending.fetch_add(backlog, Ordering::Relaxed);
+            }
+            drop(queue);
+            st.subs.push(SubEntry { shared: Arc::clone(&shared) });
         }
         BrokerSubscription { shared }
     }
 
     /// Publish a delta into `tld`'s shard and fan the sealed frame out
     /// to every live subscriber of that TLD. The frame is encoded once;
-    /// subscribers receive refcount-shared clones.
+    /// subscribers receive refcount-shared clones. Only `tld`'s shard
+    /// lock is taken: publishers of different TLDs run in parallel.
     ///
     /// # Panics
     /// Panics if no shard is registered for `tld` or the serial/delta
@@ -306,48 +548,50 @@ impl Broker {
         new_serial: Serial,
         pushed_at: SimTime,
     ) -> Arc<SealedDelta> {
-        // Seal and fan out under the journal lock (subs nests inside it,
-        // same order as subscribe): releasing the journal before fan-out
-        // would let a subscriber compute a catch-up plan that already
-        // includes this delta, register, and then receive it a second
-        // time from the fan-out below.
-        let mut journal = self.inner.journal.lock();
-        let sealed = journal.publish(tld, delta, new_serial, pushed_at);
-        let c = &self.inner.counters;
-        c.frames_encoded.fetch_add(1, Ordering::Relaxed);
-        c.frame_bytes_encoded.fetch_add(sealed.frame.len() as u64, Ordering::Relaxed);
+        let handle = self.handle(tld);
+        let retention = self.inner.config.retention;
         let capacity = self.inner.config.subscriber_capacity;
         let overflow = self.inner.config.overflow;
-        let mut subs = self.inner.subs.lock();
+        // Seal and fan out under the shard lock (subscriber queues nest
+        // inside it, same order as subscribe): releasing the shard before
+        // fan-out would let a subscriber compute a catch-up plan that
+        // already includes this delta, register, and then receive it a
+        // second time from the fan-out below.
+        let mut st = lock_shard(&handle, true);
+        let ShardShared { shard, subs, counters } = &mut *st;
+        let sealed = shard.publish(delta, new_serial, pushed_at, &retention);
+        counters.pushes += 1;
+        counters.frame_bytes += sealed.frame.len() as u64;
         subs.retain(|entry| {
-            if entry.shared.closed.load(Ordering::Relaxed) {
+            let sub = &entry.shared;
+            if !sub.is_live() {
                 return false;
             }
-            if !entry.tlds.contains(&tld) {
-                return true;
-            }
-            let mut queue = entry.shared.queue.lock();
+            let mut queue = sub.queue.lock();
             // Only *live* pushes count against the capacity bound; an
             // undrained catch-up backlog (bounded by the retention ring)
             // must not get a fresh subscriber lagged or evicted.
-            let catchup = entry.shared.catchup_pending.load(Ordering::Relaxed) as usize;
+            let catchup = sub.catchup_pending.load(Ordering::Relaxed) as usize;
             let live_len = queue.len().saturating_sub(catchup);
             if live_len < capacity {
-                queue.push_back(BrokerMessage::Delta { tld, frame: sealed.frame.clone() });
-                c.deliveries.fetch_add(1, Ordering::Relaxed);
+                queue.push_back(QueuedMessage {
+                    msg: BrokerMessage::Delta { tld, frame: sealed.frame.clone() },
+                    catchup: false,
+                });
+                counters.deliveries += 1;
                 return true;
             }
             match overflow {
                 OverflowPolicy::Lag => {
-                    entry.shared.dropped.fetch_add(1, Ordering::Relaxed);
-                    c.lagged_messages.fetch_add(1, Ordering::Relaxed);
+                    sub.dropped.fetch_add(1, Ordering::Relaxed);
+                    counters.lagged_messages += 1;
                     true
                 }
                 OverflowPolicy::Evict => {
                     queue.clear();
-                    entry.shared.catchup_pending.store(0, Ordering::Relaxed);
-                    entry.shared.evicted.store(true, Ordering::Relaxed);
-                    c.evictions.fetch_add(1, Ordering::Relaxed);
+                    sub.catchup_pending.store(0, Ordering::Relaxed);
+                    sub.evicted.store(true, Ordering::Relaxed);
+                    counters.evictions += 1;
                     false
                 }
             }
@@ -355,19 +599,82 @@ impl Broker {
         sealed
     }
 
-    /// A point-in-time copy of the aggregate counters.
-    pub fn stats(&self) -> BrokerStats {
-        let c = &self.inner.counters;
-        BrokerStats {
-            subscribers: self.subscriber_count(),
-            frames_encoded: c.frames_encoded.load(Ordering::Relaxed),
-            frame_bytes_encoded: c.frame_bytes_encoded.load(Ordering::Relaxed),
-            deliveries: c.deliveries.load(Ordering::Relaxed),
-            lagged_messages: c.lagged_messages.load(Ordering::Relaxed),
-            evictions: c.evictions.load(Ordering::Relaxed),
-            snapshot_catchups: c.snapshot_catchups.load(Ordering::Relaxed),
-            delta_catchups: c.delta_catchups.load(Ordering::Relaxed),
+    /// A point-in-time copy of one shard's accounting.
+    pub fn shard_stats(&self, tld: TldId) -> Option<ShardStats> {
+        let dir = self.directory();
+        let handle = dir.get(&tld)?;
+        Some(Self::snapshot_shard(tld, handle))
+    }
+
+    /// Every shard's accounting, ascending by TLD.
+    pub fn all_shard_stats(&self) -> Vec<ShardStats> {
+        let dir = self.directory();
+        let mut stats: Vec<ShardStats> =
+            dir.iter().map(|(&tld, handle)| Self::snapshot_shard(tld, handle)).collect();
+        stats.sort_unstable_by_key(|s| s.tld);
+        stats
+    }
+
+    fn snapshot_shard(tld: TldId, handle: &ShardHandle) -> ShardStats {
+        Self::snapshot_shard_with(tld, handle, &mut |_| {})
+    }
+
+    /// One-lock shard snapshot; `on_subscriber` sees every live
+    /// subscriber id under the same guard the counters are read under.
+    fn snapshot_shard_with(
+        tld: TldId,
+        handle: &ShardHandle,
+        on_subscriber: &mut dyn FnMut(u64),
+    ) -> ShardStats {
+        let contentions = handle.contended.load(Ordering::Relaxed);
+        let mut st = lock_shard(handle, false);
+        st.subs.retain(|e| e.shared.is_live());
+        for e in &st.subs {
+            on_subscriber(e.shared.id);
         }
+        let retained_deltas = st.shard.retained().len();
+        let c = &st.counters;
+        let stats = ShardStats {
+            tld,
+            head_serial: st.shard.head().serial(),
+            subscribers: st.subs.len(),
+            pushes: c.pushes,
+            frame_bytes: c.frame_bytes,
+            checkpoints: st.shard.checkpoints(),
+            retained_deltas,
+            retired_deltas: st.shard.dropped_deltas(),
+            deliveries: c.deliveries,
+            lagged_messages: c.lagged_messages,
+            evictions: c.evictions,
+            snapshot_catchups: c.snapshot_catchups,
+            delta_catchups: c.delta_catchups,
+            lock_contentions: contentions,
+        };
+        stats
+    }
+
+    /// The aggregate counters: every shard's [`ShardStats`] summed, plus
+    /// the distinct live subscriber count. Shards are visited one at a
+    /// time (never two shard locks at once), so the aggregate is a
+    /// consistent per-shard — not cross-shard — snapshot.
+    pub fn stats(&self) -> BrokerStats {
+        let dir = self.directory();
+        let mut agg = BrokerStats::default();
+        let mut ids = std::collections::HashSet::new();
+        for (&tld, handle) in dir.iter() {
+            let shard = Self::snapshot_shard_with(tld, handle, &mut |id| {
+                ids.insert(id);
+            });
+            agg.frames_encoded += shard.pushes;
+            agg.frame_bytes_encoded += shard.frame_bytes;
+            agg.deliveries += shard.deliveries;
+            agg.lagged_messages += shard.lagged_messages;
+            agg.evictions += shard.evictions;
+            agg.snapshot_catchups += shard.snapshot_catchups;
+            agg.delta_catchups += shard.delta_catchups;
+        }
+        agg.subscribers = ids.len();
+        agg
     }
 }
 
@@ -585,5 +892,151 @@ mod tests {
         let again = broker.subscribe(&[TldId(0)], None);
         let state = replay(&again, empty_snap());
         assert_eq!(state, broker.head(TldId(0)).unwrap());
+    }
+
+    #[test]
+    fn duplicate_tld_claims_register_once() {
+        let broker = broker_with_com(BrokerConfig::default());
+        let sub = broker.subscribe(&[TldId(0), TldId(0), TldId(0)], Some(Serial::new(0)));
+        broker.publish(TldId(0), add_delta("a.com"), Serial::new(1), SimTime::ZERO);
+        assert_eq!(sub.queued(), 1, "duplicate claims must not double deliveries");
+        let stats = broker.shard_stats(TldId(0)).unwrap();
+        assert_eq!(stats.subscribers, 1);
+        assert_eq!(stats.deliveries, 1);
+    }
+
+    #[test]
+    fn per_shard_stats_isolate_and_sum_to_aggregate() {
+        let broker = broker_with_com(BrokerConfig::default());
+        broker.add_shard(
+            TldId(1),
+            ZoneSnapshot::from_entries(name("net"), Serial::new(0), SimTime::ZERO, vec![]),
+        );
+        let _com_sub = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        let _both_sub = broker.subscribe(&[TldId(0), TldId(1)], Some(Serial::new(0)));
+        for i in 1..=3u32 {
+            broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+        }
+        let mut net_delta = ZoneDelta::default();
+        net_delta.added.push((name("b.net"), NsSet::new(vec![name("ns1.provider0.net")])));
+        broker.publish(TldId(1), net_delta, Serial::new(1), SimTime::ZERO);
+
+        let com = broker.shard_stats(TldId(0)).unwrap();
+        let net = broker.shard_stats(TldId(1)).unwrap();
+        assert_eq!(com.pushes, 3);
+        assert_eq!(com.subscribers, 2);
+        assert_eq!(com.deliveries, 6);
+        assert_eq!(net.pushes, 1);
+        assert_eq!(net.subscribers, 1);
+        assert_eq!(net.deliveries, 1);
+        assert_eq!(com.head_serial, Serial::new(3));
+
+        // The aggregate is exactly the per-shard sum (distinct subs).
+        let agg = broker.stats();
+        let all = broker.all_shard_stats();
+        assert_eq!(all.len(), 2);
+        assert_eq!(agg.frames_encoded, all.iter().map(|s| s.pushes).sum::<u64>());
+        assert_eq!(agg.frame_bytes_encoded, all.iter().map(|s| s.frame_bytes).sum::<u64>());
+        assert_eq!(agg.deliveries, all.iter().map(|s| s.deliveries).sum::<u64>());
+        assert_eq!(agg.subscribers, 2, "multi-TLD subscriber counted once");
+    }
+
+    #[test]
+    fn disjoint_tld_publishers_never_contend() {
+        // The acceptance pin: two publishers pushing different TLDs never
+        // touch the same mutex. With one publisher thread per shard, every
+        // try_lock must succeed, so the per-shard contention counters
+        // stay exactly zero.
+        const SHARDS: usize = 4;
+        const PUSHES: u32 = 200;
+        let broker = Broker::new(BrokerConfig::default());
+        for t in 0..SHARDS {
+            broker.add_shard(
+                TldId(t as u16),
+                ZoneSnapshot::from_entries(
+                    name(&format!("tld{t}")),
+                    Serial::new(0),
+                    SimTime::ZERO,
+                    vec![],
+                ),
+            );
+        }
+        std::thread::scope(|scope| {
+            for t in 0..SHARDS {
+                let broker = &broker;
+                scope.spawn(move || {
+                    let tld = TldId(t as u16);
+                    for i in 1..=PUSHES {
+                        broker.publish(
+                            tld,
+                            add_delta(&format!("d{i}.tld{t}")),
+                            Serial::new(i),
+                            SimTime::ZERO,
+                        );
+                    }
+                });
+            }
+        });
+        for stats in broker.all_shard_stats() {
+            assert_eq!(
+                stats.lock_contentions, 0,
+                "publisher of {:?} contended on a shard lock",
+                stats.tld
+            );
+            assert_eq!(stats.pushes, u64::from(PUSHES));
+            assert_eq!(stats.head_serial, Serial::new(PUSHES));
+        }
+    }
+
+    #[test]
+    fn contention_counter_registers_a_held_lock() {
+        // Proof the zero-contention assertion above is not vacuous: hold
+        // a shard's lock directly while a publisher thread pushes into
+        // it, and the contention counter must move.
+        let broker = broker_with_com(BrokerConfig::default());
+        let handle = broker.handle(TldId(0));
+        let guard = handle.state.lock();
+        let publisher = {
+            let broker = broker.clone();
+            std::thread::spawn(move || {
+                broker.publish(TldId(0), add_delta("a.com"), Serial::new(1), SimTime::ZERO);
+            })
+        };
+        // Deterministic: the publisher bumps the counter on its failed
+        // try_lock *before* blocking, so holding the guard until the
+        // counter moves cannot race, however slowly the thread schedules.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while handle.contended.load(Ordering::Relaxed) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "publisher never attempted the held shard lock"
+            );
+            std::thread::yield_now();
+        }
+        drop(guard);
+        publisher.join().unwrap();
+        assert!(
+            handle.contended.load(Ordering::Relaxed) >= 1,
+            "publish against a held shard lock must count as contention"
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn lock_hierarchy_assertion_rejects_nested_shard_locks() {
+        let broker = broker_with_com(BrokerConfig::default());
+        broker.add_shard(
+            TldId(1),
+            ZoneSnapshot::from_entries(name("net"), Serial::new(0), SimTime::ZERO, vec![]),
+        );
+        let a = broker.handle(TldId(0));
+        let b = broker.handle(TldId(1));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ga = lock_shard(&a, false);
+            let _gb = lock_shard(&b, false); // hierarchy violation: must panic
+        }));
+        assert!(caught.is_err(), "nested shard locks must trip the hierarchy assertion");
+        // The guard rail resets: a fresh single acquisition still works.
+        let _ok = lock_shard(&a, false);
     }
 }

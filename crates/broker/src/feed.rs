@@ -3,7 +3,9 @@
 //! [`Broker`] in global push-time order.
 
 use crate::broker::Broker;
-use darkdns_registry::rzu::RzuZoneStream;
+use crate::pool::PublishPool;
+use darkdns_dns::par::{available_workers, scoped_map};
+use darkdns_registry::rzu::{RzuZonePush, RzuZoneStream};
 use darkdns_registry::tld::{TldConfig, TldId};
 use darkdns_registry::universe::Universe;
 use darkdns_sim::time::{SimDuration, SimTime};
@@ -19,6 +21,14 @@ pub struct UniverseFeed {
 
 impl UniverseFeed {
     /// Materialise the streams for `tld_ids` (indices into `tlds`).
+    ///
+    /// Stream materialisation (event-log scan + journaled zone replay)
+    /// is per-TLD independent and dominates fleet start-up, so the
+    /// streams are built on scoped worker threads
+    /// ([`darkdns_dns::par::scoped_map`]: round-robin lanes, one per
+    /// core — the same primitive the publish pool runs on). Output is
+    /// identical to a sequential build: each stream depends only on its
+    /// own TLD's slice of the universe.
     pub fn build(
         universe: &Universe,
         tlds: &[TldConfig],
@@ -26,18 +36,15 @@ impl UniverseFeed {
         anchor: SimTime,
         cadence: SimDuration,
     ) -> Self {
-        let streams = tld_ids
-            .iter()
-            .map(|&tld| {
-                RzuZoneStream::from_universe(
-                    universe,
-                    tlds[tld.0 as usize].domain(),
-                    tld,
-                    anchor,
-                    cadence,
-                )
-            })
-            .collect::<Vec<_>>();
+        let streams = scoped_map(tld_ids.to_vec(), available_workers(), |tld| {
+            RzuZoneStream::from_universe(
+                universe,
+                tlds[tld.0 as usize].domain(),
+                tld,
+                anchor,
+                cadence,
+            )
+        });
         let cursors = vec![0; streams.len()];
         UniverseFeed { streams, cursors }
     }
@@ -87,6 +94,38 @@ impl UniverseFeed {
             published += 1;
         }
         published
+    }
+
+    /// Publish everything still pending through `pool`, one per-TLD
+    /// batch per shard: each TLD's pushes stay in serial order on one
+    /// worker while different TLDs publish concurrently. Global
+    /// push-time order across TLDs is deliberately abandoned — shards
+    /// are independent concurrency units and subscribers replay per
+    /// shard. Returns the number of pushes published (no-op windows are
+    /// skipped, as in [`UniverseFeed::publish_next`]).
+    pub fn publish_all_concurrent(&mut self, broker: &Broker, pool: &PublishPool) -> usize {
+        // Workers publish straight out of the borrowed streams — each
+        // delta is cloned one at a time at its publish, never the whole
+        // backlog up front.
+        let mut spans: Vec<(TldId, &[RzuZonePush])> = Vec::new();
+        for (stream, cursor) in self.streams.iter().zip(&mut self.cursors) {
+            let span = &stream.pushes[*cursor..];
+            *cursor = stream.pushes.len();
+            if span.iter().any(|p| p.to_serial != p.from_serial) {
+                spans.push((stream.tld, span));
+            }
+        }
+        pool.run(spans, |(tld, span)| {
+            let mut published = 0;
+            for push in span {
+                if push.to_serial == push.from_serial {
+                    continue; // no-op window; nothing for subscribers
+                }
+                broker.publish(tld, push.delta.clone(), push.to_serial, push.pushed_at);
+                published += 1;
+            }
+            published
+        })
     }
 
     /// Pushes not yet published, across all streams.
@@ -170,6 +209,47 @@ mod tests {
             let zone = Zone::from_snapshot(state);
             assert_eq!(zone.len(), state.len());
         }
+    }
+
+    #[test]
+    fn concurrent_publish_matches_sequential_heads() {
+        let (universe, tlds, anchor) = small_universe(11);
+        let tld_ids = [TldId(0), TldId(1), TldId(2)];
+        let mut feed = UniverseFeed::build(
+            &universe,
+            &tlds,
+            &tld_ids,
+            anchor,
+            SimDuration::from_minutes(5),
+        );
+        let broker = Broker::new(BrokerConfig::default());
+        feed.register_shards(&broker);
+        let sub = broker.subscribe(&tld_ids, Some(Serial::new(0)));
+        let published =
+            feed.publish_all_concurrent(&broker, &crate::pool::PublishPool::with_workers(3));
+        assert!(published > 0);
+        assert_eq!(feed.pending(), 0);
+
+        // Per-TLD replay converges to each stream's head, exactly as the
+        // sequential path does; only the cross-TLD arrival order differs.
+        let mut states: Vec<_> = feed.streams().iter().map(|s| s.start.clone()).collect();
+        for msg in sub.drain() {
+            match msg {
+                BrokerMessage::Delta { tld, frame } => {
+                    let push = decode_delta_push(&frame).unwrap();
+                    let i = tld_ids.iter().position(|&t| t == tld).unwrap();
+                    assert_eq!(push.from_serial, states[i].serial(), "gap within a shard");
+                    states[i] = push.delta.apply(&states[i], push.to_serial, push.pushed_at);
+                }
+                BrokerMessage::Snapshot { .. } => panic!("live subscriber got a snapshot"),
+            }
+        }
+        for (state, stream) in states.iter().zip(feed.streams()) {
+            assert_eq!(state, &broker.head(stream.tld).unwrap());
+        }
+        // Accounting: per-shard pushes sum to the published total.
+        let total: u64 = broker.all_shard_stats().iter().map(|s| s.pushes).sum();
+        assert_eq!(total, published as u64);
     }
 
     #[test]

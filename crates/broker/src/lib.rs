@@ -12,8 +12,8 @@
 //!
 //! This crate provides that layer:
 //!
-//! * [`shard::ShardedJournal`] — one [`shard::JournalShard`] per TLD, each
-//!   retaining a bounded ring of sealed deltas plus a periodic checkpoint
+//! * [`shard::JournalShard`] — one per TLD, retaining a bounded ring of
+//!   sealed deltas plus a periodic checkpoint
 //!   [`darkdns_dns::ZoneSnapshot`]. Snapshots are columnar and
 //!   `Arc`-shared (PR 1), so a checkpoint costs two pointer copies, not a
 //!   million-entry table copy.
@@ -22,9 +22,44 @@
 //!   into a wire frame **once** ([`darkdns_dns::wire::encode_delta_push`])
 //!   and fans the refcount-shared bytes out to every subscriber. Slow
 //!   subscribers lag (counted) or are evicted, per policy — replacing the
-//!   unbounded in-process `Topic` semantics.
+//!   unbounded in-process `Topic` semantics. Per-shard accounting comes
+//!   back as one [`broker::ShardStats`] struct per TLD.
+//! * [`pool::PublishPool`] — fans independent-TLD publish batches across
+//!   scoped worker threads (the `HashPartitionedDiff` shape); with
+//!   per-shard locking this scales publishing with shard count when
+//!   cores allow.
 //! * [`feed`] — glue that materialises a multi-TLD universe's RZU pushes
-//!   as zone deltas and drives them through a broker.
+//!   as zone deltas and drives them through a broker, sequentially or
+//!   through the pool.
+//!
+//! # Concurrency architecture and lock hierarchy
+//!
+//! The broker has **no global lock on the publish path**. Each TLD owns
+//! one shard unit — a single mutex guarding that TLD's journal state
+//! *and* its subscriber registry — and a routing directory maps `TldId`
+//! to shard units. The directory is an immutable `Arc`-shared map,
+//! rebuilt and swapped wholesale on (rare) shard registration; lookups
+//! clone the `Arc` under a brief shared read lock and then resolve
+//! shards with no exclusive lock at all. Two publishers pushing
+//! different TLDs therefore never touch the same mutex (pinned by the
+//! `disjoint_tld_publishers_never_contend` test via per-shard
+//! publish-path contention counters, which
+//! `ShardStats::lock_contentions` exposes; monitor reads and subscribe
+//! traffic do not count toward them).
+//!
+//! The lock order is strict and two-level:
+//!
+//! 1. **shard lock** (one TLD's journal + subscriber registry), then
+//! 2. **subscriber queue lock** (one subscriber's message buffer).
+//!
+//! Queue locks nest inside the owning shard's lock on the publish and
+//! subscribe paths; consumers take queue locks alone. **Never** does a
+//! thread hold two shard locks at once — cross-shard operations
+//! (aggregate stats, subscriber counting, multi-TLD subscription) visit
+//! shards one at a time — and never is a shard lock acquired while a
+//! queue lock is held. Debug builds enforce the no-two-shard-locks rule
+//! with a thread-local assertion in the shard-lock guard; release builds
+//! pay nothing for it.
 //!
 //! # The snapshot-vs-delta catch-up decision rule
 //!
@@ -48,10 +83,13 @@
 
 pub mod broker;
 pub mod feed;
+pub mod pool;
 pub mod shard;
 
 pub use broker::{
     Broker, BrokerConfig, BrokerMessage, BrokerStats, BrokerSubscription, OverflowPolicy,
+    ShardStats,
 };
 pub use feed::UniverseFeed;
-pub use shard::{CatchUp, JournalShard, RetentionConfig, SealedDelta, ShardedJournal};
+pub use pool::{PublishItem, PublishPool};
+pub use shard::{CatchUp, JournalShard, RetentionConfig, SealedDelta};

@@ -3,8 +3,12 @@
 //! A [`JournalShard`] is the publisher-side state for one TLD: the live
 //! head snapshot, a periodic checkpoint snapshot, and a bounded ring of
 //! [`SealedDelta`]s — each the net change of one RZU push, already
-//! encoded into its wire frame. [`ShardedJournal`] is the multi-TLD
-//! collection the broker locks as a unit.
+//! encoded into its wire frame. The shard is single-threaded by design:
+//! it owns no lock of its own and is always driven under its owner's
+//! per-shard mutex (`broker::Broker` wraps one `JournalShard` per TLD in
+//! its shard handle, so publishers of different TLDs never serialise
+//! against each other — the multi-TLD collection that earlier revisions
+//! locked as one unit is gone).
 //!
 //! Retention invariant: the delta ring always covers the serial range
 //! `(checkpoint, head]`. Trimming never drops a delta newer than the
@@ -12,7 +16,6 @@
 //! rule 3) can always reconstruct the head exactly.
 
 use bytes::Bytes;
-use darkdns_dns::hash::NameMap;
 use darkdns_dns::wire::encode_delta_push;
 use darkdns_dns::{Serial, ZoneDelta, ZoneSnapshot};
 use darkdns_registry::tld::TldId;
@@ -96,6 +99,7 @@ pub struct JournalShard {
     deltas: VecDeque<Arc<SealedDelta>>,
     publishes_since_checkpoint: usize,
     dropped_deltas: u64,
+    checkpoints: u64,
 }
 
 impl JournalShard {
@@ -108,6 +112,7 @@ impl JournalShard {
             deltas: VecDeque::new(),
             publishes_since_checkpoint: 0,
             dropped_deltas: 0,
+            checkpoints: 0,
         }
     }
 
@@ -131,6 +136,11 @@ impl JournalShard {
     /// Deltas dropped from the ring so far (served only via checkpoint).
     pub fn dropped_deltas(&self) -> u64 {
         self.dropped_deltas
+    }
+
+    /// Checkpoint snapshot refreshes since the shard started.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
     }
 
     /// Advance the head by `delta`, sealing it into a shareable frame.
@@ -168,6 +178,7 @@ impl JournalShard {
             // table copy.
             self.checkpoint = self.head.clone();
             self.publishes_since_checkpoint = 0;
+            self.checkpoints += 1;
         }
         while self.deltas.len() > retention.max_deltas {
             let oldest = self.deltas.front().expect("non-empty ring");
@@ -198,66 +209,6 @@ impl JournalShard {
             snapshot: self.checkpoint.clone(),
             deltas: self.deltas.iter().skip(start).cloned().collect(),
         }
-    }
-}
-
-/// The multi-TLD shard collection.
-#[derive(Debug, Default)]
-pub struct ShardedJournal {
-    shards: NameMap<TldId, JournalShard>,
-    retention: RetentionConfig,
-}
-
-impl ShardedJournal {
-    pub fn new(retention: RetentionConfig) -> Self {
-        ShardedJournal { shards: NameMap::default(), retention }
-    }
-
-    pub fn retention(&self) -> &RetentionConfig {
-        &self.retention
-    }
-
-    /// Register a shard starting at `initial`.
-    ///
-    /// # Panics
-    /// Panics if the TLD already has a shard.
-    pub fn add_shard(&mut self, tld: TldId, initial: ZoneSnapshot) {
-        let prev = self.shards.insert(tld, JournalShard::new(tld, initial));
-        assert!(prev.is_none(), "duplicate shard for {tld:?}");
-    }
-
-    pub fn shard(&self, tld: TldId) -> Option<&JournalShard> {
-        self.shards.get(&tld)
-    }
-
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// Publish a delta into the TLD's shard.
-    ///
-    /// # Panics
-    /// Panics if no shard is registered for `tld`.
-    pub fn publish(
-        &mut self,
-        tld: TldId,
-        delta: ZoneDelta,
-        new_serial: Serial,
-        pushed_at: SimTime,
-    ) -> Arc<SealedDelta> {
-        let retention = self.retention;
-        self.shards
-            .get_mut(&tld)
-            .unwrap_or_else(|| panic!("no shard for {tld:?}"))
-            .publish(delta, new_serial, pushed_at, &retention)
-    }
-
-    /// Catch-up plan for `tld` from the claimed serial.
-    ///
-    /// # Panics
-    /// Panics if no shard is registered for `tld`.
-    pub fn catch_up(&self, tld: TldId, from: Option<Serial>) -> CatchUp {
-        self.shards.get(&tld).unwrap_or_else(|| panic!("no shard for {tld:?}")).catch_up(from)
     }
 }
 
@@ -398,17 +349,12 @@ mod tests {
     }
 
     #[test]
-    fn sharded_journal_isolates_tlds() {
-        let mut journal = ShardedJournal::new(RetentionConfig::default());
-        journal.add_shard(TldId(0), empty_snap());
-        journal.add_shard(
-            TldId(1),
-            ZoneSnapshot::from_entries(name("net"), Serial::new(0), SimTime::ZERO, vec![]),
-        );
-        journal.publish(TldId(0), add_delta("a.com"), Serial::new(1), SimTime::ZERO);
-        assert_eq!(journal.shard(TldId(0)).unwrap().head().len(), 1);
-        assert_eq!(journal.shard(TldId(1)).unwrap().head().len(), 0);
-        assert_eq!(journal.shard_count(), 2);
+    fn checkpoint_refreshes_are_counted() {
+        let retention = RetentionConfig::new(8, 4);
+        let mut shard = JournalShard::new(TldId(0), empty_snap());
+        assert_eq!(shard.checkpoints(), 0);
+        publish_n(&mut shard, &retention, 9);
+        assert_eq!(shard.checkpoints(), 2, "one refresh per 4 publishes");
     }
 
     #[test]

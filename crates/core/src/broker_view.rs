@@ -18,7 +18,17 @@
 //! serial gap on the next frame, stops applying (a torn zone view is
 //! worse than a stale one), and [`BrokerZoneView::resync`] rejoins the
 //! broker, which answers with a delta replay or a checkpoint snapshot
-//! per the catch-up decision rule.
+//! per the catch-up decision rule. [`BrokerZoneView::resync_count`]
+//! exposes how often that recovery path fired, so fleet runs can assert
+//! a healthy deployment saw zero gap-resyncs.
+//!
+//! The contract holds unchanged under the broker's per-shard concurrent
+//! publishers: each shard's frames arrive in that shard's serial order
+//! (gap detection and application are per-TLD), and only the *interleaving*
+//! across TLDs varies run to run. `pump` applies whatever has arrived;
+//! a view is converged when [`BrokerZoneView::synced_with`] holds, which
+//! publishers stop moving once they are done. Pinned by the threaded
+//! convergence proptest in `tests/proptest_broker.rs`.
 
 use darkdns_broker::{Broker, BrokerMessage, BrokerSubscription};
 use darkdns_dns::hash::NameMap;
@@ -34,6 +44,7 @@ pub struct BrokerZoneView {
     new_domains: Vec<DomainName>,
     frames_applied: u64,
     snapshots_adopted: u64,
+    resyncs: u64,
     lost_sync: bool,
 }
 
@@ -48,6 +59,7 @@ impl BrokerZoneView {
             new_domains: Vec::new(),
             frames_applied: 0,
             snapshots_adopted: 0,
+            resyncs: 0,
             lost_sync: false,
         }
     }
@@ -56,7 +68,15 @@ impl BrokerZoneView {
     /// Stops early (returning what was applied so far) if a serial gap
     /// is detected; the view then reports [`BrokerZoneView::lost_sync`]
     /// until [`BrokerZoneView::resync`] is called.
+    ///
+    /// Eviction counts as losing sync: an evicted subscriber's queue was
+    /// cleared and receives nothing further, so the gap could never be
+    /// observed through a next frame — without this check a view under
+    /// `OverflowPolicy::Evict` would stall forever looking healthy.
     pub fn pump(&mut self) -> usize {
+        if self.sub.is_evicted() {
+            self.lost_sync = true;
+        }
         if self.lost_sync {
             return 0;
         }
@@ -88,6 +108,11 @@ impl BrokerZoneView {
             }
             applied += 1;
         }
+        // An eviction racing the drain (a concurrent publisher's
+        // overflow decision) is surfaced now, not on the next pump.
+        if self.sub.is_evicted() {
+            self.lost_sync = true;
+        }
         applied
     }
 
@@ -107,7 +132,14 @@ impl BrokerZoneView {
         self.sub = broker.subscribe_with(&claims);
         // Views with no serial (never bootstrapped) get a snapshot; the
         // rest keep their state and continue from their claimed serial.
+        self.resyncs += 1;
         self.lost_sync = false;
+    }
+
+    /// Times this view had to rejoin the broker to heal a gap. Zero in a
+    /// deployment whose buffers never overflow.
+    pub fn resync_count(&self) -> u64 {
+        self.resyncs
     }
 
     /// Is `domain` currently delegated in `tld`'s view?
@@ -246,15 +278,44 @@ mod tests {
         view.pump();
         assert!(view.lost_sync());
         assert!(!view.synced_with(&broker));
+        assert_eq!(view.resync_count(), 0);
         view.resync(&broker);
         view.pump();
         assert!(!view.lost_sync());
         assert!(view.synced_with(&broker));
+        assert_eq!(view.resync_count(), 1);
         assert_eq!(view.len(TldId(0)), Some(7));
         // The resync claimed the view's actual serial, so the ring served
         // a delta replay — no second snapshot bootstrap.
         assert_eq!(broker.stats().delta_catchups, 1);
         assert_eq!(view.snapshots_adopted(), 1);
+    }
+
+    #[test]
+    fn evicted_view_loses_sync_and_recovers_via_resync() {
+        // Under the Evict policy no further frames arrive after an
+        // eviction, so the serial-gap path can never fire; pump must
+        // surface the eviction itself or the view stalls forever.
+        let config = BrokerConfig {
+            retention: RetentionConfig::new(16, 8),
+            subscriber_capacity: 2,
+            overflow: OverflowPolicy::Evict,
+        };
+        let broker = Broker::new(config);
+        broker.add_shard(TldId(0), empty_snap("com"));
+        let mut view = BrokerZoneView::subscribe(&broker, &[TldId(0)]);
+        view.pump(); // apply the (empty) bootstrap snapshot
+        // 3 live pushes against a capacity-2 buffer: the third evicts.
+        for i in 1..=3u32 {
+            broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+        }
+        assert_eq!(view.pump(), 0, "evicted view must not apply from a cleared queue");
+        assert!(view.lost_sync(), "eviction must surface as lost sync");
+        view.resync(&broker);
+        view.pump();
+        assert!(view.synced_with(&broker));
+        assert_eq!(view.len(TldId(0)), Some(3));
+        assert_eq!(view.resync_count(), 1);
     }
 
     #[test]

@@ -353,36 +353,12 @@ impl ZoneDiffEngine for HashPartitionedDiff {
         for (j, d) in new.domain_column().iter().enumerate() {
             new_parts[self.partition_of(d)].push(j as u32);
         }
-        let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(p);
-        if workers <= 1 {
-            let parts: Vec<ZoneDelta> = old_parts
-                .iter()
-                .zip(&new_parts)
-                .map(|(o, n)| Self::diff_partition(old, new, o, n))
-                .collect();
-            return ZoneDelta::merge(parts);
-        }
-        // Scoped threads: each worker owns a contiguous span of partitions
-        // and produces partition-local deltas over disjoint domain sets.
-        let parts: Vec<ZoneDelta> = std::thread::scope(|scope| {
-            let chunk = p.div_ceil(workers);
-            let handles: Vec<_> = old_parts
-                .chunks(chunk)
-                .zip(new_parts.chunks(chunk))
-                .map(|(old_span, new_span)| {
-                    scope.spawn(move || {
-                        old_span
-                            .iter()
-                            .zip(new_span)
-                            .map(|(o, n)| Self::diff_partition(old, new, o, n))
-                            .collect::<Vec<ZoneDelta>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("partition worker panicked"))
-                .collect()
+        // Scoped worker threads (`par::scoped_map`): each partition is a
+        // partition-local delta over a disjoint domain set, merged after.
+        let pairs: Vec<(Vec<u32>, Vec<u32>)> = old_parts.into_iter().zip(new_parts).collect();
+        let workers = crate::par::available_workers().min(p);
+        let parts = crate::par::scoped_map(pairs, workers, |(o, n)| {
+            Self::diff_partition(old, new, &o, &n)
         });
         ZoneDelta::merge(parts)
     }

@@ -24,6 +24,7 @@
 pub mod diff;
 pub mod hash;
 pub mod name;
+pub mod par;
 pub mod psl;
 pub mod record;
 pub mod serial;

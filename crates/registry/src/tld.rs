@@ -177,6 +177,40 @@ pub fn paper_gtlds() -> Vec<TldConfig> {
     tlds
 }
 
+/// A TLD fleet of exactly `count` entries for multi-TLD-universe runs:
+/// the paper's gTLD table first, extended with synthetic mid- and
+/// long-tail gTLDs whose volumes decay harmonically below the smallest
+/// paper TLD and whose cadences cycle the observed 5–30-minute range.
+/// This is the 10–100× universe driver input: the distribution broker's
+/// per-shard layout is exercised honestly only when shard count is far
+/// above core count and shard volumes are skewed (as real zone files
+/// are).
+///
+/// # Panics
+/// Panics if `count == 0`.
+pub fn synthetic_fleet(count: usize) -> Vec<TldConfig> {
+    assert!(count > 0, "a fleet needs at least one TLD");
+    let mut tlds = paper_gtlds();
+    let paper_len = tlds.len();
+    tlds.truncate(count);
+    let cadences = [300u64, 600, 900, 1_200, 1_800];
+    for i in tlds.len()..count {
+        let tail_rank = (i - paper_len) + 1;
+        // Harmonic decay from ~40k NRDs/month: a long tail of small
+        // zones, none rivalling the paper's top-10.
+        let monthly = 40_000.0 / tail_rank as f64;
+        tlds.push(gtld(
+            &format!("g{i:03}"),
+            cadences[i % cadences.len()],
+            [monthly, monthly * 0.95, monthly * 1.1],
+            0.35 + 0.1 * ((i % 5) as f64 / 5.0),
+            [monthly * 0.002, monthly * 0.002, monthly * 0.003],
+            true,
+        ));
+    }
+    tlds
+}
+
 /// The `.nl` ground-truth ccTLD (§4.4): outside CZDS, with the registry's
 /// internal view available to the experiment as ground truth. The
 /// short-deleted population is paper-magnitude and **unscaled** (714
@@ -286,6 +320,29 @@ mod tests {
     fn tld_domains_parse() {
         for t in paper_gtlds() {
             assert_eq!(t.domain().as_str(), t.name);
+        }
+    }
+
+    #[test]
+    fn synthetic_fleet_scales_to_requested_count() {
+        for count in [1, 10, 50, 100] {
+            let fleet = synthetic_fleet(count);
+            assert_eq!(fleet.len(), count);
+            let mut names = std::collections::HashSet::new();
+            for t in &fleet {
+                assert!(names.insert(t.name.clone()), "duplicate TLD {}", t.name);
+                assert_eq!(t.domain().as_str(), t.name);
+                assert!(t.total_zone_nrd() > 0.0);
+                let secs = t.zone_update_interval.as_secs();
+                assert!((60..=1_800).contains(&secs), "{}: cadence {secs}", t.name);
+            }
+        }
+        // The synthetic tail stays below every paper top-10 TLD.
+        let fleet = synthetic_fleet(100);
+        let smallest_paper =
+            paper_gtlds().iter().map(|t| t.total_zone_nrd()).fold(f64::MAX, f64::min);
+        for t in &fleet[paper_gtlds().len()..] {
+            assert!(t.total_zone_nrd() < smallest_paper, "{} too large", t.name);
         }
     }
 }

@@ -113,6 +113,26 @@ impl WorkloadConfig {
     }
 }
 
+/// One-call universe driver for multi-TLD fleet runs: wires the paper's
+/// registrar fleet, hosting landscape, and a per-TLD snapshot schedule
+/// around [`UniverseBuilder`], deterministically from `seed`. This is
+/// the front door for broker-scale experiments (50–100 TLDs via
+/// [`crate::tld::synthetic_fleet`]): callers hand the resulting universe
+/// to the RZU zone-stream materialiser and publish the per-TLD streams
+/// concurrently.
+pub fn build_fleet_universe(
+    tlds: &[TldConfig],
+    config: WorkloadConfig,
+    seed: u64,
+) -> Universe {
+    let fleet = RegistrarFleet::paper_fleet();
+    let hosting = HostingLandscape::paper_landscape();
+    let pool = RngPool::new(seed);
+    let schedule = SnapshotSchedule::new(&pool, tlds, config.window_start, config.window_days);
+    UniverseBuilder { tlds, fleet: &fleet, hosting: &hosting, schedule: &schedule, config }
+        .build(&pool)
+}
+
 /// Builds universes.
 pub struct UniverseBuilder<'a> {
     pub tlds: &'a [TldConfig],

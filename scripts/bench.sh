@@ -71,6 +71,18 @@ DERIVED_PAIRS = {
         "broker/catchup-full-replay/500000",
         "broker/catchup-checkpoint/500000",
     ),
+    # PR 3: per-shard locks vs one outer lock serialising every publish
+    # (the pre-refactor broker shape), same threads and workload. >= 1.0
+    # means per-shard publishing is no slower; on multi-core hardware it
+    # scales with the shard count.
+    "broker_concurrent_publish_4x4_global_vs_per_shard": (
+        "broker/concurrent-publish/global-lock/4shards-4threads",
+        "broker/concurrent-publish/per-shard/4shards-4threads",
+    ),
+    "broker_concurrent_publish_8x8_global_vs_per_shard": (
+        "broker/concurrent-publish/global-lock/8shards-8threads",
+        "broker/concurrent-publish/per-shard/8shards-8threads",
+    ),
 }
 derived = {
     name: round(current[slow]["median_ns"] / current[fast]["median_ns"], 2)

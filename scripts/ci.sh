@@ -13,6 +13,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Threaded broker tests again in release mode: lock-ordering and
+# memory-ordering bugs can hide behind debug-build timing and the
+# debug-only lock-hierarchy assertions, so the concurrency suite must
+# also pass optimised. Targeted by package/test-target (not a name
+# filter): the threaded tests live in the broker crate's unit suites
+# and in the root proptest/fleet integration targets.
+echo "==> cargo test -q --release (broker crate + threaded suites)"
+cargo test -q --release -p darkdns-broker
+cargo test -q --release --test proptest_broker --test broker_fleet
+
 echo "==> RUSTFLAGS=-Dwarnings cargo build --all-targets"
 RUSTFLAGS="-Dwarnings" cargo build --all-targets
 

@@ -1,7 +1,8 @@
 //! Minimal vendored stand-in for `parking_lot`: `Mutex` / `RwLock` with
 //! the poison-free API, backed by the std primitives.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutex whose `lock` never returns a poison error (a poisoned std lock
 /// is recovered, matching parking_lot's panic-transparent behaviour).
@@ -17,6 +18,15 @@ impl<T> Mutex<T> {
 
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.inner.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Non-blocking acquire: `None` if the lock is held elsewhere.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(poison)) => Some(poison.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     pub fn into_inner(self) -> T {
