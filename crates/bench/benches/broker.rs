@@ -1,7 +1,7 @@
-//! B4: RZU distribution broker — fan-out, cold catch-up, and per-shard
-//! concurrent publishing.
+//! B4: RZU distribution broker — fan-out, cold catch-up, per-shard
+//! concurrent publishing, and socket delivery.
 //!
-//! Three claims are measured:
+//! Four claims are measured:
 //!
 //! * **Fan-out amortises serialization.** Pushing one delta to 1k
 //!   subscribers costs one wire encode plus 1k refcount-shared queue
@@ -26,16 +26,28 @@
 //!   (on a 1-core container the two paths converge; the win is the
 //!   absence of cross-shard serialisation, pinned by the contention
 //!   counters in the broker's tests).
+//! * **Notify wakeups beat poll loops for socket fan-out.** One publish
+//!   reaching 8 loopback-TCP subscribers end-to-end (publish → shard
+//!   fan-out → per-subscriber writer thread → socket → client decode),
+//!   with writers either blocking on the subscriber-queue condvar
+//!   (`broker/tcp-fanout/notify-wakeup/*`) or spinning on `try_next`
+//!   (`broker/tcp-fanout/poll-wakeup/*`, the pre-transport shape).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use darkdns_broker::{Broker, BrokerConfig, BrokerMessage, OverflowPolicy, RetentionConfig};
+use darkdns_broker::transport::{ClientEvent, FrameConn, LengthPrefixed, TransportClient};
+use darkdns_broker::{
+    Broker, BrokerConfig, BrokerMessage, BrokerServer, OverflowPolicy, RetentionConfig,
+    TransportConfig, WriterWakeup,
+};
 use darkdns_dns::wire::encode_delta_push;
 use darkdns_dns::{decode_delta_push, DomainName, NsSet, Serial, ZoneDelta, ZoneSnapshot};
 use darkdns_dns::diff::NsChange;
 use darkdns_registry::tld::TldId;
 use darkdns_sim::time::SimTime;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn name(s: &str) -> DomainName {
     DomainName::parse(s).unwrap()
@@ -258,6 +270,104 @@ fn bench_concurrent_publish(c: &mut Criterion) {
     group.finish();
 }
 
+/// Loopback-TCP fan-out: one publish must reach N socket subscribers,
+/// each behind its own server-side writer thread. `notify-wakeup` is
+/// the production path (writers block on the subscriber queue condvar
+/// and wake per enqueue); `poll-wakeup` is the pre-transport baseline —
+/// writers spin on `try_next`/`yield_now`, which costs CPU the
+/// publisher and decoders need (painfully so on a small container).
+/// One iteration = publish one delta + wait until every subscriber has
+/// decoded it off its socket.
+fn bench_tcp_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker");
+    const SUBS: usize = 8;
+    const CHURN: usize = 200;
+    // Stall bound for any single wait (handshake or one fan-out
+    // round-trip) — deliberately per-wait, not a shared timestamp, so a
+    // large DARKDNS_BENCH_MS sampling budget cannot expire it.
+    const STALL: Duration = Duration::from_secs(60);
+    for (label, wakeup) in
+        [("tcp-fanout/notify-wakeup", WriterWakeup::Notify), ("tcp-fanout/poll-wakeup", WriterWakeup::Poll)]
+    {
+        let broker = Broker::new(BrokerConfig {
+            retention: RetentionConfig::new(64, 16),
+            subscriber_capacity: 4096,
+            overflow: OverflowPolicy::Lag,
+        });
+        let tld = TldId(0);
+        broker.add_shard(tld, shard_snapshot("com", 10_000));
+        let server = BrokerServer::new(
+            broker.clone(),
+            TransportConfig {
+                wakeup,
+                writer_tick: Duration::from_millis(20),
+                ..TransportConfig::default()
+            },
+        );
+        let addr = server.listen_tcp("127.0.0.1:0").expect("bind loopback");
+
+        // Subscriber threads: decode every delta envelope off the
+        // socket and publish the reached serial.
+        let received: Arc<Vec<AtomicU32>> =
+            Arc::new((0..SUBS).map(|_| AtomicU32::new(0)).collect());
+        let stop = Arc::new(AtomicBool::new(false));
+        let clients: Vec<_> = (0..SUBS)
+            .map(|i| {
+                let received = Arc::clone(&received);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let stream = std::net::TcpStream::connect(addr).expect("dial");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut conn = LengthPrefixed::new(stream);
+                    conn.set_recv_timeout(Some(Duration::from_millis(20))).expect("timeout");
+                    let mut client = TransportClient::connect(conn, &[(tld, Some(Serial::new(0)))])
+                        .expect("hello");
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        match client.next_event() {
+                            ClientEvent::Delta { push, .. } => {
+                                received[i].store(push.to_serial.get(), Ordering::Release);
+                            }
+                            ClientEvent::Snapshot { .. } | ClientEvent::Idle => {}
+                            ClientEvent::Evicted | ClientEvent::Closed(_) => return,
+                        }
+                    }
+                })
+            })
+            .collect();
+        let connect_deadline = Instant::now() + STALL;
+        while server.stats().handshakes < SUBS as u64 {
+            assert!(Instant::now() < connect_deadline, "tcp subscribers never connected");
+            std::thread::yield_now();
+        }
+
+        let publisher = FlipPublisher::new(&broker.head(tld).unwrap(), CHURN);
+        group.throughput(Throughput::Elements(SUBS as u64));
+        group.bench_with_input(BenchmarkId::new(label, format!("{SUBS}subs")), &(), |b, _| {
+            b.iter(|| {
+                let (delta, serial) = publisher.next();
+                broker.publish(tld, delta, serial, SimTime::ZERO);
+                let target = serial.get();
+                let round_deadline = Instant::now() + STALL;
+                for slot in received.iter() {
+                    while slot.load(Ordering::Acquire) < target {
+                        assert!(Instant::now() < round_deadline, "a tcp subscriber stalled");
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        });
+        stop.store(true, Ordering::Relaxed);
+        server.shutdown();
+        for client in clients {
+            let _ = client.join();
+        }
+    }
+    group.finish();
+}
+
 fn bench_catchup(c: &mut Criterion) {
     let mut group = c.benchmark_group("broker");
     const SHARD: usize = 500_000;
@@ -324,5 +434,5 @@ fn bench_catchup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fanout, bench_concurrent_publish, bench_catchup);
+criterion_group!(benches, bench_fanout, bench_concurrent_publish, bench_tcp_fanout, bench_catchup);
 criterion_main!(benches);

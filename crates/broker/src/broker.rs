@@ -28,7 +28,8 @@ use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar};
+use std::time::{Duration, Instant};
 
 /// What to do with a subscriber whose buffer is full. This is the
 /// shared policy vocabulary for bounded fan-out in the workspace: the
@@ -169,6 +170,11 @@ struct QueuedMessage {
 struct SubShared {
     id: u64,
     queue: Mutex<VecDeque<QueuedMessage>>,
+    /// Wakeup for blocked consumers ([`BrokerSubscription::next_wait`]):
+    /// signalled on every enqueue and on eviction, paired with the
+    /// `queue` mutex (the vendored `parking_lot` guards *are* std
+    /// guards, so a std condvar pairs with them directly).
+    notify: Condvar,
     /// Catch-up messages still queued; their depth is bounded by the
     /// retention ring, so they are exempt from the live-push capacity
     /// bound.
@@ -199,6 +205,23 @@ struct SubEntry {
     shared: Arc<SubShared>,
 }
 
+/// Outcome of one blocking wait on a subscriber queue
+/// ([`BrokerSubscription::next_wait`]). `Evicted` is the *explicit*
+/// slow-subscriber signal: under [`OverflowPolicy::Evict`] the queue is
+/// cleared and nothing further is ever delivered, so a consumer that
+/// only looked for messages would sleep forever — a transport writer
+/// observes `Evicted`, tells its peer, and closes the connection so the
+/// client reconnects with its serial claims.
+#[derive(Debug)]
+pub enum SubWait {
+    /// The next queued message.
+    Message(BrokerMessage),
+    /// The broker evicted this subscriber for falling behind.
+    Evicted,
+    /// Nothing arrived within the timeout (and the subscriber is live).
+    TimedOut,
+}
+
 /// Consumer handle returned by [`Broker::subscribe`]. Dropping it
 /// deregisters the subscriber at each shard's next publish.
 pub struct BrokerSubscription {
@@ -217,6 +240,42 @@ impl BrokerSubscription {
             self.shared.retire_catchup(1);
         }
         Some(item.msg)
+    }
+
+    /// Block until a message arrives, the broker evicts this subscriber,
+    /// or `timeout` elapses — the notify-wakeup consumption path that
+    /// replaces `try_next` polling for transport writers. Publishers
+    /// signal the subscriber's condvar on every enqueue and on eviction,
+    /// so a blocked writer wakes exactly when there is something to do;
+    /// it never spins and never misses the eviction signal.
+    pub fn next_wait(&self, timeout: Duration) -> SubWait {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.queue.lock();
+        loop {
+            if let Some(item) = queue.pop_front() {
+                drop(queue);
+                if item.catchup {
+                    self.shared.retire_catchup(1);
+                }
+                return SubWait::Message(item.msg);
+            }
+            // An evicted queue is empty forever: surface the signal
+            // explicitly instead of letting the consumer sleep on it.
+            if self.shared.evicted.load(Ordering::Relaxed) {
+                return SubWait::Evicted;
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                return SubWait::TimedOut;
+            };
+            let (guard, _timed_out) = self
+                .shared
+                .notify
+                .wait_timeout(queue, remaining)
+                .unwrap_or_else(|poison| poison.into_inner());
+            queue = guard;
+        }
     }
 
     /// Drain everything currently queued.
@@ -408,6 +467,14 @@ impl Broker {
         self.directory().len()
     }
 
+    /// True when `tld` has a registered shard. The transport handshake
+    /// validates untrusted subscriber claims with this before calling
+    /// [`Broker::subscribe_with`] (which panics on unknown TLDs, a
+    /// contract meant for in-process callers).
+    pub fn has_shard(&self, tld: TldId) -> bool {
+        self.directory().get(&tld).is_some()
+    }
+
     /// Registered TLDs, ascending.
     pub fn tlds(&self) -> Vec<TldId> {
         let mut tlds: Vec<TldId> = self.directory().keys().copied().collect();
@@ -464,6 +531,7 @@ impl Broker {
         let shared = Arc::new(SubShared {
             id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
             queue: Mutex::new(VecDeque::new()),
+            notify: Condvar::new(),
             catchup_pending: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             evicted: AtomicBool::new(false),
@@ -579,6 +647,7 @@ impl Broker {
                     catchup: false,
                 });
                 counters.deliveries += 1;
+                sub.notify.notify_all();
                 return true;
             }
             match overflow {
@@ -592,6 +661,9 @@ impl Broker {
                     sub.catchup_pending.store(0, Ordering::Relaxed);
                     sub.evicted.store(true, Ordering::Relaxed);
                     counters.evictions += 1;
+                    // Wake any blocked consumer so it observes the
+                    // eviction now, not at its next timeout tick.
+                    sub.notify.notify_all();
                     false
                 }
             }
@@ -861,6 +933,89 @@ mod tests {
         // A third live push exceeds the live bound and evicts.
         broker.publish(TldId(0), add_delta("live3.com"), Serial::new(13), SimTime::ZERO);
         assert!(sub.is_evicted());
+    }
+
+    #[test]
+    fn next_wait_wakes_blocked_consumer_on_publish() {
+        let broker = broker_with_com(BrokerConfig::default());
+        let sub = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        let publisher = {
+            let broker = broker.clone();
+            std::thread::spawn(move || {
+                // Give the consumer a moment to block first; correctness
+                // does not depend on winning this race, only latency.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                broker.publish(TldId(0), add_delta("a.com"), Serial::new(1), SimTime::ZERO);
+            })
+        };
+        match sub.next_wait(std::time::Duration::from_secs(30)) {
+            SubWait::Message(BrokerMessage::Delta { tld, .. }) => assert_eq!(tld, TldId(0)),
+            other => panic!("expected a delta wakeup, got {other:?}"),
+        }
+        publisher.join().unwrap();
+    }
+
+    #[test]
+    fn next_wait_drains_catchup_backlog_without_blocking() {
+        let broker = broker_with_com(BrokerConfig::default());
+        for i in 1..=3u32 {
+            broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+        }
+        let sub = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        for _ in 0..3 {
+            match sub.next_wait(std::time::Duration::from_secs(30)) {
+                SubWait::Message(_) => {}
+                other => panic!("expected queued catch-up message, got {other:?}"),
+            }
+        }
+        assert!(matches!(sub.next_wait(std::time::Duration::ZERO), SubWait::TimedOut));
+    }
+
+    #[test]
+    fn next_wait_surfaces_eviction_to_a_blocked_consumer() {
+        // Zero live capacity: the first publish overflows an *empty*
+        // queue and evicts, so the consumer is deterministically blocked
+        // in `next_wait` when the eviction fires — the wakeup must come
+        // from the explicit eviction signal, not from a message.
+        let config = BrokerConfig {
+            subscriber_capacity: 0,
+            overflow: OverflowPolicy::Evict,
+            ..BrokerConfig::default()
+        };
+        let broker = broker_with_com(config);
+        let slow = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        let publisher = {
+            let broker = broker.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                broker.publish(TldId(0), add_delta("d1.com"), Serial::new(1), SimTime::ZERO);
+            })
+        };
+        match slow.next_wait(std::time::Duration::from_secs(30)) {
+            SubWait::Evicted => {}
+            other => panic!("expected explicit eviction signal, got {other:?}"),
+        }
+        assert!(slow.is_evicted());
+        publisher.join().unwrap();
+    }
+
+    #[test]
+    fn next_wait_times_out_when_idle() {
+        let broker = broker_with_com(BrokerConfig::default());
+        let sub = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        let start = std::time::Instant::now();
+        assert!(matches!(
+            sub.next_wait(std::time::Duration::from_millis(10)),
+            SubWait::TimedOut
+        ));
+        assert!(start.elapsed() >= std::time::Duration::from_millis(10));
+    }
+
+    #[test]
+    fn has_shard_reports_registration() {
+        let broker = broker_with_com(BrokerConfig::default());
+        assert!(broker.has_shard(TldId(0)));
+        assert!(!broker.has_shard(TldId(9)));
     }
 
     #[test]

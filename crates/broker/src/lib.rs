@@ -31,6 +31,28 @@
 //! * [`feed`] — glue that materialises a multi-TLD universe's RZU pushes
 //!   as zone deltas and drives them through a broker, sequentially or
 //!   through the pool.
+//! * [`transport`] — the socket layer: [`transport::BrokerServer`]
+//!   accepts length-prefixed frame connections (TCP, or an in-memory
+//!   duplex pipe in tests — both behind the [`transport::FrameConn`]
+//!   trait), answers the `RZUH` handshake with the same
+//!   snapshot-vs-delta catch-up plan in-process subscribers get, and
+//!   streams live pushes from one writer thread per subscriber, woken
+//!   by the subscriber queue's condvar ([`BrokerSubscription::next_wait`]).
+//!   [`transport::TransportClient`] decodes the stream and tracks
+//!   per-TLD claimed serials for reconnect-with-claims
+//!   (`darkdns_core::broker_view::RemoteZoneView` drives the loop).
+//!
+//! # Frame protocol and handshake
+//!
+//! Transport frames are `u32`-length-prefixed; payload lengths are
+//! untrusted and bounded before any allocation. Payload kinds (codecs
+//! in `darkdns_dns::wire`): `RZUH` — the client's per-TLD serial
+//! claims; `RZUS` — a checkpoint-snapshot bootstrap; `RZUD` — a TLD tag
+//! plus the shard's refcount-shared `RZU1` frame written verbatim (the
+//! encode-once guarantee crosses the socket boundary intact); `RZUE` —
+//! an explicit eviction notice, after which the server closes and the
+//! client reconnects claiming the serials it verifiably reached; empty
+//! — an idle heartbeat doubling as dead-peer detection.
 //!
 //! # Concurrency architecture and lock hierarchy
 //!
@@ -61,6 +83,16 @@
 //! with a thread-local assertion in the shard-lock guard; release builds
 //! pay nothing for it.
 //!
+//! Transport **writer threads sit entirely at level 2**: one thread per
+//! subscriber connection, whose only synchronisation is its own
+//! subscriber's queue mutex (and the condvar paired with it) inside
+//! [`BrokerSubscription::next_wait`]. A writer never takes a shard lock
+//! — the handshake's `subscribe_with` call is the connection's one
+//! brush with level 1, before the writer loop starts — so a wedged
+//! socket can back-pressure only its own queue, where the overflow
+//! policy (lag or evict, signalled explicitly through
+//! [`broker::SubWait::Evicted`]) bounds the damage to that subscriber.
+//!
 //! # The snapshot-vs-delta catch-up decision rule
 //!
 //! A subscriber arrives claiming serial `s` for a shard whose head is `h`
@@ -85,11 +117,16 @@ pub mod broker;
 pub mod feed;
 pub mod pool;
 pub mod shard;
+pub mod transport;
 
 pub use broker::{
     Broker, BrokerConfig, BrokerMessage, BrokerStats, BrokerSubscription, OverflowPolicy,
-    ShardStats,
+    ShardStats, SubWait,
 };
 pub use feed::UniverseFeed;
 pub use pool::{PublishItem, PublishPool};
 pub use shard::{CatchUp, JournalShard, RetentionConfig, SealedDelta};
+pub use transport::{
+    BrokerServer, ClientEvent, FrameConn, TransportClient, TransportConfig, TransportError,
+    WriterWakeup,
+};

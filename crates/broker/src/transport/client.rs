@@ -1,0 +1,135 @@
+//! The subscriber side of the transport.
+//!
+//! [`TransportClient`] sends the `RZUH` handshake, then decodes the
+//! server's frame stream into typed [`ClientEvent`]s — validated at the
+//! trust boundary, so everything past `next_event` works with checked
+//! values. The client tracks its **per-TLD claimed serials** as frames
+//! chain: a snapshot adopts the shard serial outright, a delta advances
+//! the claim only when its `from_serial` matches (a replayed or gapped
+//! frame leaves the claim untouched). On disconnect or eviction those
+//! claims are exactly what the next HELLO should carry, so reconnection
+//! costs a delta replay of the missed churn, not a snapshot bootstrap —
+//! the paper's rapid-update economics, preserved across faults.
+
+use super::frame::{FrameConn, TransportError};
+use darkdns_dns::wire::{
+    decode_delta_envelope, decode_snapshot_push, encode_hello, is_evict_notice, DeltaPush,
+    TldClaim, DELTA_ENVELOPE_MAGIC, EVICT_NOTICE_MAGIC, SNAPSHOT_PUSH_MAGIC, WireError,
+};
+use darkdns_dns::{Serial, ZoneSnapshot};
+use darkdns_registry::tld::TldId;
+use std::time::Duration;
+
+/// One decoded step of the subscription stream.
+#[derive(Debug)]
+pub enum ClientEvent {
+    /// Adopt this snapshot as the shard state (catch-up rule 3).
+    Snapshot { tld: TldId, snapshot: ZoneSnapshot },
+    /// Apply one validated delta push.
+    Delta { tld: TldId, push: DeltaPush },
+    /// The server evicted this subscriber for falling behind; reconnect
+    /// with [`TransportClient::claimed_serials`].
+    Evicted,
+    /// No frame within the receive timeout; the stream is still up.
+    Idle,
+    /// The connection is unusable (peer closed, i/o failure, or a frame
+    /// that failed validation — a corrupt stream is never applied).
+    Closed(TransportError),
+}
+
+/// A connected transport subscriber.
+pub struct TransportClient {
+    conn: Box<dyn FrameConn>,
+    claims: Vec<(TldId, Option<Serial>)>,
+}
+
+impl TransportClient {
+    /// Send the HELLO carrying `claims` (`None` = bootstrap me) over an
+    /// established frame connection.
+    pub fn connect(
+        mut conn: impl FrameConn + 'static,
+        claims: &[(TldId, Option<Serial>)],
+    ) -> Result<Self, TransportError> {
+        let wire: Vec<TldClaim> = claims
+            .iter()
+            .map(|&(tld, from_serial)| TldClaim { tld: tld.0, from_serial })
+            .collect();
+        conn.send_frame(&[&encode_hello(&wire)])?;
+        Ok(TransportClient { conn: Box::new(conn), claims: claims.to_vec() })
+    }
+
+    /// Bound how long [`TransportClient::next_event`] blocks before
+    /// returning [`ClientEvent::Idle`].
+    pub fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        self.conn.set_recv_timeout(timeout)
+    }
+
+    /// The serial this client has verifiably reached per TLD — the
+    /// claims a reconnect HELLO should carry.
+    pub fn claimed_serials(&self) -> &[(TldId, Option<Serial>)] {
+        &self.claims
+    }
+
+    /// Block for the next frame and decode it. A heartbeat (empty
+    /// frame) reports as [`ClientEvent::Idle`], same as a receive
+    /// timeout: both mean "the stream is healthy and has nothing for
+    /// you", and returning (rather than waiting for the next real
+    /// frame) keeps a pump loop's control inversion honest — the caller
+    /// regains control at least once per heartbeat interval.
+    pub fn next_event(&mut self) -> ClientEvent {
+        {
+            let frame = match self.conn.recv_frame() {
+                Ok(frame) => frame,
+                Err(TransportError::TimedOut) => return ClientEvent::Idle,
+                Err(e) => return ClientEvent::Closed(e),
+            };
+            if frame.is_empty() {
+                return ClientEvent::Idle; // heartbeat
+            }
+            if frame.len() < 4 {
+                return ClientEvent::Closed(WireError::Truncated.into());
+            }
+            match &frame[..4] {
+                magic if magic == SNAPSHOT_PUSH_MAGIC => match decode_snapshot_push(&frame) {
+                    Ok((tld, snapshot)) => {
+                        let tld = TldId(tld);
+                        self.claim_set(tld, snapshot.serial());
+                        return ClientEvent::Snapshot { tld, snapshot };
+                    }
+                    Err(e) => return ClientEvent::Closed(e.into()),
+                },
+                magic if magic == DELTA_ENVELOPE_MAGIC => match decode_delta_envelope(&frame) {
+                    Ok((tld, push)) => {
+                        let tld = TldId(tld);
+                        self.claim_advance(tld, &push);
+                        return ClientEvent::Delta { tld, push };
+                    }
+                    Err(e) => return ClientEvent::Closed(e.into()),
+                },
+                magic if magic == EVICT_NOTICE_MAGIC && is_evict_notice(&frame) => {
+                    return ClientEvent::Evicted;
+                }
+                _ => return ClientEvent::Closed(WireError::BadMagic.into()),
+            }
+        }
+    }
+
+    /// A snapshot replaces the claim unconditionally.
+    fn claim_set(&mut self, tld: TldId, serial: Serial) {
+        match self.claims.iter_mut().find(|(t, _)| *t == tld) {
+            Some((_, claim)) => *claim = Some(serial),
+            None => self.claims.push((tld, Some(serial))),
+        }
+    }
+
+    /// A delta advances the claim only when it chains: replays and gaps
+    /// leave it where it was, so a reconnect never skips past unapplied
+    /// history.
+    fn claim_advance(&mut self, tld: TldId, push: &DeltaPush) {
+        if let Some((_, claim)) = self.claims.iter_mut().find(|(t, _)| *t == tld) {
+            if *claim == Some(push.from_serial) {
+                *claim = Some(push.to_serial);
+            }
+        }
+    }
+}

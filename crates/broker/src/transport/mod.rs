@@ -1,0 +1,58 @@
+//! The broker's socket transport: RZU fan-out over real connections.
+//!
+//! Everything below the broker in this module is organised around one
+//! abstraction, [`FrameConn`] — a blocking, bidirectional, whole-frame
+//! connection. The server and client logic is written against the
+//! trait, so the same code runs over TCP ([`tcp_connect`] /
+//! [`BrokerServer::listen_tcp`]) in deployments and examples, and over
+//! the in-memory [`pipe`] duplex in tests — which is what makes the
+//! deterministic fault-injection harness (`tests/transport_faults.rs`)
+//! possible: [`FaultInjectedConn`] scripts mid-frame cuts, corrupt and
+//! duplicated frames at the frame boundary while exercising the same
+//! framing state machine and decoders as a production socket.
+//!
+//! # Protocol
+//!
+//! Frames are length-prefixed (`u32` big-endian payload length, bounded
+//! on receive before any allocation). Payloads are tagged by 4-byte
+//! magics, encoded/decoded in `darkdns_dns::wire`:
+//!
+//! | magic  | direction        | meaning                                   |
+//! |--------|------------------|-------------------------------------------|
+//! | `RZUH` | client → server  | HELLO: per-TLD serial claims              |
+//! | `RZUS` | server → client  | snapshot bootstrap (catch-up rule 3)      |
+//! | `RZUD` | server → client  | TLD tag + embedded `RZU1` delta frame     |
+//! | `RZUE` | server → client  | evicted: reconnect with your claims       |
+//! | empty  | server → client  | idle heartbeat / dead-peer probe          |
+//!
+//! The handshake *is* the catch-up entry point: the server validates the
+//! claims, calls `Broker::subscribe_with`, and the broker enqueues the
+//! snapshot-vs-delta plan atomically per shard — the wire stream starts
+//! gap-free and overlap-free exactly like an in-process subscription.
+//! Delta frames are the shard's refcount-shared `RZU1` bytes written
+//! verbatim behind a 6-byte envelope header: publishing still encodes
+//! once per push, regardless of subscriber count.
+//!
+//! # Reconnection
+//!
+//! [`TransportClient`] tracks the serial it has verifiably reached per
+//! TLD. On any fault — mid-frame disconnect, corrupt frame, eviction —
+//! the consumer reconnects carrying those claims, and the catch-up rule
+//! turns the outage into a delta replay of the missed churn (or a
+//! checkpoint bootstrap if it slept past the retention ring). The
+//! driver side of that loop lives in
+//! `darkdns_core::broker_view::RemoteZoneView`.
+
+mod client;
+mod fault;
+mod frame;
+pub mod pipe;
+mod server;
+
+pub use client::{ClientEvent, TransportClient};
+pub use fault::{FaultInjectedConn, FaultScript, FrameFault};
+pub use frame::{
+    tcp_connect, ByteIo, FrameConn, LengthPrefixed, TcpFrameConn, TransportError, MAX_FRAME_LEN,
+};
+pub use pipe::{duplex, PipeCutHandle, PipeEnd};
+pub use server::{BrokerServer, ServerStats, TransportConfig, WriterWakeup};

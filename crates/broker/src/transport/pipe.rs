@@ -1,0 +1,283 @@
+//! An in-memory, bounded, blocking duplex byte pipe.
+//!
+//! [`duplex`] returns two [`PipeEnd`]s joined by a pair of directional
+//! byte buffers; each end implements `Read + Write` with the same
+//! blocking semantics a socket has — reads block until data, EOF or a
+//! timeout; writes block while the peer's buffer is full (the bounded
+//! capacity is what lets the fault harness script a *stalled reader*:
+//! stop reading one end and the writer wedges exactly like a full TCP
+//! send buffer). Wrapped in [`crate::transport::LengthPrefixed`], a
+//! pipe end is a [`crate::transport::FrameConn`] running the very same
+//! framing state machine as the TCP path, so deterministic in-memory
+//! tests exercise production decode logic.
+//!
+//! [`PipeCutHandle::cut`] is the fault switch: it severs both
+//! directions at once — in-flight reads fail with `ConnectionReset`,
+//! writes with `BrokenPipe` — modelling a hard network partition
+//! mid-frame. A dropped end is the orderly version: the peer drains
+//! whatever was buffered, then sees EOF.
+
+use super::frame::ByteIo;
+use std::collections::VecDeque;
+use std::io::{self, ErrorKind, Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One direction's shared buffer.
+struct HalfState {
+    buf: VecDeque<u8>,
+    /// Writer side is gone: reads drain the buffer, then return EOF.
+    closed: bool,
+    /// Hard fault: both sides error immediately, buffered data is lost.
+    cut: bool,
+}
+
+struct Half {
+    state: Mutex<HalfState>,
+    cond: Condvar,
+}
+
+impl Half {
+    fn new() -> Arc<Half> {
+        Arc::new(Half {
+            state: Mutex::new(HalfState { buf: VecDeque::new(), closed: false, cut: false }),
+            cond: Condvar::new(),
+        })
+    }
+}
+
+/// One end of an in-memory duplex pipe. Reads from one half, writes to
+/// the other; the peer end holds the halves swapped.
+pub struct PipeEnd {
+    /// The half this end reads from (the peer writes into it).
+    rx: Arc<Half>,
+    /// The half this end writes into (the peer reads from it).
+    tx: Arc<Half>,
+    capacity: usize,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+}
+
+/// A detached fault switch for one pipe: severs both directions.
+/// Cloneable and callable from any thread, including while a reader or
+/// writer is blocked mid-frame.
+#[derive(Clone)]
+pub struct PipeCutHandle {
+    halves: [Arc<Half>; 2],
+}
+
+impl PipeCutHandle {
+    /// Hard-cut the pipe: writes fail immediately; reads first drain
+    /// whatever was already in flight (bytes a kernel would have
+    /// delivered to the receive buffer before the reset), then fail.
+    /// This is what leaves a peer stranded *mid-frame*: it consumes the
+    /// delivered prefix of a promised payload and then hits the reset.
+    pub fn cut(&self) {
+        for half in &self.halves {
+            let mut st = half.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.cut = true;
+            half.cond.notify_all();
+        }
+    }
+}
+
+/// Build a connected pair of pipe ends whose per-direction buffers hold
+/// at most `capacity` bytes.
+pub fn duplex(capacity: usize) -> (PipeEnd, PipeEnd) {
+    assert!(capacity > 0, "a zero-capacity pipe can never transfer a byte");
+    let a_to_b = Half::new();
+    let b_to_a = Half::new();
+    let a = PipeEnd {
+        rx: Arc::clone(&b_to_a),
+        tx: Arc::clone(&a_to_b),
+        capacity,
+        read_timeout: None,
+        write_timeout: None,
+    };
+    let b =
+        PipeEnd { rx: a_to_b, tx: b_to_a, capacity, read_timeout: None, write_timeout: None };
+    (a, b)
+}
+
+impl PipeEnd {
+    /// A fault switch covering both directions of this pipe.
+    pub fn cut_handle(&self) -> PipeCutHandle {
+        PipeCutHandle { halves: [Arc::clone(&self.rx), Arc::clone(&self.tx)] }
+    }
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let deadline = self.read_timeout.map(|t| Instant::now() + t);
+        let mut st = self.rx.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if !st.buf.is_empty() {
+                let n = st.buf.len().min(buf.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = st.buf.pop_front().expect("checked non-empty");
+                }
+                // Space opened up: wake a writer blocked on capacity.
+                self.rx.cond.notify_all();
+                return Ok(n);
+            }
+            if st.cut {
+                return Err(ErrorKind::ConnectionReset.into());
+            }
+            if st.closed {
+                return Ok(0);
+            }
+            st = match deadline {
+                None => self.rx.cond.wait(st).unwrap_or_else(|p| p.into_inner()),
+                Some(deadline) => {
+                    let Some(remaining) =
+                        deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+                    else {
+                        return Err(ErrorKind::WouldBlock.into());
+                    };
+                    self.rx
+                        .cond
+                        .wait_timeout(st, remaining)
+                        .unwrap_or_else(|p| p.into_inner())
+                        .0
+                }
+            };
+        }
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let deadline = self.write_timeout.map(|t| Instant::now() + t);
+        let mut st = self.tx.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if st.cut || st.closed {
+                return Err(ErrorKind::BrokenPipe.into());
+            }
+            let space = self.capacity - st.buf.len();
+            if space > 0 {
+                let n = space.min(buf.len());
+                st.buf.extend(&buf[..n]);
+                // Bytes arrived: wake a reader blocked on empty.
+                self.tx.cond.notify_all();
+                return Ok(n);
+            }
+            // Buffer full: block until the peer drains (the stalled-
+            // reader backpressure the fault tests rely on), up to the
+            // write timeout (a socket's wedged-peer bound).
+            st = match deadline {
+                None => self.tx.cond.wait(st).unwrap_or_else(|p| p.into_inner()),
+                Some(deadline) => {
+                    let Some(remaining) =
+                        deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+                    else {
+                        return Err(ErrorKind::WouldBlock.into());
+                    };
+                    self.tx
+                        .cond
+                        .wait_timeout(st, remaining)
+                        .unwrap_or_else(|p| p.into_inner())
+                        .0
+                }
+            };
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl ByteIo for PipeEnd {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    fn set_write_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.write_timeout = timeout;
+        Ok(())
+    }
+}
+
+impl Drop for PipeEnd {
+    fn drop(&mut self) {
+        // Orderly close: the peer drains buffered bytes, then sees EOF
+        // on reads; peer writes fail immediately (no one will read them).
+        {
+            let mut st = self.tx.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.closed = true;
+            self.tx.cond.notify_all();
+        }
+        let mut st = self.rx.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.closed = true;
+        self.rx.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_flow_and_eof_after_drop() {
+        let (mut a, mut b) = duplex(8);
+        a.write_all(b"hi").unwrap();
+        drop(a);
+        let mut out = Vec::new();
+        b.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"hi");
+    }
+
+    #[test]
+    fn bounded_capacity_blocks_writer_until_reader_drains() {
+        let (mut a, mut b) = duplex(4);
+        let writer = std::thread::spawn(move || {
+            a.write_all(b"0123456789").unwrap(); // > capacity: must block
+            a
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let mut buf = [0u8; 10];
+        let mut got = 0;
+        while got < 10 {
+            got += b.read(&mut buf[got..]).unwrap();
+        }
+        assert_eq!(&buf, b"0123456789");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn cut_fails_blocked_reader_and_writer() {
+        let (mut a, mut b) = duplex(4);
+        let cut = a.cut_handle();
+        let reader = std::thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            b.read(&mut buf)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        cut.cut();
+        let err = reader.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::ConnectionReset);
+        assert_eq!(a.write(b"x").unwrap_err().kind(), ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn read_timeout_elapses_without_data() {
+        let (_a, mut b) = duplex(4);
+        b.set_read_timeout(Some(Duration::from_millis(10))).unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(b.read(&mut buf).unwrap_err().kind(), ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn peer_write_after_reader_drop_is_broken_pipe() {
+        let (a, mut b) = duplex(4);
+        drop(a);
+        assert_eq!(b.write(b"x").unwrap_err().kind(), ErrorKind::BrokenPipe);
+    }
+}

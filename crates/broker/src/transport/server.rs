@@ -1,0 +1,328 @@
+//! The push side of the transport: one writer thread per subscriber.
+//!
+//! [`BrokerServer`] accepts frame connections (TCP or in-memory), runs
+//! the `RZUH` handshake, registers the subscriber with the broker —
+//! which enqueues the snapshot-vs-delta catch-up plan under the shard
+//! locks, exactly as for in-process subscribers — and then drives a
+//! per-connection writer loop off the subscriber queue's notify wakeup.
+//!
+//! Writer threads sit *below* the broker's lock hierarchy: they never
+//! touch a shard lock. Their only synchronisation is the subscriber
+//! queue mutex taken inside [`BrokerSubscription::next_wait`] (and the
+//! condvar paired with it), so a slow or wedged socket can stall only
+//! its own subscriber — which the broker's overflow policy then lags or
+//! evicts, and the writer reports the eviction to the peer as an `RZUE`
+//! frame before closing so the client reconnects with its claims.
+
+use super::frame::{FrameConn, LengthPrefixed};
+use crate::broker::{Broker, BrokerMessage, SubWait};
+use darkdns_dns::wire::{
+    decode_hello, delta_envelope_header, encode_evict_notice, encode_snapshot_push,
+};
+use darkdns_dns::Serial;
+use darkdns_registry::tld::TldId;
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a writer thread waits for work on its subscriber queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriterWakeup {
+    /// Block on the queue's condvar ([`BrokerSubscription::next_wait`]):
+    /// zero CPU while idle, wakes exactly on enqueue or eviction.
+    #[default]
+    Notify,
+    /// Spin on `try_next` with `yield_now` — the poll-loop baseline the
+    /// bench compares against. Burns a core per idle subscriber; kept
+    /// only to measure what the notify path is worth.
+    Poll,
+}
+
+/// Transport tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportConfig {
+    /// Per-frame payload bound enforced on receive.
+    pub max_frame_len: usize,
+    /// Idle tick: how often a blocked writer wakes to check for
+    /// shutdown and to heartbeat the connection (an empty frame, which
+    /// doubles as dead-peer detection while a subscriber is quiet).
+    pub writer_tick: Duration,
+    /// How long a fresh connection may take to send its HELLO.
+    pub handshake_timeout: Duration,
+    /// How long one frame write may block on a peer that is not
+    /// draining before the writer declares the connection dead. This
+    /// bounds two hazards a wedged-but-open peer would otherwise cause:
+    /// a writer stuck in `send_frame` that [`BrokerServer::shutdown`]
+    /// could never join, and (under `OverflowPolicy::Evict`) a writer
+    /// that never returns to its queue to observe — and report — the
+    /// eviction.
+    pub write_timeout: Duration,
+    /// Writer wait strategy.
+    pub wakeup: WriterWakeup,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            max_frame_len: super::frame::MAX_FRAME_LEN,
+            writer_tick: Duration::from_millis(50),
+            handshake_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(10),
+            wakeup: WriterWakeup::Notify,
+        }
+    }
+}
+
+/// Monotonic transport-side counters (a point-in-time copy comes back
+/// from [`BrokerServer::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections handed to a writer thread.
+    pub accepted: u64,
+    /// Handshakes that produced a live subscription.
+    pub handshakes: u64,
+    /// Connections dropped during the handshake (timeout, bad frame,
+    /// unknown TLD claim).
+    pub rejected_hellos: u64,
+    /// Delta envelopes written (each wraps the shard's shared `RZU1`
+    /// frame verbatim — never re-encoded per subscriber).
+    pub deltas_sent: u64,
+    /// Snapshot bootstraps written.
+    pub snapshots_sent: u64,
+    /// `RZUE` eviction notices written (connection closed right after).
+    pub evict_notices: u64,
+    /// Connections that died mid-stream (peer gone).
+    pub disconnects: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    accepted: AtomicU64,
+    handshakes: AtomicU64,
+    rejected_hellos: AtomicU64,
+    deltas_sent: AtomicU64,
+    snapshots_sent: AtomicU64,
+    evict_notices: AtomicU64,
+    disconnects: AtomicU64,
+}
+
+struct ServerInner {
+    broker: Broker,
+    config: TransportConfig,
+    stop: AtomicBool,
+    stats: StatsInner,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A transport frontend over one [`Broker`]. Cheap to clone; all clones
+/// share the listener threads, stats and shutdown flag.
+#[derive(Clone)]
+pub struct BrokerServer {
+    inner: Arc<ServerInner>,
+}
+
+impl BrokerServer {
+    pub fn new(broker: Broker, config: TransportConfig) -> Self {
+        BrokerServer {
+            inner: Arc::new(ServerInner {
+                broker,
+                config,
+                stop: AtomicBool::new(false),
+                stats: StatsInner::default(),
+                threads: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Serve one already-established frame connection on a fresh writer
+    /// thread (the in-memory path used by tests; the TCP acceptor calls
+    /// the same loop).
+    pub fn spawn_conn(&self, conn: impl FrameConn + 'static) {
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::spawn(move || run_conn(&inner, conn));
+        self.inner.threads.lock().push(handle);
+    }
+
+    /// Bind a TCP listener and accept subscribers until
+    /// [`BrokerServer::shutdown`]. Returns the bound address (bind to
+    /// port 0 for an ephemeral one).
+    pub fn listen_tcp(&self, addr: &str) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Non-blocking accept polled on the writer tick, so shutdown
+        // never hangs on a quiet listener.
+        listener.set_nonblocking(true)?;
+        let inner = Arc::clone(&self.inner);
+        let server = self.clone();
+        let handle = std::thread::spawn(move || loop {
+            if inner.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    server.spawn_conn(LengthPrefixed::with_max(stream, inner.config.max_frame_len));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => return,
+            }
+        });
+        self.inner.threads.lock().push(handle);
+        Ok(local)
+    }
+
+    /// A point-in-time copy of the transport counters.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.inner.stats;
+        ServerStats {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            handshakes: s.handshakes.load(Ordering::Relaxed),
+            rejected_hellos: s.rejected_hellos.load(Ordering::Relaxed),
+            deltas_sent: s.deltas_sent.load(Ordering::Relaxed),
+            snapshots_sent: s.snapshots_sent.load(Ordering::Relaxed),
+            evict_notices: s.evict_notices.load(Ordering::Relaxed),
+            disconnects: s.disconnects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The broker this server fronts.
+    pub fn broker(&self) -> &Broker {
+        &self.inner.broker
+    }
+
+    /// Stop accepting, wake every writer at its next tick, and join all
+    /// transport threads. A writer mid-write to a peer that is not
+    /// draining unblocks within [`TransportConfig::write_timeout`], so
+    /// the join is bounded even with wedged connections.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        // Joining may race new pushes from spawn_conn only before stop
+        // was visible; drain repeatedly until empty.
+        loop {
+            let drained: Vec<JoinHandle<()>> = {
+                let mut threads = self.inner.threads.lock();
+                threads.drain(..).collect()
+            };
+            if drained.is_empty() {
+                return;
+            }
+            for handle in drained {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// The per-connection lifecycle: handshake, subscribe, write loop.
+fn run_conn(inner: &ServerInner, mut conn: impl FrameConn) {
+    let stats = &inner.stats;
+    stats.accepted.fetch_add(1, Ordering::Relaxed);
+    if conn.set_send_timeout(Some(inner.config.write_timeout)).is_err() {
+        stats.rejected_hellos.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+
+    // --- handshake -------------------------------------------------
+    let claims = match hello_claims(inner, &mut conn) {
+        Some(claims) => claims,
+        None => {
+            stats.rejected_hellos.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    // Registers under each shard's lock: the catch-up plan and the live
+    // registration are atomic per shard, so this subscriber's stream
+    // has no per-TLD gap or overlap from the very first frame.
+    let sub = inner.broker.subscribe_with(&claims);
+    stats.handshakes.fetch_add(1, Ordering::Relaxed);
+
+    // --- writer loop -----------------------------------------------
+    let tick = inner.config.writer_tick;
+    let mut last_io = Instant::now();
+    loop {
+        if inner.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let next = match inner.config.wakeup {
+            WriterWakeup::Notify => sub.next_wait(tick),
+            WriterWakeup::Poll => {
+                if let Some(msg) = sub.try_next() {
+                    SubWait::Message(msg)
+                } else if sub.is_evicted() {
+                    SubWait::Evicted
+                } else if last_io.elapsed() >= tick {
+                    SubWait::TimedOut
+                } else {
+                    std::thread::yield_now();
+                    continue;
+                }
+            }
+        };
+        match next {
+            SubWait::Message(BrokerMessage::Snapshot { tld, snapshot }) => {
+                let frame = encode_snapshot_push(tld.0, &snapshot);
+                if conn.send_frame(&[&frame]).is_err() {
+                    stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                stats.snapshots_sent.fetch_add(1, Ordering::Relaxed);
+                last_io = Instant::now();
+            }
+            SubWait::Message(BrokerMessage::Delta { tld, frame }) => {
+                // Envelope header + the shard's refcount-shared frame
+                // bytes, verbatim: no per-subscriber re-encode.
+                let header = delta_envelope_header(tld.0);
+                if conn.send_frame(&[&header, &frame]).is_err() {
+                    stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                stats.deltas_sent.fetch_add(1, Ordering::Relaxed);
+                last_io = Instant::now();
+            }
+            SubWait::Evicted => {
+                // The explicit slow-subscriber signal: tell the peer,
+                // then close so it reconnects with its serial claims.
+                let _ = conn.send_frame(&[&encode_evict_notice()]);
+                stats.evict_notices.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            SubWait::TimedOut => {
+                // Idle heartbeat: an empty frame the client skips; its
+                // failure is how a writer notices a silently dead peer.
+                if conn.send_frame(&[]).is_err() {
+                    stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                last_io = Instant::now();
+            }
+        }
+    }
+}
+
+/// Receive and validate the HELLO; `None` rejects the connection.
+fn hello_claims(
+    inner: &ServerInner,
+    conn: &mut impl FrameConn,
+) -> Option<Vec<(TldId, Option<Serial>)>> {
+    conn.set_recv_timeout(Some(inner.config.handshake_timeout)).ok()?;
+    // A timed-out HELLO and a malformed one end the same way: the
+    // connection is dropped and counted under `rejected_hellos`.
+    let frame = conn.recv_frame().ok()?;
+    let wire_claims = decode_hello(&frame).ok()?;
+    let mut claims = Vec::with_capacity(wire_claims.len());
+    for claim in wire_claims {
+        let tld = TldId(claim.tld);
+        // Untrusted claim: `subscribe_with` panics on unknown TLDs (an
+        // in-process caller bug); a remote peer just gets rejected.
+        if !inner.broker.has_shard(tld) {
+            return None;
+        }
+        claims.push((tld, claim.from_serial));
+    }
+    Some(claims)
+}

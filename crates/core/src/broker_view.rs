@@ -30,14 +30,24 @@
 //! publishers stop moving once they are done. Pinned by the threaded
 //! convergence proptest in `tests/proptest_broker.rs`.
 
+use darkdns_broker::transport::{ClientEvent, TransportClient, TransportError};
 use darkdns_broker::{Broker, BrokerMessage, BrokerSubscription};
 use darkdns_dns::hash::NameMap;
+use darkdns_dns::wire::DeltaPush;
 use darkdns_dns::{decode_delta_push, DomainName, Serial, ZoneSnapshot};
 use darkdns_registry::tld::TldId;
 
 /// A subscriber-side, multi-TLD live zone view.
+///
+/// The view has two deployment shapes sharing all state and gap logic:
+/// **attached** ([`BrokerZoneView::subscribe`]) holds an in-process
+/// broker subscription and drains it with [`BrokerZoneView::pump`];
+/// **detached** ([`BrokerZoneView::detached`]) holds no subscription
+/// and is fed decoded messages by a transport driver (see
+/// [`RemoteZoneView`]) through the same `ingest_*` entry points `pump`
+/// itself uses.
 pub struct BrokerZoneView {
-    sub: BrokerSubscription,
+    sub: Option<BrokerSubscription>,
     tlds: Vec<TldId>,
     states: NameMap<TldId, ZoneSnapshot>,
     /// Domains first seen in a delta's `added` section, in arrival order.
@@ -52,8 +62,15 @@ impl BrokerZoneView {
     /// Subscribe with no prior state: the broker bootstraps every shard
     /// from its checkpoint snapshot (catch-up rule 3).
     pub fn subscribe(broker: &Broker, tlds: &[TldId]) -> Self {
+        let mut view = Self::detached(tlds);
+        view.sub = Some(broker.subscribe(tlds, None));
+        view
+    }
+
+    /// A view with no broker subscription, fed by a transport driver.
+    pub fn detached(tlds: &[TldId]) -> Self {
         BrokerZoneView {
-            sub: broker.subscribe(tlds, None),
+            sub: None,
             tlds: tlds.to_vec(),
             states: NameMap::default(),
             new_domains: Vec::new(),
@@ -64,53 +81,77 @@ impl BrokerZoneView {
         }
     }
 
+    /// Adopt `snapshot` as `tld`'s state (a bootstrap or rule-3
+    /// catch-up). Always succeeds: a snapshot is self-contained.
+    pub fn ingest_snapshot(&mut self, tld: TldId, snapshot: ZoneSnapshot) {
+        self.states.insert(tld, snapshot);
+        self.snapshots_adopted += 1;
+    }
+
+    /// Apply one validated delta push to `tld`'s state. Returns `false`
+    /// — and latches [`BrokerZoneView::lost_sync`] — when the push does
+    /// not chain (no bootstrap yet, a missed frame, or a duplicate
+    /// delivery): a non-chaining delta is **never** applied, which is
+    /// the no-double-apply guarantee the transport reconnect relies on.
+    pub fn ingest_delta(&mut self, tld: TldId, push: &DeltaPush) -> bool {
+        let Some(state) = self.states.get_mut(&tld) else {
+            // Delta before any snapshot for this TLD: only possible
+            // after losing the bootstrap.
+            self.lost_sync = true;
+            return false;
+        };
+        if push.from_serial != state.serial() {
+            self.lost_sync = true;
+            return false;
+        }
+        for (domain, _) in &push.delta.added {
+            self.new_domains.push(*domain);
+        }
+        *state = push.delta.apply(state, push.to_serial, push.pushed_at);
+        self.frames_applied += 1;
+        true
+    }
+
     /// Apply everything queued. Returns the number of messages applied.
     /// Stops early (returning what was applied so far) if a serial gap
     /// is detected; the view then reports [`BrokerZoneView::lost_sync`]
-    /// until [`BrokerZoneView::resync`] is called.
+    /// until [`BrokerZoneView::resync`] is called. Detached views have
+    /// nothing to pump and return 0.
     ///
     /// Eviction counts as losing sync: an evicted subscriber's queue was
     /// cleared and receives nothing further, so the gap could never be
     /// observed through a next frame — without this check a view under
     /// `OverflowPolicy::Evict` would stall forever looking healthy.
     pub fn pump(&mut self) -> usize {
-        if self.sub.is_evicted() {
+        let Some(sub) = &self.sub else {
+            return 0;
+        };
+        if sub.is_evicted() {
             self.lost_sync = true;
         }
         if self.lost_sync {
             return 0;
         }
         let mut applied = 0;
-        while let Some(msg) = self.sub.try_next() {
+        loop {
+            let Some(sub) = &self.sub else { break };
+            let Some(msg) = sub.try_next() else { break };
             match msg {
                 BrokerMessage::Snapshot { tld, snapshot } => {
-                    self.states.insert(tld, snapshot);
-                    self.snapshots_adopted += 1;
+                    self.ingest_snapshot(tld, snapshot);
                 }
                 BrokerMessage::Delta { tld, frame } => {
                     let push = decode_delta_push(&frame).expect("broker frames are well-formed");
-                    let Some(state) = self.states.get_mut(&tld) else {
-                        // Delta before any snapshot for this TLD: only
-                        // possible after losing the bootstrap to lag.
-                        self.lost_sync = true;
-                        return applied;
-                    };
-                    if push.from_serial != state.serial() {
-                        self.lost_sync = true;
+                    if !self.ingest_delta(tld, &push) {
                         return applied;
                     }
-                    for (domain, _) in &push.delta.added {
-                        self.new_domains.push(*domain);
-                    }
-                    *state = push.delta.apply(state, push.to_serial, push.pushed_at);
-                    self.frames_applied += 1;
                 }
             }
             applied += 1;
         }
         // An eviction racing the drain (a concurrent publisher's
         // overflow decision) is surfaced now, not on the next pump.
-        if self.sub.is_evicted() {
+        if self.sub.as_ref().is_some_and(|sub| sub.is_evicted()) {
             self.lost_sync = true;
         }
         applied
@@ -121,19 +162,34 @@ impl BrokerZoneView {
         self.lost_sync
     }
 
-    /// Rejoin the broker, claiming the view's actual per-TLD serials, so
-    /// shards the view *is* current on (or only slightly behind) catch
-    /// up via the cheap delta-replay path; only shards beyond the
-    /// retention ring pay for a snapshot bootstrap. Clears the lost-sync
-    /// state; queued-but-unapplied messages from the old subscription
-    /// are discarded (the catch-up replaces them).
-    pub fn resync(&mut self, broker: &Broker) {
-        let claims: Vec<_> = self.tlds.iter().map(|&t| (t, self.serial(t))).collect();
-        self.sub = broker.subscribe_with(&claims);
-        // Views with no serial (never bootstrapped) get a snapshot; the
-        // rest keep their state and continue from their claimed serial.
+    /// The view's current per-TLD serial claims — exactly what a
+    /// (re)subscription or a transport HELLO should carry. Shards the
+    /// view is current on (or only slightly behind) then catch up via
+    /// the cheap delta-replay path; only shards beyond the retention
+    /// ring pay for a snapshot bootstrap.
+    pub fn claims(&self) -> Vec<(TldId, Option<Serial>)> {
+        self.tlds.iter().map(|&t| (t, self.serial(t))).collect()
+    }
+
+    /// Record a completed resync-from-claims: clears the lost-sync latch
+    /// and counts the recovery. Callers (in-process
+    /// [`BrokerZoneView::resync`], the transport's [`RemoteZoneView`])
+    /// invoke this only once the replacement subscription/connection is
+    /// actually established, so a failed reconnect attempt is never
+    /// counted as a heal.
+    pub fn note_resynced(&mut self) {
         self.resyncs += 1;
         self.lost_sync = false;
+    }
+
+    /// Rejoin the broker, claiming the view's actual per-TLD serials
+    /// ([`BrokerZoneView::claims`]). Queued-but-unapplied messages from
+    /// the old subscription are discarded (the catch-up replaces them).
+    pub fn resync(&mut self, broker: &Broker) {
+        // Views with no serial (never bootstrapped) get a snapshot; the
+        // rest keep their state and continue from their claimed serial.
+        self.sub = Some(broker.subscribe_with(&self.claims()));
+        self.note_resynced();
     }
 
     /// Times this view had to rejoin the broker to heal a gap. Zero in a
@@ -182,8 +238,9 @@ impl BrokerZoneView {
     }
 
     /// Frames the broker dropped for this subscriber (Lag policy).
+    /// Detached views have no in-process queue to drop from.
     pub fn dropped_count(&self) -> u64 {
-        self.sub.dropped_count()
+        self.sub.as_ref().map_or(0, |sub| sub.dropped_count())
     }
 
     /// True for every subscribed TLD whose view serial matches the
@@ -192,6 +249,131 @@ impl BrokerZoneView {
         self.tlds.iter().all(|&tld| {
             broker.head(tld).map(|h| h.serial()) == self.serial(tld)
         })
+    }
+}
+
+/// A [`BrokerZoneView`] fed over a real transport, with automatic
+/// reconnect-with-claims.
+///
+/// The driver owns a detached view, a [`TransportClient`], and a dial
+/// closure (how to establish a fresh [`FrameConn`]-backed client for a
+/// given set of claims — TCP in deployments, an in-memory pipe in the
+/// fault tests). [`RemoteZoneView::pump`] pulls decoded events into the
+/// view; on *any* fault — server eviction, disconnect, a frame that
+/// failed validation, or a delta that does not chain (duplicate or gap)
+/// — it drops the connection and redials carrying
+/// [`BrokerZoneView::claims`], so recovery costs a delta replay of the
+/// missed churn rather than a snapshot bootstrap whenever the retention
+/// ring still covers the gap. [`BrokerZoneView::resync_count`] counts
+/// exactly the *successful* reconnects, which is what the fault harness
+/// pins against the number of injected faults.
+pub struct RemoteZoneView<D>
+where
+    D: FnMut(&[(TldId, Option<Serial>)]) -> Result<TransportClient, TransportError>,
+{
+    view: BrokerZoneView,
+    client: Option<TransportClient>,
+    /// The dead connection's [`TransportClient::claimed_serials`], kept
+    /// for the redial. The client advances a claim exactly when the
+    /// view applies the corresponding message, so the two stay in
+    /// lockstep — asserted in debug builds at reconnect time.
+    stale_claims: Option<Vec<(TldId, Option<Serial>)>>,
+    dial: D,
+}
+
+impl<D> RemoteZoneView<D>
+where
+    D: FnMut(&[(TldId, Option<Serial>)]) -> Result<TransportClient, TransportError>,
+{
+    /// Dial the initial connection with empty claims (bootstrap every
+    /// shard). The initial connect is not a resync.
+    pub fn connect(tlds: &[TldId], mut dial: D) -> Result<Self, TransportError> {
+        let view = BrokerZoneView::detached(tlds);
+        let client = dial(&view.claims())?;
+        Ok(RemoteZoneView { view, client: Some(client), stale_claims: None, dial })
+    }
+
+    /// Pull up to `max_events` decoded events into the view, healing
+    /// faults by reconnecting with claims as they surface. Returns the
+    /// number of events applied; returns early when the stream goes
+    /// idle (receive timeout) or a redial attempt fails (the next pump
+    /// retries it).
+    pub fn pump(&mut self, max_events: usize) -> usize {
+        let mut applied = 0;
+        while applied < max_events {
+            let Some(client) = self.client.as_mut() else {
+                if self.reconnect().is_err() {
+                    return applied;
+                }
+                continue;
+            };
+            match client.next_event() {
+                ClientEvent::Idle => break,
+                ClientEvent::Snapshot { tld, snapshot } => {
+                    self.view.ingest_snapshot(tld, snapshot);
+                    applied += 1;
+                }
+                ClientEvent::Delta { tld, push } => {
+                    if self.view.ingest_delta(tld, &push) {
+                        applied += 1;
+                    } else {
+                        // Duplicate or gapped delta: the stream can no
+                        // longer be trusted; rejoin from our claims.
+                        self.retire_client();
+                    }
+                }
+                ClientEvent::Evicted | ClientEvent::Closed(_) => {
+                    self.retire_client();
+                }
+            }
+        }
+        applied
+    }
+
+    /// Drop the dead connection, keeping the serials it verifiably
+    /// reached for the redial.
+    fn retire_client(&mut self) {
+        if let Some(client) = self.client.take() {
+            self.stale_claims = Some(client.claimed_serials().to_vec());
+        }
+    }
+
+    /// Redial with the dead client's claimed serials (the view's claims
+    /// are the identical fallback); counts the resync only once the new
+    /// connection is established.
+    fn reconnect(&mut self) -> Result<(), TransportError> {
+        let claims = match &self.stale_claims {
+            Some(claims) => {
+                debug_assert_eq!(
+                    *claims,
+                    self.view.claims(),
+                    "client claim tracking diverged from the applied view state"
+                );
+                claims.clone()
+            }
+            None => self.view.claims(),
+        };
+        let client = (self.dial)(&claims)?;
+        self.client = Some(client);
+        self.stale_claims = None;
+        self.view.note_resynced();
+        Ok(())
+    }
+
+    /// True while a connection is established (it may still be found
+    /// dead on the next pump).
+    pub fn is_connected(&self) -> bool {
+        self.client.is_some()
+    }
+
+    /// The underlying view.
+    pub fn view(&self) -> &BrokerZoneView {
+        &self.view
+    }
+
+    /// Mutable access (e.g. to take the accumulated zone NRDs).
+    pub fn view_mut(&mut self) -> &mut BrokerZoneView {
+        &mut self.view
     }
 }
 

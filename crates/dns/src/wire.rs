@@ -542,7 +542,7 @@ impl<'a> Decoder<'a> {
 }
 
 /// Magic prefix of an RZU delta-push frame ("RZU1").
-const DELTA_PUSH_MAGIC: &[u8; 4] = b"RZU1";
+pub const DELTA_PUSH_MAGIC: &[u8; 4] = b"RZU1";
 
 /// A decoded RZU delta-push frame: the net zone change that advanced one
 /// shard from `from_serial` to `to_serial`.
@@ -658,6 +658,187 @@ pub fn decode_delta_push(bytes: &[u8]) -> Result<DeltaPush, WireError> {
         return Err(WireError::TrailingBytes(bytes.len() - dec.pos));
     }
     Ok(DeltaPush { origin, from_serial, to_serial, pushed_at, delta })
+}
+
+// ---------------------------------------------------------------------------
+// RZU transport frames
+//
+// The distribution broker's socket transport exchanges length-prefixed
+// frames whose payloads are one of four message kinds, each tagged by a
+// 4-byte magic:
+//
+// * `RZUH` — subscriber HELLO (client -> server): the per-TLD serial
+//   claims the catch-up plan is computed from.
+// * `RZUS` — snapshot push (server -> client): a full shard bootstrap,
+//   sent when the catch-up decision rule answers with a checkpoint.
+// * `RZUD` — delta envelope (server -> client): a TLD tag followed by an
+//   embedded `RZU1` frame, verbatim — the server writes the broker's
+//   refcount-shared frame bytes with no per-subscriber re-encode.
+// * `RZUE` — eviction notice (server -> client): the subscriber fell
+//   behind and was evicted; it must reconnect with its claims.
+//
+// Every decoder here treats counts and lengths as untrusted: a count the
+// remaining buffer cannot possibly hold is rejected before any
+// allocation is sized from it (the same discipline as
+// [`decode_delta_push`]).
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of a subscriber HELLO frame.
+pub const HELLO_MAGIC: &[u8; 4] = b"RZUH";
+/// Magic prefix of a snapshot-push frame.
+pub const SNAPSHOT_PUSH_MAGIC: &[u8; 4] = b"RZUS";
+/// Magic prefix of a delta-envelope frame (TLD tag + embedded `RZU1`).
+pub const DELTA_ENVELOPE_MAGIC: &[u8; 4] = b"RZUD";
+/// Magic prefix (and entire body) of an eviction notice.
+pub const EVICT_NOTICE_MAGIC: &[u8; 4] = b"RZUE";
+
+/// One shard claim in a HELLO: the TLD index (transport-level `u16`, the
+/// registry's `TldId` payload) and the serial the subscriber claims to
+/// hold for it (`None` = no prior state; bootstrap me).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TldClaim {
+    pub tld: u16,
+    pub from_serial: Option<Serial>,
+}
+
+/// Encode a subscriber HELLO from per-TLD serial claims.
+///
+/// Layout: `"RZUH"`, `u16` claim count, then per claim `u16` TLD,
+/// `u8` has-serial flag, `u32` serial (zero when absent).
+pub fn encode_hello(claims: &[TldClaim]) -> Bytes {
+    debug_assert!(claims.len() <= u16::MAX as usize);
+    let mut buf = BytesMut::with_capacity(6 + claims.len() * 7);
+    buf.put_slice(HELLO_MAGIC);
+    buf.put_u16(claims.len() as u16);
+    for claim in claims {
+        buf.put_u16(claim.tld);
+        match claim.from_serial {
+            Some(s) => {
+                buf.put_u8(1);
+                buf.put_u32(s.get());
+            }
+            None => {
+                buf.put_u8(0);
+                buf.put_u32(0);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a HELLO produced by [`encode_hello`]. The entire buffer must be
+/// consumed. The claim count is untrusted but bounded by construction:
+/// each claim is exactly 7 bytes, so a count the remaining buffer cannot
+/// hold is a truncation, caught before any allocation is sized from it.
+pub fn decode_hello(bytes: &[u8]) -> Result<Vec<TldClaim>, WireError> {
+    let mut dec = Decoder { bytes, pos: 0 };
+    if dec.take(4)? != HELLO_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let count = dec.u16()? as usize;
+    if count.checked_mul(7).is_none_or(|need| need > dec.remaining()) {
+        return Err(WireError::Truncated);
+    }
+    let mut claims = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tld = dec.u16()?;
+        let has_serial = dec.u8()?;
+        let serial = dec.u32()?;
+        claims.push(TldClaim {
+            tld,
+            from_serial: (has_serial != 0).then(|| Serial::new(serial)),
+        });
+    }
+    if dec.pos != bytes.len() {
+        return Err(WireError::TrailingBytes(bytes.len() - dec.pos));
+    }
+    Ok(claims)
+}
+
+/// Encode a shard bootstrap snapshot for the transport.
+///
+/// Layout: `"RZUS"`, `u16` TLD, origin name, `u32` serial, `u64`
+/// taken-at, `u32` entry count, then per entry a name and an NS set.
+/// Names use the same frame-scoped compression as [`encode_delta_push`],
+/// so the handful of NS providers serving most delegations collapse to
+/// 2-byte pointers.
+pub fn encode_snapshot_push(tld: u16, snapshot: &crate::snapshot::ZoneSnapshot) -> Bytes {
+    let mut enc = Encoder::new();
+    enc.buf.put_slice(SNAPSHOT_PUSH_MAGIC);
+    enc.buf.put_u16(tld);
+    enc.name(snapshot.origin());
+    enc.buf.put_u32(snapshot.serial().get());
+    enc.buf.put_u64(snapshot.taken_at().as_secs());
+    enc.buf.put_u32(snapshot.len() as u32);
+    for (domain, ns) in snapshot.iter() {
+        enc.name(&domain);
+        enc.ns_set(ns);
+    }
+    enc.buf.freeze()
+}
+
+/// Decode a frame produced by [`encode_snapshot_push`] into the TLD tag
+/// and the reconstructed snapshot. The entire buffer must be consumed;
+/// the entry count is untrusted (each entry costs at least 3 bytes).
+pub fn decode_snapshot_push(
+    bytes: &[u8],
+) -> Result<(u16, crate::snapshot::ZoneSnapshot), WireError> {
+    let mut dec = Decoder { bytes, pos: 0 };
+    if dec.take(4)? != SNAPSHOT_PUSH_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let tld = dec.u16()?;
+    let origin = dec.name()?;
+    let serial = Serial::new(dec.u32()?);
+    let taken_at = SimTime::from_secs(dec.u64()?);
+    let count = dec.u32()? as usize;
+    if count.checked_mul(3).is_none_or(|need| need > dec.remaining()) {
+        return Err(WireError::Truncated);
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let domain = dec.name()?;
+        let ns = dec.ns_set()?;
+        entries.push((domain, ns.as_slice().to_vec()));
+    }
+    if dec.pos != bytes.len() {
+        return Err(WireError::TrailingBytes(bytes.len() - dec.pos));
+    }
+    Ok((tld, crate::snapshot::ZoneSnapshot::from_entries(origin, serial, taken_at, entries)))
+}
+
+/// The fixed 6-byte header of a delta envelope: magic plus the TLD tag.
+/// The transport writer sends this header followed by the broker's
+/// refcount-shared `RZU1` frame bytes verbatim — composing the envelope
+/// never re-encodes or copies the delta per subscriber.
+pub fn delta_envelope_header(tld: u16) -> [u8; 6] {
+    let mut header = [0u8; 6];
+    header[..4].copy_from_slice(DELTA_ENVELOPE_MAGIC);
+    header[4..].copy_from_slice(&tld.to_be_bytes());
+    header
+}
+
+/// Decode a delta envelope: the TLD tag and the embedded [`DeltaPush`]
+/// (validated by [`decode_delta_push`], including its bounded-count
+/// discipline).
+pub fn decode_delta_envelope(bytes: &[u8]) -> Result<(u16, DeltaPush), WireError> {
+    let mut dec = Decoder { bytes, pos: 0 };
+    if dec.take(4)? != DELTA_ENVELOPE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let tld = dec.u16()?;
+    let push = decode_delta_push(&bytes[dec.pos..])?;
+    Ok((tld, push))
+}
+
+/// Encode an eviction notice (the magic is the whole message).
+pub fn encode_evict_notice() -> Bytes {
+    Bytes::copy_from_slice(EVICT_NOTICE_MAGIC)
+}
+
+/// True when `bytes` is exactly an eviction notice.
+pub fn is_evict_notice(bytes: &[u8]) -> bool {
+    bytes == EVICT_NOTICE_MAGIC
 }
 
 #[cfg(test)]
@@ -946,6 +1127,88 @@ mod tests {
         let mut padded = frame.to_vec();
         padded.push(0);
         assert_eq!(decode_delta_push(&padded), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hello_round_trips_with_mixed_claims() {
+        let claims = vec![
+            TldClaim { tld: 0, from_serial: Some(Serial::new(41)) },
+            TldClaim { tld: 7, from_serial: None },
+            TldClaim { tld: u16::MAX, from_serial: Some(Serial::new(u32::MAX)) },
+        ];
+        let frame = encode_hello(&claims);
+        assert_eq!(decode_hello(&frame).unwrap(), claims);
+        // Empty claim lists are legal (a fresh join names TLDs elsewhere).
+        assert_eq!(decode_hello(&encode_hello(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn hello_rejects_oversized_count_bad_magic_and_trailing() {
+        let mut tiny = Vec::new();
+        tiny.extend_from_slice(HELLO_MAGIC);
+        tiny.extend_from_slice(&u16::MAX.to_be_bytes());
+        assert_eq!(decode_hello(&tiny), Err(WireError::Truncated));
+        assert_eq!(decode_hello(b"NOPE"), Err(WireError::BadMagic));
+        let mut padded = encode_hello(&[TldClaim { tld: 1, from_serial: None }]).to_vec();
+        padded.push(9);
+        assert_eq!(decode_hello(&padded), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn snapshot_push_round_trips() {
+        let snap = crate::snapshot::ZoneSnapshot::from_entries(
+            name("com"),
+            Serial::new(17),
+            SimTime::from_secs(900),
+            vec![
+                (name("alpha.com"), vec![name("ns1.cloudflare.com"), name("ns2.cloudflare.com")]),
+                (name("bravo.com"), vec![name("ns1.cloudflare.com")]),
+            ],
+        );
+        let frame = encode_snapshot_push(3, &snap);
+        let (tld, decoded) = decode_snapshot_push(&frame).unwrap();
+        assert_eq!(tld, 3);
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn snapshot_push_rejects_oversized_counts_without_allocating() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(SNAPSHOT_PUSH_MAGIC);
+        frame.extend_from_slice(&0u16.to_be_bytes()); // tld
+        frame.push(0); // root origin
+        frame.extend_from_slice(&1u32.to_be_bytes()); // serial
+        frame.extend_from_slice(&0u64.to_be_bytes()); // taken_at
+        frame.extend_from_slice(&u32::MAX.to_be_bytes()); // entry count
+        assert_eq!(decode_snapshot_push(&frame), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn delta_envelope_wraps_rzu1_verbatim() {
+        let delta = sample_delta();
+        let rzu1 = encode_delta_push(
+            &name("com"),
+            Serial::new(4),
+            Serial::new(5),
+            SimTime::from_secs(60),
+            &delta,
+        );
+        let mut frame = delta_envelope_header(9).to_vec();
+        frame.extend_from_slice(&rzu1);
+        let (tld, push) = decode_delta_envelope(&frame).unwrap();
+        assert_eq!(tld, 9);
+        assert_eq!(push.delta, delta);
+        assert_eq!(push.from_serial, Serial::new(4));
+        // A corrupt embedded frame surfaces as the inner codec's error.
+        assert_eq!(decode_delta_envelope(&frame[..frame.len() - 2]), Err(WireError::Truncated));
+        assert_eq!(decode_delta_envelope(b"RZUD"), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn evict_notice_is_recognised() {
+        assert!(is_evict_notice(&encode_evict_notice()));
+        assert!(!is_evict_notice(b"RZUD"));
+        assert!(!is_evict_notice(b""));
     }
 
     #[test]

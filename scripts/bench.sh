@@ -83,6 +83,16 @@ DERIVED_PAIRS = {
         "broker/concurrent-publish/global-lock/8shards-8threads",
         "broker/concurrent-publish/per-shard/8shards-8threads",
     ),
+    # PR 4: end-to-end socket fan-out (publish -> writer thread ->
+    # loopback TCP -> client decode, 8 subscribers). Poll-loop writers
+    # spin on try_next and steal CPU from the publisher and decoders;
+    # notify writers block on the subscriber-queue condvar. >= 1.0 means
+    # the notify path is no slower; the gap widens as idle subscriber
+    # count grows.
+    "broker_tcp_fanout_8subs_poll_vs_notify": (
+        "broker/tcp-fanout/poll-wakeup/8subs",
+        "broker/tcp-fanout/notify-wakeup/8subs",
+    ),
 }
 derived = {
     name: round(current[slow]["median_ns"] / current[fast]["median_ns"], 2)

@@ -18,10 +18,12 @@ cargo test -q
 # debug-only lock-hierarchy assertions, so the concurrency suite must
 # also pass optimised. Targeted by package/test-target (not a name
 # filter): the threaded tests live in the broker crate's unit suites
-# and in the root proptest/fleet integration targets.
-echo "==> cargo test -q --release (broker crate + threaded suites)"
+# and in the root proptest/fleet integration targets. The transport
+# fault suite rides along: release timing shifts the writer/publisher/
+# cut interleavings, which is exactly what it must survive.
+echo "==> cargo test -q --release (broker crate + threaded suites + transport faults)"
 cargo test -q --release -p darkdns-broker
-cargo test -q --release --test proptest_broker --test broker_fleet
+cargo test -q --release --test proptest_broker --test broker_fleet --test transport_faults
 
 echo "==> RUSTFLAGS=-Dwarnings cargo build --all-targets"
 RUSTFLAGS="-Dwarnings" cargo build --all-targets

@@ -304,4 +304,128 @@ proptest! {
             prop_assert_eq!(stats.lock_contentions, 0);
         }
     }
+
+    // The transport reconnect contract: K shards publish through a real
+    // (in-memory) socket transport to a `RemoteZoneView`, and the link
+    // is hard-cut at arbitrary points in the publish schedule. After
+    // every cut the consumer redials carrying its per-TLD serial
+    // claims. The view must converge to every shard's exact head (no
+    // gap left unresynced), apply no delta twice (each applied frame
+    // advances a shard serial, so total applications are bounded by
+    // total publishes), and resync exactly once per injected cut.
+    #[test]
+    fn transport_reconnect_with_claims_converges(
+        states_per_shard in prop::collection::vec(
+            prop::collection::vec(zone_state_strategy(), 2..5),
+            1..4,
+        ),
+        cut_picks in prop::collection::vec(0usize..1000, 0..3),
+    ) {
+        use darkdns::broker::transport::{
+            duplex, FrameConn, LengthPrefixed, PipeCutHandle, TransportClient,
+        };
+        use darkdns::broker::{BrokerServer, TransportConfig};
+        use darkdns::core::broker_view::RemoteZoneView;
+        use std::sync::{Arc, Mutex};
+        use std::time::{Duration, Instant};
+
+        let shards = states_per_shard.len();
+        let broker = Broker::new(BrokerConfig::default());
+        let origins: Vec<String> = (0..shards).map(|k| format!("tld{k}")).collect();
+        let snaps: Vec<Vec<ZoneSnapshot>> = states_per_shard
+            .iter()
+            .enumerate()
+            .map(|(k, states)| {
+                (0..states.len()).map(|i| snapshot_of(&origins[k], &states[i], i as u32)).collect()
+            })
+            .collect();
+        let tlds: Vec<TldId> = (0..shards).map(|k| TldId(k as u16)).collect();
+        for (k, &tld) in tlds.iter().enumerate() {
+            broker.add_shard(tld, snaps[k][0].clone());
+        }
+        let server = BrokerServer::new(
+            broker.clone(),
+            TransportConfig { writer_tick: Duration::from_millis(2), ..TransportConfig::default() },
+        );
+        // Each (re)dial builds a fresh pipe and exposes its cut switch.
+        let last_cut: Arc<Mutex<Option<PipeCutHandle>>> = Arc::new(Mutex::new(None));
+        let dial = {
+            let server = server.clone();
+            let last_cut = Arc::clone(&last_cut);
+            move |claims: &[(TldId, Option<Serial>)]| {
+                let (client_end, server_end) = duplex(1 << 16);
+                *last_cut.lock().unwrap() = Some(client_end.cut_handle());
+                server.spawn_conn(LengthPrefixed::new(server_end));
+                let mut conn = LengthPrefixed::new(client_end);
+                conn.set_recv_timeout(Some(Duration::from_millis(2)))?;
+                TransportClient::connect(conn, claims)
+            }
+        };
+        let mut view = RemoteZoneView::connect(&tlds, dial).expect("initial dial");
+
+        // Round-robin publish schedule across shards; cuts land before
+        // arbitrary steps (or after the last one).
+        let mut schedule: Vec<(usize, usize)> = Vec::new();
+        let longest = states_per_shard.iter().map(|s| s.len()).max().unwrap();
+        for i in 1..longest {
+            for k in 0..shards {
+                if i < states_per_shard[k].len() {
+                    schedule.push((k, i));
+                }
+            }
+        }
+        let mut cuts: Vec<usize> = cut_picks.iter().map(|p| p % (schedule.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut cuts_done = 0u64;
+        let cut_and_heal = |view: &mut RemoteZoneView<_>, cuts_done: &mut u64| {
+            last_cut.lock().unwrap().as_ref().expect("a live pipe").cut();
+            *cuts_done += 1;
+            // Drive until the cut is observed and healed by a redial;
+            // exactly one resync per cut, never more.
+            while view.view().resync_count() < *cuts_done {
+                view.pump(256);
+                assert!(Instant::now() < deadline, "cut was never healed");
+            }
+        };
+        for (step, &(k, i)) in schedule.iter().enumerate() {
+            if cuts.contains(&step) {
+                cut_and_heal(&mut view, &mut cuts_done);
+            }
+            let delta = SortedMergeDiff.diff(&snaps[k][i - 1], &snaps[k][i]);
+            broker.publish(tlds[k], delta, Serial::new(i as u32), SimTime::from_secs(i as u64));
+            view.pump(64);
+        }
+        if cuts.contains(&schedule.len()) {
+            cut_and_heal(&mut view, &mut cuts_done);
+        }
+
+        // Converge on every shard head.
+        loop {
+            view.pump(1024);
+            let synced = tlds
+                .iter()
+                .all(|&t| view.view().serial(t) == broker.head(t).map(|h| h.serial()));
+            if synced {
+                break;
+            }
+            assert!(Instant::now() < deadline, "transport view failed to converge");
+        }
+        for (k, &tld) in tlds.iter().enumerate() {
+            let head = broker.head(tld).unwrap();
+            assert_converged(view.view().snapshot(tld).unwrap(), &head);
+            prop_assert_eq!(
+                view.view().snapshot(tld).unwrap().domain_column(),
+                snaps[k].last().unwrap().domain_column()
+            );
+        }
+        prop_assert_eq!(view.view().resync_count(), cuts.len() as u64);
+        prop_assert!(
+            view.view().frames_applied() <= schedule.len() as u64,
+            "more deltas applied than were ever published: a duplicate application"
+        );
+        server.shutdown();
+    }
 }

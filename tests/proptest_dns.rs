@@ -1,9 +1,17 @@
 //! Property-based tests for the DNS substrate: names, PSL, RFC 1982
-//! serials and the RFC 1035 wire codec.
+//! serials, the RFC 1035 wire codec, and the RZU transport codecs
+//! (handshake, snapshot push, delta envelope) against adversarial
+//! bytes.
 
 use darkdns::dns::record::SoaData;
-use darkdns::dns::wire::{Header, Message, Question, Rcode};
+use darkdns::dns::wire::{
+    decode_delta_envelope, decode_delta_push, decode_hello, decode_snapshot_push, encode_hello,
+    encode_snapshot_push, Header, Message, Question, Rcode, TldClaim, DELTA_ENVELOPE_MAGIC,
+    DELTA_PUSH_MAGIC, HELLO_MAGIC, SNAPSHOT_PUSH_MAGIC,
+};
 use darkdns::dns::{DomainName, PublicSuffixList, RData, RecordType, ResourceRecord, Serial};
+use darkdns::dns::ZoneSnapshot;
+use darkdns::sim::time::SimTime;
 use proptest::prelude::*;
 
 /// A valid LDH label: starts/ends alphanumeric, hyphens inside.
@@ -140,6 +148,79 @@ proptest! {
     fn wire_decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         // Must return an error or a message, never panic.
         let _ = Message::decode(&bytes);
+    }
+
+    // The transport trust boundary: every decoder the broker's socket
+    // transport runs on untrusted input must return an error on
+    // arbitrary garbage — never panic, and never size an allocation
+    // from an unvalidated count (the bounded-count discipline of
+    // `decode_delta_push`, extended to the handshake and snapshot
+    // codecs).
+    #[test]
+    fn transport_decoders_never_panic_on_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = decode_hello(&bytes);
+        let _ = decode_snapshot_push(&bytes);
+        let _ = decode_delta_envelope(&bytes);
+        let _ = decode_delta_push(&bytes);
+    }
+
+    // Same property with a valid magic prefixed, so the fuzz bytes
+    // reach the field decoders behind the magic check instead of
+    // stopping at `BadMagic`.
+    #[test]
+    fn transport_decoders_never_panic_behind_valid_magics(
+        magic_pick in 0usize..4,
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let magics: [&[u8; 4]; 4] =
+            [HELLO_MAGIC, SNAPSHOT_PUSH_MAGIC, DELTA_ENVELOPE_MAGIC, DELTA_PUSH_MAGIC];
+        let mut framed = magics[magic_pick].to_vec();
+        framed.extend_from_slice(&bytes);
+        let _ = decode_hello(&framed);
+        let _ = decode_snapshot_push(&framed);
+        let _ = decode_delta_envelope(&framed);
+        let _ = decode_delta_push(&framed);
+    }
+
+    #[test]
+    fn hello_claims_round_trip(
+        raw in prop::collection::vec((any::<u16>(), any::<bool>(), any::<u32>()), 0..40),
+    ) {
+        let claims: Vec<TldClaim> = raw
+            .iter()
+            .map(|&(tld, has, s)| TldClaim { tld, from_serial: has.then(|| Serial::new(s)) })
+            .collect();
+        let frame = encode_hello(&claims);
+        prop_assert_eq!(decode_hello(&frame).unwrap(), claims);
+        // Any strict prefix is rejected: the codec demands exactly one
+        // whole message per frame.
+        if !frame.is_empty() {
+            prop_assert!(decode_hello(&frame[..frame.len() - 1]).is_err());
+        }
+    }
+
+    #[test]
+    fn snapshot_push_round_trips_arbitrary_zones(
+        tld in any::<u16>(),
+        origin in name_strategy(),
+        serial in any::<u32>(),
+        entries in prop::collection::vec(
+            (name_strategy(), prop::collection::vec(name_strategy(), 1..4)),
+            0..20,
+        ),
+    ) {
+        let snap = ZoneSnapshot::from_entries(
+            origin,
+            Serial::new(serial),
+            SimTime::from_secs(u64::from(serial)),
+            entries,
+        );
+        let frame = encode_snapshot_push(tld, &snap);
+        let (decoded_tld, decoded) = decode_snapshot_push(&frame).unwrap();
+        prop_assert_eq!(decoded_tld, tld);
+        prop_assert_eq!(decoded, snap);
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! Fault-injection harness for the broker's socket transport.
+//!
+//! Every test wires a real [`BrokerServer`] to a [`RemoteZoneView`]
+//! consumer over the in-memory duplex pipe — the same framing state
+//! machine and decoders as the TCP path — and injects scripted faults
+//! at the frame boundary: mid-frame disconnects, corrupt and truncated
+//! frames, duplicate deliveries, and a stalled reader that trips the
+//! broker's slow-subscriber eviction. The invariants pinned throughout:
+//!
+//! * the consumer always converges to `Zone::from_snapshot` of the
+//!   publisher's head, whatever the fault;
+//! * `resync_count` equals exactly the number of injected faults (one
+//!   reconnect-with-claims per fault, none spurious);
+//! * no delta is ever applied twice (`frames_applied` matches the
+//!   published serial range).
+//!
+//! The final tests run the identical logic over loopback TCP: a 3-TLD
+//! publisher fanning out to 8 socket subscribers, one of which is
+//! killed and reconnects mid-stream via its claims.
+
+use darkdns::broker::transport::{
+    duplex, FaultInjectedConn, FaultScript, FrameConn, FrameFault, LengthPrefixed, PipeCutHandle,
+    TransportClient, TransportError, MAX_FRAME_LEN,
+};
+use darkdns::broker::{
+    Broker, BrokerConfig, BrokerServer, OverflowPolicy, RetentionConfig, TransportConfig,
+};
+use darkdns::core::broker_view::RemoteZoneView;
+use darkdns::dns::{DomainName, NsSet, Serial, Zone, ZoneDelta, ZoneSnapshot};
+use darkdns::registry::tld::TldId;
+use darkdns::sim::time::SimTime;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn name(s: &str) -> DomainName {
+    DomainName::parse(s).unwrap()
+}
+
+fn empty_snap(origin: &str) -> ZoneSnapshot {
+    ZoneSnapshot::from_entries(name(origin), Serial::new(0), SimTime::ZERO, vec![])
+}
+
+fn add_delta(domain: &str) -> ZoneDelta {
+    let mut d = ZoneDelta::default();
+    d.added.push((name(domain), NsSet::new(vec![name("ns1.provider0.net")])));
+    d
+}
+
+/// Spin until `cond` holds (30 s safety net — these tests are
+/// event-driven and normally settle in milliseconds).
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::yield_now();
+    }
+}
+
+/// A pipe-backed dialer: each (re)connect builds a fresh duplex pipe,
+/// hands the server end — wrapped in the fault injector with the next
+/// scripted fault plan — to the server, and returns the connected
+/// client. The most recent pipe's cut switch is published for tests
+/// that partition the link from outside the script.
+struct PipeNet {
+    server: BrokerServer,
+    scripts: Arc<Mutex<Vec<FaultScript>>>,
+    last_cut: Arc<Mutex<Option<PipeCutHandle>>>,
+    capacity: usize,
+}
+
+impl PipeNet {
+    fn new(server: BrokerServer, scripts: Vec<FaultScript>) -> Self {
+        PipeNet {
+            server,
+            scripts: Arc::new(Mutex::new(scripts)),
+            last_cut: Arc::new(Mutex::new(None)),
+            capacity: 1 << 16,
+        }
+    }
+
+    fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    fn dialer(
+        &self,
+    ) -> impl FnMut(&[(TldId, Option<Serial>)]) -> Result<TransportClient, TransportError> {
+        let server = self.server.clone();
+        let scripts = Arc::clone(&self.scripts);
+        let last_cut = Arc::clone(&self.last_cut);
+        let capacity = self.capacity;
+        move |claims| {
+            let (client_end, server_end) = duplex(capacity);
+            *last_cut.lock().unwrap() = Some(client_end.cut_handle());
+            let script = {
+                let mut scripts = scripts.lock().unwrap();
+                if scripts.is_empty() { FaultScript::default() } else { scripts.remove(0) }
+            };
+            server.spawn_conn(FaultInjectedConn::new(server_end, MAX_FRAME_LEN, script));
+            let mut conn = LengthPrefixed::new(client_end);
+            conn.set_recv_timeout(Some(Duration::from_millis(5)))?;
+            TransportClient::connect(conn, claims)
+        }
+    }
+
+}
+
+fn server_over(broker: &Broker) -> BrokerServer {
+    let config = TransportConfig {
+        writer_tick: Duration::from_millis(5),
+        ..TransportConfig::default()
+    };
+    BrokerServer::new(broker.clone(), config)
+}
+
+/// Pump until the view matches every shard head (with the safety net).
+fn pump_until_synced<D>(view: &mut RemoteZoneView<D>, broker: &Broker, tlds: &[TldId])
+where
+    D: FnMut(&[(TldId, Option<Serial>)]) -> Result<TransportClient, TransportError>,
+{
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        view.pump(1024);
+        let synced = tlds
+            .iter()
+            .all(|&t| view.view().serial(t) == broker.head(t).map(|h| h.serial()));
+        if synced {
+            return;
+        }
+        assert!(Instant::now() < deadline, "transport view failed to converge");
+    }
+}
+
+/// The convergence pin: the consumer's snapshot reconstructs the same
+/// zone as the publisher head.
+fn assert_zone_converged<D>(view: &RemoteZoneView<D>, broker: &Broker, tld: TldId)
+where
+    D: FnMut(&[(TldId, Option<Serial>)]) -> Result<TransportClient, TransportError>,
+{
+    let head = broker.head(tld).expect("shard exists");
+    let snap = view.view().snapshot(tld).expect("view bootstrapped");
+    assert_eq!(snap.serial(), head.serial());
+    let view_zone = Zone::from_snapshot(snap);
+    let head_zone = Zone::from_snapshot(&head);
+    assert_eq!(view_zone.len(), head_zone.len());
+    assert_eq!(
+        ZoneSnapshot::capture(&view_zone, head.taken_at()),
+        ZoneSnapshot::capture(&head_zone, head.taken_at()),
+        "zone reconstructed over the transport diverged from the publisher head"
+    );
+}
+
+/// One-TLD scaffold: broker + server + connected remote view, with the
+/// first connection's faults scripted.
+fn one_tld_rig(
+    config: BrokerConfig,
+    scripts: Vec<FaultScript>,
+) -> (Broker, BrokerServer, PipeNet) {
+    let broker = Broker::new(config);
+    broker.add_shard(TldId(0), empty_snap("com"));
+    let server = server_over(&broker);
+    let net = PipeNet::new(server.clone(), scripts);
+    (broker, server, net)
+}
+
+#[test]
+fn mid_frame_disconnect_reconnects_with_claims() {
+    // Frame sequence on connection 0: snapshot bootstrap, then deltas.
+    // The third protocol frame (delta serial 2) is cut mid-payload.
+    let script = FaultScript::new([
+        FrameFault::Deliver,           // snapshot bootstrap
+        FrameFault::Deliver,           // delta 1
+        FrameFault::TruncateAndCut(5), // delta 2: torn mid-frame
+    ]);
+    let (broker, server, net) = one_tld_rig(BrokerConfig::default(), vec![script]);
+    let mut view = RemoteZoneView::connect(&[TldId(0)], net.dialer()).unwrap();
+    wait_for("handshake", || server.stats().handshakes == 1);
+    for i in 1..=6u32 {
+        broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+    }
+    pump_until_synced(&mut view, &broker, &[TldId(0)]);
+    assert_zone_converged(&view, &broker, TldId(0));
+    assert_eq!(view.view().resync_count(), 1, "exactly the injected fault heals");
+    // Every serial applied exactly once: the torn delta was re-served
+    // by the claims catch-up, never double-applied.
+    assert_eq!(view.view().frames_applied(), 6);
+    assert_eq!(view.view().snapshots_adopted(), 1, "reconnect used deltas, not a snapshot");
+    assert_eq!(broker.stats().delta_catchups, 1);
+    server.shutdown();
+}
+
+#[test]
+fn corrupt_frame_is_rejected_and_healed_by_resync() {
+    let script = FaultScript::new([
+        FrameFault::Deliver,        // snapshot bootstrap
+        FrameFault::CorruptByte(9), // delta 1 arrives framed but garbled
+    ]);
+    let (broker, server, net) = one_tld_rig(BrokerConfig::default(), vec![script]);
+    let mut view = RemoteZoneView::connect(&[TldId(0)], net.dialer()).unwrap();
+    wait_for("handshake", || server.stats().handshakes == 1);
+    for i in 1..=4u32 {
+        broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+    }
+    pump_until_synced(&mut view, &broker, &[TldId(0)]);
+    assert_zone_converged(&view, &broker, TldId(0));
+    assert_eq!(view.view().resync_count(), 1);
+    assert_eq!(view.view().frames_applied(), 4, "corrupt frame re-served exactly once");
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_delivery_is_never_applied_twice() {
+    let script = FaultScript::new([
+        FrameFault::Deliver,   // snapshot bootstrap
+        FrameFault::Duplicate, // delta 1 delivered twice
+    ]);
+    let (broker, server, net) = one_tld_rig(BrokerConfig::default(), vec![script]);
+    let mut view = RemoteZoneView::connect(&[TldId(0)], net.dialer()).unwrap();
+    wait_for("handshake", || server.stats().handshakes == 1);
+    for i in 1..=3u32 {
+        broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+    }
+    pump_until_synced(&mut view, &broker, &[TldId(0)]);
+    assert_zone_converged(&view, &broker, TldId(0));
+    // The replayed frame was detected (non-chaining serial), the view
+    // reconnected with claims, and each serial applied exactly once.
+    assert_eq!(view.view().resync_count(), 1);
+    assert_eq!(view.view().frames_applied(), 3);
+    let mut nrds = view.view_mut().take_new_domains();
+    assert_eq!(nrds.len(), 3, "a duplicated delta must not duplicate zone NRDs");
+    nrds.sort_unstable();
+    nrds.dedup();
+    assert_eq!(nrds.len(), 3, "zone NRD log must hold three distinct domains");
+    server.shutdown();
+}
+
+#[test]
+fn stalled_reader_is_evicted_and_recovers_via_claims() {
+    // A tiny pipe (simulating a full TCP send buffer) plus a tiny live
+    // queue bound under Evict: the consumer stops reading, the writer
+    // wedges, the broker evicts, the writer reports RZUE and closes,
+    // and the reconnect-with-claims heals the gap.
+    let config = BrokerConfig {
+        retention: RetentionConfig::new(64, 16),
+        subscriber_capacity: 2,
+        overflow: OverflowPolicy::Evict,
+    };
+    let (broker, server, net) = one_tld_rig(config, vec![]);
+    let net = net.with_capacity(256);
+    let mut view = RemoteZoneView::connect(&[TldId(0)], net.dialer()).unwrap();
+    wait_for("handshake", || server.stats().handshakes == 1);
+    // Apply the bootstrap so the stall happens mid-stream, not at join.
+    wait_for("bootstrap", || {
+        view.pump(64);
+        view.view().serial(TldId(0)).is_some()
+    });
+    // The reader now stalls (no pumping) while the publisher floods: the
+    // pipe fills, the writer blocks, the live queue overflows, eviction.
+    for i in 1..=30u32 {
+        broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+    }
+    wait_for("eviction", || broker.stats().evictions == 1);
+    // Resume reading: drain the stale frames, observe the eviction
+    // notice, reconnect with claims, converge.
+    pump_until_synced(&mut view, &broker, &[TldId(0)]);
+    assert_zone_converged(&view, &broker, TldId(0));
+    assert_eq!(view.view().resync_count(), 1, "one eviction, one resync");
+    assert_eq!(view.view().frames_applied(), 30, "every serial applied exactly once");
+    assert_eq!(server.stats().evict_notices, 1, "writer announced the eviction explicitly");
+    server.shutdown();
+}
+
+#[test]
+fn a_storm_of_distinct_faults_heals_one_resync_each() {
+    // Four connection generations, each killed by a different fault;
+    // generation 4 is clean. resync_count must land on exactly 4.
+    let scripts = vec![
+        FaultScript::new([FrameFault::Deliver, FrameFault::TruncateAndCut(2)]),
+        FaultScript::new([FrameFault::Deliver, FrameFault::CorruptByte(0)]),
+        FaultScript::new([FrameFault::Duplicate]),
+        FaultScript::new([FrameFault::CutBefore]),
+        FaultScript::default(),
+    ];
+    let (broker, server, net) = one_tld_rig(BrokerConfig::default(), scripts);
+    let mut view = RemoteZoneView::connect(&[TldId(0)], net.dialer()).unwrap();
+    wait_for("handshake", || server.stats().handshakes == 1);
+    let mut serial = 0u32;
+    for round in 0..4u32 {
+        for _ in 0..3 {
+            serial += 1;
+            broker.publish(
+                TldId(0),
+                add_delta(&format!("d{serial}.com")),
+                Serial::new(serial),
+                SimTime::ZERO,
+            );
+        }
+        // Drive until this round's fault has been observed and healed.
+        // A single pump can heal fault N and immediately trip fault
+        // N+1 (the next generation's scripted fault rides the catch-up
+        // frames), so the count may legitimately run ahead of the
+        // round; it can never exceed the scripted total.
+        wait_for("fault healed", || {
+            view.pump(256);
+            view.view().resync_count() >= u64::from(round) + 1
+        });
+    }
+    pump_until_synced(&mut view, &broker, &[TldId(0)]);
+    assert_zone_converged(&view, &broker, TldId(0));
+    assert_eq!(view.view().resync_count(), 4, "one resync per injected fault");
+    assert_eq!(view.view().frames_applied(), u64::from(serial));
+    server.shutdown();
+}
+
+#[test]
+fn hello_claiming_unknown_tld_is_rejected() {
+    let (broker, server, net) = one_tld_rig(BrokerConfig::default(), vec![]);
+    let mut dial = net.dialer();
+    let mut client = dial(&[(TldId(77), None)]).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match client.next_event() {
+            darkdns::broker::ClientEvent::Closed(_) => break,
+            darkdns::broker::ClientEvent::Idle => {
+                assert!(Instant::now() < deadline, "rejection never surfaced");
+            }
+            other => panic!("unexpected event from a rejected hello: {other:?}"),
+        }
+    }
+    wait_for("rejection counted", || server.stats().rejected_hellos == 1);
+    assert_eq!(broker.subscriber_count(), 0);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Loopback TCP: the acceptance scenario.
+// ---------------------------------------------------------------------
+
+/// A TCP dialer that remembers a clone of the latest socket so a test
+/// can kill the connection from outside (simulating a crashed link).
+fn tcp_dialer(
+    addr: SocketAddr,
+    kill: Arc<Mutex<Option<TcpStream>>>,
+) -> impl FnMut(&[(TldId, Option<Serial>)]) -> Result<TransportClient, TransportError> {
+    move |claims| {
+        let stream = TcpStream::connect(addr).map_err(TransportError::Io)?;
+        stream.set_nodelay(true).map_err(TransportError::Io)?;
+        *kill.lock().unwrap() = Some(stream.try_clone().map_err(TransportError::Io)?);
+        let mut conn = LengthPrefixed::new(stream);
+        conn.set_recv_timeout(Some(Duration::from_millis(5)))?;
+        TransportClient::connect(conn, claims)
+    }
+}
+
+#[test]
+fn tcp_fan_out_three_tlds_eight_subscribers_with_mid_stream_kill() {
+    const TLDS: usize = 3;
+    const SUBS: usize = 8;
+    const PUSHES_PER_TLD: u32 = 10;
+
+    let broker = Broker::new(BrokerConfig::default());
+    let origins = ["com", "net", "org"];
+    let tlds: Vec<TldId> = (0..TLDS).map(|k| TldId(k as u16)).collect();
+    for (k, &tld) in tlds.iter().enumerate() {
+        broker.add_shard(tld, empty_snap(origins[k]));
+    }
+    let server = server_over(&broker);
+    let addr = server.listen_tcp("127.0.0.1:0").expect("bind loopback");
+
+    let kills: Vec<Arc<Mutex<Option<TcpStream>>>> =
+        (0..SUBS).map(|_| Arc::new(Mutex::new(None))).collect();
+    let mut views: Vec<_> = kills
+        .iter()
+        .map(|kill| {
+            RemoteZoneView::connect(&tlds, tcp_dialer(addr, Arc::clone(kill)))
+                .expect("tcp connect")
+        })
+        .collect();
+    wait_for("all handshakes", || server.stats().handshakes == SUBS as u64);
+
+    // First half of the stream, pumped live by all subscribers.
+    for i in 1..=PUSHES_PER_TLD / 2 {
+        for (k, &tld) in tlds.iter().enumerate() {
+            broker.publish(
+                tld,
+                add_delta(&format!("d{i}.{}", origins[k])),
+                Serial::new(i),
+                SimTime::from_secs(u64::from(i)),
+            );
+        }
+        for view in &mut views {
+            view.pump(256);
+        }
+    }
+
+    // Kill subscriber 0's socket mid-stream, then keep publishing.
+    kills[0].lock().unwrap().take().expect("live socket").shutdown(Shutdown::Both).unwrap();
+    for i in PUSHES_PER_TLD / 2 + 1..=PUSHES_PER_TLD {
+        for (k, &tld) in tlds.iter().enumerate() {
+            broker.publish(
+                tld,
+                add_delta(&format!("d{i}.{}", origins[k])),
+                Serial::new(i),
+                SimTime::from_secs(u64::from(i)),
+            );
+        }
+    }
+
+    // Every subscriber — including the killed one — converges to the
+    // head serials of all three shards.
+    for view in &mut views {
+        pump_until_synced(view, &broker, &tlds);
+        for &tld in &tlds {
+            assert_zone_converged(view, &broker, tld);
+        }
+        // No duplicate delta applications anywhere: each shard applied
+        // exactly its serial range once (bootstrap snapshots at 0).
+        assert_eq!(view.view().frames_applied(), u64::from(PUSHES_PER_TLD) * TLDS as u64);
+        assert_eq!(view.view().snapshots_adopted(), TLDS as u64);
+    }
+    assert!(
+        views[0].view().resync_count() >= 1,
+        "the killed subscriber must heal via reconnect-with-claims"
+    );
+    for view in &views[1..] {
+        assert_eq!(view.view().resync_count(), 0, "undisturbed subscribers never resync");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn tcp_late_joiner_bootstraps_from_checkpoint_over_the_wire() {
+    // A subscriber that joins after the retention ring has rolled past
+    // serial 0 must get a checkpoint snapshot over the wire (catch-up
+    // rule 3) and still reconstruct the exact zone.
+    let config = BrokerConfig {
+        retention: RetentionConfig::new(4, 2),
+        ..BrokerConfig::default()
+    };
+    let broker = Broker::new(config);
+    broker.add_shard(TldId(0), empty_snap("com"));
+    let server = server_over(&broker);
+    let addr = server.listen_tcp("127.0.0.1:0").expect("bind loopback");
+    for i in 1..=20u32 {
+        broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+    }
+    let kill = Arc::new(Mutex::new(None));
+    let mut view =
+        RemoteZoneView::connect(&[TldId(0)], tcp_dialer(addr, kill)).expect("tcp connect");
+    pump_until_synced(&mut view, &broker, &[TldId(0)]);
+    assert_zone_converged(&view, &broker, TldId(0));
+    assert_eq!(view.view().snapshots_adopted(), 1);
+    assert!(view.view().frames_applied() <= 4, "only post-checkpoint deltas travel as frames");
+    assert_eq!(view.view().resync_count(), 0);
+    assert_eq!(broker.stats().snapshot_catchups, 1);
+    server.shutdown();
+}
