@@ -32,13 +32,21 @@
 //!   with writers either blocking on the subscriber-queue condvar
 //!   (`broker/tcp-fanout/notify-wakeup/*`) or spinning on `try_next`
 //!   (`broker/tcp-fanout/poll-wakeup/*`, the pre-transport shape).
+//! * **The pipeline substrate is end-to-end cheap.** Publish→zone-NRD-
+//!   candidate-emitted latency through the `ZoneMembership` consumer
+//!   surface, in-process (`broker/detect-latency/inproc`) vs over
+//!   loopback TCP (`broker/detect-latency/tcp`): the derived ratio is
+//!   what the socket costs the detection pipeline per push.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use darkdns_broker::transport::{ClientEvent, FrameConn, LengthPrefixed, TransportClient};
+use darkdns_broker::transport::{
+    tcp_connect, ClientEvent, FrameConn, LengthPrefixed, TransportClient,
+};
 use darkdns_broker::{
     Broker, BrokerConfig, BrokerMessage, BrokerServer, OverflowPolicy, RetentionConfig,
     TransportConfig, WriterWakeup,
 };
+use darkdns_core::broker_view::{BrokerZoneView, RemoteZoneView};
 use darkdns_dns::wire::encode_delta_push;
 use darkdns_dns::{decode_delta_push, DomainName, NsSet, Serial, ZoneDelta, ZoneSnapshot};
 use darkdns_dns::diff::NsChange;
@@ -368,6 +376,106 @@ fn bench_tcp_fanout(c: &mut Criterion) {
     group.finish();
 }
 
+/// End-to-end detection latency: publish a delta adding `BATCH` fresh
+/// domains and time until the pipeline's zone view has applied it and
+/// emitted the domains as zone-NRD candidates (the Table-1 "Zone NRD"
+/// population, drained via `drain_new_domains`), then remove them again
+/// so the shard size stays constant. `inproc` consumes through a
+/// `BrokerZoneView` (publish → shard fan-out → queue → pump);
+/// `tcp` consumes through a `RemoteZoneView` behind a real
+/// `BrokerServer` on loopback (publish → writer thread → socket →
+/// decode → apply). One iteration is one add-visible-remove-confirmed
+/// cycle, identical for both backends, so the derived ratio is the
+/// socket path's end-to-end overhead.
+fn bench_detect_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker");
+    const BATCH: usize = 100;
+    const STALL: Duration = Duration::from_secs(60);
+    let tld = TldId(0);
+
+    let fresh_deltas = |serial: u32| {
+        let ns = NsSet::new(vec![name("ns1.provider0.net")]);
+        let mut add = ZoneDelta::default();
+        let mut remove = ZoneDelta::default();
+        for i in 0..BATCH {
+            let domain = name(&format!("fresh-{serial:08}-{i:03}.com"));
+            add.added.push((domain, ns.clone()));
+            remove.removed.push((domain, ns.clone()));
+        }
+        (add, remove)
+    };
+
+    // --- in-process consumer ----------------------------------------
+    {
+        let broker = Broker::new(BrokerConfig::default());
+        broker.add_shard(tld, shard_snapshot("com", 10_000));
+        let mut view = BrokerZoneView::subscribe(&broker, &[tld]);
+        view.pump(); // bootstrap
+        let mut serial = 0u32;
+        let mut drained = Vec::with_capacity(BATCH);
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_with_input(BenchmarkId::new("detect-latency", "inproc"), &(), |b, _| {
+            b.iter(|| {
+                let (add, remove) = fresh_deltas(serial);
+                broker.publish(tld, add, Serial::new(serial + 1), SimTime::ZERO);
+                view.pump();
+                drained.clear();
+                view.drain_new_domains(&mut drained);
+                assert_eq!(drained.len(), BATCH, "zone NRDs must surface in one pump");
+                broker.publish(tld, remove, Serial::new(serial + 2), SimTime::ZERO);
+                view.pump();
+                assert_eq!(view.serial(tld), Some(Serial::new(serial + 2)));
+                serial += 2;
+            })
+        });
+    }
+
+    // --- socket consumer --------------------------------------------
+    {
+        let broker = Broker::new(BrokerConfig::default());
+        broker.add_shard(tld, shard_snapshot("com", 10_000));
+        let server = BrokerServer::new(
+            broker.clone(),
+            TransportConfig {
+                writer_tick: Duration::from_millis(20),
+                ..TransportConfig::default()
+            },
+        );
+        let addr = server.listen_tcp("127.0.0.1:0").expect("bind loopback");
+        let mut view = RemoteZoneView::connect(&[tld], move |claims| {
+            let mut conn = tcp_connect(addr)?;
+            conn.set_recv_timeout(Some(Duration::from_millis(1)))?;
+            TransportClient::connect(conn, claims)
+        })
+        .expect("dial");
+        assert!(view.pump_until_serials(&[(tld, Serial::new(0))], STALL), "bootstrap");
+        let mut serial = 0u32;
+        let mut drained = Vec::with_capacity(BATCH);
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_with_input(BenchmarkId::new("detect-latency", "tcp"), &(), |b, _| {
+            b.iter(|| {
+                let (add, remove) = fresh_deltas(serial);
+                broker.publish(tld, add, Serial::new(serial + 1), SimTime::ZERO);
+                assert!(
+                    view.pump_until_serials(&[(tld, Serial::new(serial + 1))], STALL),
+                    "socket consumer stalled on the add"
+                );
+                drained.clear();
+                view.view_mut().drain_new_domains(&mut drained);
+                assert_eq!(drained.len(), BATCH, "zone NRDs must cross the socket");
+                broker.publish(tld, remove, Serial::new(serial + 2), SimTime::ZERO);
+                assert!(
+                    view.pump_until_serials(&[(tld, Serial::new(serial + 2))], STALL),
+                    "socket consumer stalled on the remove"
+                );
+                serial += 2;
+            })
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
 fn bench_catchup(c: &mut Criterion) {
     let mut group = c.benchmark_group("broker");
     const SHARD: usize = 500_000;
@@ -434,5 +542,12 @@ fn bench_catchup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fanout, bench_concurrent_publish, bench_tcp_fanout, bench_catchup);
+criterion_group!(
+    benches,
+    bench_fanout,
+    bench_concurrent_publish,
+    bench_tcp_fanout,
+    bench_detect_latency,
+    bench_catchup
+);
 criterion_main!(benches);

@@ -8,6 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use darkdns_core::config::ExperimentConfig;
 use darkdns_core::detector::Detector;
 use darkdns_core::experiment::Experiment;
+use darkdns_core::membership::OracleMembership;
 use darkdns_ct::ca::CaFleet;
 use darkdns_ct::stream::CertStream;
 use darkdns_dns::PublicSuffixList;
@@ -40,7 +41,8 @@ fn bench_detector(c: &mut Criterion) {
     group.throughput(Throughput::Elements(stream.len() as u64));
     group.bench_function("detector/certstream", |b| {
         b.iter(|| {
-            let mut det = Detector::new(&psl, &oracle, &universe);
+            let mut det =
+                Detector::new(&psl, &universe, OracleMembership::new(&oracle, &universe));
             det.run(stream.entries()).len()
         })
     });

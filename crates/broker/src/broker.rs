@@ -141,6 +141,12 @@ pub struct ShardStats {
     /// Publishers on disjoint TLDs never contend, so a
     /// single-publisher-per-shard deployment keeps this at zero.
     pub lock_contentions: u64,
+    /// Frames of this shard that rode inside a coalesced transport
+    /// write (reported by transport writers via
+    /// [`Broker::record_coalesced_frame`]; each is one write syscall a
+    /// subscriber connection saved). Zero for brokers with no socket
+    /// frontend.
+    pub coalesced_frames: u64,
 }
 
 /// Per-shard monotonic counters, mutated under the shard lock (plain
@@ -319,12 +325,15 @@ struct ShardShared {
     counters: ShardCounters,
 }
 
-/// One TLD's concurrency unit. The `contended` counter lives outside
-/// the mutex so the uncontended fast path (`try_lock` succeeds) is
-/// observable: it only moves when a thread found the lock held.
+/// One TLD's concurrency unit. The `contended` and `coalesced` counters
+/// live outside the mutex: `contended` so the uncontended fast path
+/// (`try_lock` succeeds) is observable, `coalesced` so transport writer
+/// threads — which sit strictly below the shard locks in the hierarchy
+/// — can report batching without ever acquiring a shard lock.
 struct ShardHandle {
     state: Mutex<ShardShared>,
     contended: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 /// The routing map: `TldId` → shard handle. Immutable once published;
@@ -454,6 +463,7 @@ impl Broker {
                 counters: ShardCounters::default(),
             }),
             contended: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         });
         let mut dir = self.inner.directory.write();
         let mut next: ShardDirectory = (**dir).clone();
@@ -693,12 +703,34 @@ impl Broker {
 
     /// One-lock shard snapshot; `on_subscriber` sees every live
     /// subscriber id under the same guard the counters are read under.
+    /// Credit one frame of `tld` delivered inside a coalesced transport
+    /// write. Lock-free (an atomic on the shard handle): transport
+    /// writer threads call this from strictly below the shard locks, so
+    /// the lock hierarchy is untouched. Unknown TLDs are ignored (the
+    /// frame was validated long before it reached a writer).
+    pub fn record_coalesced_frame(&self, tld: TldId) {
+        self.record_coalesced_frames([tld]);
+    }
+
+    /// Batch form of [`Broker::record_coalesced_frame`]: one directory
+    /// snapshot for the whole run, so a 32-frame batch costs one brief
+    /// shared read lock instead of one per frame.
+    pub fn record_coalesced_frames<I: IntoIterator<Item = TldId>>(&self, tlds: I) {
+        let dir = self.directory();
+        for tld in tlds {
+            if let Some(handle) = dir.get(&tld) {
+                handle.coalesced.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     fn snapshot_shard_with(
         tld: TldId,
         handle: &ShardHandle,
         on_subscriber: &mut dyn FnMut(u64),
     ) -> ShardStats {
         let contentions = handle.contended.load(Ordering::Relaxed);
+        let coalesced = handle.coalesced.load(Ordering::Relaxed);
         let mut st = lock_shard(handle, false);
         st.subs.retain(|e| e.shared.is_live());
         for e in &st.subs {
@@ -721,6 +753,7 @@ impl Broker {
             snapshot_catchups: c.snapshot_catchups,
             delta_catchups: c.delta_catchups,
             lock_contentions: contentions,
+            coalesced_frames: coalesced,
         };
         stats
     }
@@ -1009,6 +1042,15 @@ mod tests {
             SubWait::TimedOut
         ));
         assert!(start.elapsed() >= std::time::Duration::from_millis(10));
+    }
+
+    #[test]
+    fn coalesced_frames_report_per_shard() {
+        let broker = broker_with_com(BrokerConfig::default());
+        broker.record_coalesced_frame(TldId(0));
+        broker.record_coalesced_frame(TldId(0));
+        broker.record_coalesced_frame(TldId(9)); // unknown TLD: ignored
+        assert_eq!(broker.shard_stats(TldId(0)).unwrap().coalesced_frames, 2);
     }
 
     #[test]

@@ -86,6 +86,51 @@ impl UniverseFeed {
         }
     }
 
+    /// The pushed-at instant of the globally earliest pending push
+    /// (no-op windows included), or `None` when every stream is drained.
+    pub fn next_push_at(&self) -> Option<SimTime> {
+        self.streams
+            .iter()
+            .zip(&self.cursors)
+            .filter_map(|(s, &c)| s.pushes.get(c).map(|p| p.pushed_at))
+            .min()
+    }
+
+    /// Publish every pending push with `pushed_at <= upto`, in global
+    /// push-time order, and stop there — the driver of a time-faithful
+    /// consumer run (publish the broker up to a certstream entry's
+    /// timestamp, then observe the entry). No-op windows are skipped
+    /// without being counted, exactly as in
+    /// [`UniverseFeed::publish_next`], but never at the cost of
+    /// publishing a later-than-`upto` push. Returns the number of
+    /// pushes published.
+    pub fn publish_until(&mut self, broker: &Broker, upto: SimTime) -> usize {
+        let mut published = 0;
+        loop {
+            let Some((i, at)) = self
+                .streams
+                .iter()
+                .zip(&self.cursors)
+                .enumerate()
+                .filter_map(|(i, (s, &c))| s.pushes.get(c).map(|p| (i, p.pushed_at)))
+                .min_by_key(|&(_, at)| at)
+            else {
+                break;
+            };
+            if at > upto {
+                break;
+            }
+            let stream = &self.streams[i];
+            let push = &stream.pushes[self.cursors[i]];
+            self.cursors[i] += 1;
+            if push.to_serial != push.from_serial {
+                broker.publish(stream.tld, push.delta.clone(), push.to_serial, push.pushed_at);
+                published += 1;
+            }
+        }
+        published
+    }
+
     /// Publish everything still pending, in global push-time order.
     /// Returns the number of pushes published.
     pub fn publish_all(&mut self, broker: &Broker) -> usize {
@@ -250,6 +295,55 @@ mod tests {
         // Accounting: per-shard pushes sum to the published total.
         let total: u64 = broker.all_shard_stats().iter().map(|s| s.pushes).sum();
         assert_eq!(total, published as u64);
+    }
+
+    #[test]
+    fn publish_until_stops_at_the_boundary_and_resumes() {
+        let (universe, tlds, anchor) = small_universe(11);
+        let tld_ids = [TldId(0), TldId(1), TldId(2)];
+        let mut incremental = UniverseFeed::build(
+            &universe,
+            &tlds,
+            &tld_ids,
+            anchor,
+            SimDuration::from_minutes(5),
+        );
+        let broker = Broker::new(BrokerConfig::default());
+        incremental.register_shards(&broker);
+
+        // Drive the same streams through a second broker all at once —
+        // the incremental path must publish exactly the same pushes.
+        let mut oneshot = UniverseFeed::build(
+            &universe,
+            &tlds,
+            &tld_ids,
+            anchor,
+            SimDuration::from_minutes(5),
+        );
+        let reference = Broker::new(BrokerConfig::default());
+        oneshot.register_shards(&reference);
+        let total = oneshot.publish_all(&reference);
+
+        // Advance in bounded steps; nothing beyond `upto` may publish.
+        let mut published = 0;
+        let mut upto = anchor;
+        while incremental.pending() > 0 {
+            upto = upto + SimDuration::from_hours(3);
+            published += incremental.publish_until(&broker, upto);
+            for &tld in &tld_ids {
+                let head = broker.head(tld).unwrap();
+                assert!(
+                    head.taken_at() <= upto,
+                    "published a push beyond the boundary: {:?} > {upto:?}",
+                    head.taken_at()
+                );
+            }
+        }
+        assert_eq!(published, total);
+        for &tld in &tld_ids {
+            assert_eq!(broker.head(tld).unwrap(), reference.head(tld).unwrap());
+        }
+        assert_eq!(incremental.next_push_at(), None);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 
 use super::frame::{FrameConn, TransportError};
 use darkdns_dns::wire::{
-    decode_delta_envelope, decode_snapshot_push, encode_hello, is_evict_notice, DeltaPush,
-    TldClaim, DELTA_ENVELOPE_MAGIC, EVICT_NOTICE_MAGIC, SNAPSHOT_PUSH_MAGIC, WireError,
+    decode_delta_envelope, decode_snapshot_push, decode_stats_report, encode_hello,
+    encode_stats_query, is_evict_notice, DeltaPush, StatsReport, TldClaim, DELTA_ENVELOPE_MAGIC,
+    EVICT_NOTICE_MAGIC, SNAPSHOT_PUSH_MAGIC, WireError,
 };
 use darkdns_dns::{Serial, ZoneSnapshot};
 use darkdns_registry::tld::TldId;
@@ -131,5 +132,36 @@ impl TransportClient {
                 *claim = Some(push.to_serial);
             }
         }
+    }
+}
+
+/// How long [`fetch_stats`] keeps polling for the report when the
+/// connection has a short receive timeout configured.
+const FETCH_STATS_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Scrape a broker server's stats over a fresh frame connection: send
+/// the `RZUQ` query instead of a HELLO, decode the report, done — the
+/// server closes the connection after answering. This is the operator
+/// path for reading per-shard `ShardStats` and transport `ServerStats`
+/// through the same framing, bounds and dial machinery subscribers use.
+///
+/// Receive timeouts on `conn` are poll intervals, not failures: a
+/// `TimedOut` (whose contract keeps partial frame progress) is retried
+/// until an overall 30 s deadline, so the subscriber dial pattern —
+/// which configures millisecond receive timeouts — works unchanged for
+/// scraping.
+pub fn fetch_stats(mut conn: impl FrameConn) -> Result<StatsReport, TransportError> {
+    conn.send_frame(&[&encode_stats_query()])?;
+    let deadline = std::time::Instant::now() + FETCH_STATS_DEADLINE;
+    loop {
+        let frame = match conn.recv_frame() {
+            Ok(frame) => frame,
+            Err(TransportError::TimedOut) if std::time::Instant::now() < deadline => continue,
+            Err(e) => return Err(e),
+        };
+        if frame.is_empty() {
+            continue; // heartbeat; the report is still coming
+        }
+        return Ok(decode_stats_report(&frame)?);
     }
 }

@@ -92,6 +92,21 @@ pub trait FrameConn: Send {
     /// local error instead of a guaranteed rejection at the peer.
     fn send_frame(&mut self, parts: &[&[u8]]) -> Result<(), TransportError>;
 
+    /// Write several complete frames as one coalesced batch — the
+    /// writer-side syscall saver: when a subscriber's queue holds
+    /// several consecutive deltas at wakeup, the whole run goes out in
+    /// one buffer/one write instead of one syscall per frame. Each
+    /// element of `frames` is one frame's `parts` (as for `send_frame`);
+    /// framing on the wire is identical, so the receiver cannot tell a
+    /// batch from individual sends. The default writes frame by frame;
+    /// [`LengthPrefixed`] overrides it with a single buffered write.
+    fn send_frames(&mut self, frames: &[&[&[u8]]]) -> Result<(), TransportError> {
+        for parts in frames {
+            self.send_frame(parts)?;
+        }
+        Ok(())
+    }
+
     /// Read the next frame payload. `Err(Closed)` is a clean EOF between
     /// frames; EOF *inside* a frame (a mid-frame disconnect) is an
     /// `Err(Io)`. `Err(TimedOut)` keeps partial progress for the next
@@ -210,6 +225,35 @@ impl<S: ByteIo> FrameConn for LengthPrefixed<S> {
         Ok(())
     }
 
+    fn send_frames(&mut self, frames: &[&[&[u8]]]) -> Result<(), TransportError> {
+        // Bound each frame individually (the receiver enforces the limit
+        // per frame, not per batch), then emit the whole run with one
+        // buffered write.
+        let mut total = 0usize;
+        for parts in frames {
+            let len: usize = parts.iter().map(|p| p.len()).sum();
+            if len > self.max_frame_len {
+                return Err(TransportError::FrameTooLarge {
+                    declared: len,
+                    max: self.max_frame_len,
+                });
+            }
+            total += 4 + len;
+        }
+        self.send_buf.clear();
+        self.send_buf.reserve(total);
+        for parts in frames {
+            let len: usize = parts.iter().map(|p| p.len()).sum();
+            self.send_buf.extend_from_slice(&(len as u32).to_be_bytes());
+            for part in *parts {
+                self.send_buf.extend_from_slice(part);
+            }
+        }
+        self.stream.write_all(&self.send_buf)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
     fn recv_frame(&mut self) -> Result<Bytes, TransportError> {
         loop {
             match &mut self.recv {
@@ -298,6 +342,28 @@ mod tests {
         assert_eq!(&rx.recv_frame().unwrap()[..], b"hello world");
         assert_eq!(&rx.recv_frame().unwrap()[..], b"");
         assert_eq!(&rx.recv_frame().unwrap()[..], b"x");
+    }
+
+    #[test]
+    fn coalesced_batches_are_indistinguishable_from_individual_sends() {
+        let (a, b) = duplex(1 << 16);
+        let mut tx = LengthPrefixed::new(a);
+        let mut rx = LengthPrefixed::new(b);
+        // Multi-part frames inside a batch, plus an empty frame.
+        tx.send_frames(&[&[b"first ", b"frame"], &[b""], &[b"third"]]).unwrap();
+        assert_eq!(&rx.recv_frame().unwrap()[..], b"first frame");
+        assert_eq!(&rx.recv_frame().unwrap()[..], b"");
+        assert_eq!(&rx.recv_frame().unwrap()[..], b"third");
+        // A batch member over the bound fails loudly, like send_frame.
+        let (c, _d) = duplex(1 << 16);
+        let mut bounded = LengthPrefixed::with_max(c, 4);
+        match bounded.send_frames(&[&[b"ok"], &[b"too large"]]) {
+            Err(TransportError::FrameTooLarge { declared, max }) => {
+                assert_eq!(declared, 9);
+                assert_eq!(max, 4);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
     }
 
     #[test]

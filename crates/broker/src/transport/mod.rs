@@ -23,7 +23,16 @@
 //! | `RZUS` | server → client  | snapshot bootstrap (catch-up rule 3)      |
 //! | `RZUD` | server → client  | TLD tag + embedded `RZU1` delta frame     |
 //! | `RZUE` | server → client  | evicted: reconnect with your claims       |
+//! | `RZUQ` | both             | stats round trip: bare magic queries, the |
+//! |        |                  | reply carries `ServerStats` + per-shard   |
+//! |        |                  | `ShardStats` rows ([`fetch_stats`])       |
 //! | empty  | server → client  | idle heartbeat / dead-peer probe          |
+//!
+//! Consecutive queued messages found at one writer wakeup are coalesced
+//! into a single syscall batch ([`FrameConn::send_frames`]); framing on
+//! the wire is unchanged, and the saved syscalls are counted in
+//! [`ServerStats`] (`coalesced_writes` / `coalesced_frames`) and
+//! per-shard in `ShardStats::coalesced_frames`.
 //!
 //! The handshake *is* the catch-up entry point: the server validates the
 //! claims, calls `Broker::subscribe_with`, and the broker enqueues the
@@ -49,7 +58,8 @@ mod frame;
 pub mod pipe;
 mod server;
 
-pub use client::{ClientEvent, TransportClient};
+pub use client::{fetch_stats, ClientEvent, TransportClient};
+pub use darkdns_dns::wire::{StatsReport, WireServerStats, WireShardStats};
 pub use fault::{FaultInjectedConn, FaultScript, FrameFault};
 pub use frame::{
     tcp_connect, ByteIo, FrameConn, LengthPrefixed, TcpFrameConn, TransportError, MAX_FRAME_LEN,

@@ -15,9 +15,11 @@
 //! frame before closing so the client reconnects with its claims.
 
 use super::frame::{FrameConn, LengthPrefixed};
-use crate::broker::{Broker, BrokerMessage, SubWait};
+use crate::broker::{Broker, BrokerMessage, ShardStats, SubWait};
+use bytes::Bytes;
 use darkdns_dns::wire::{
     decode_hello, delta_envelope_header, encode_evict_notice, encode_snapshot_push,
+    encode_stats_report, is_stats_query, StatsReport, WireServerStats, WireShardStats,
 };
 use darkdns_dns::Serial;
 use darkdns_registry::tld::TldId;
@@ -96,6 +98,14 @@ pub struct ServerStats {
     pub evict_notices: u64,
     /// Connections that died mid-stream (peer gone).
     pub disconnects: u64,
+    /// Writer batches that carried more than one frame (several
+    /// consecutive queued messages coalesced into one syscall).
+    pub coalesced_writes: u64,
+    /// Frames that rode in a batch behind another frame — each is one
+    /// write syscall saved at fan-out.
+    pub coalesced_frames: u64,
+    /// `RZUQ` stats queries answered (scrape connections).
+    pub stats_queries: u64,
 }
 
 #[derive(Default)]
@@ -107,6 +117,9 @@ struct StatsInner {
     snapshots_sent: AtomicU64,
     evict_notices: AtomicU64,
     disconnects: AtomicU64,
+    coalesced_writes: AtomicU64,
+    coalesced_frames: AtomicU64,
+    stats_queries: AtomicU64,
 }
 
 struct ServerInner {
@@ -187,7 +200,17 @@ impl BrokerServer {
             snapshots_sent: s.snapshots_sent.load(Ordering::Relaxed),
             evict_notices: s.evict_notices.load(Ordering::Relaxed),
             disconnects: s.disconnects.load(Ordering::Relaxed),
+            coalesced_writes: s.coalesced_writes.load(Ordering::Relaxed),
+            coalesced_frames: s.coalesced_frames.load(Ordering::Relaxed),
+            stats_queries: s.stats_queries.load(Ordering::Relaxed),
         }
+    }
+
+    /// The `RZUQ` payload: transport counters plus one row per shard —
+    /// what a scrape connection receives, and what in-process monitors
+    /// can read without a socket.
+    pub fn stats_report(&self) -> StatsReport {
+        build_stats_report(&self.inner)
     }
 
     /// The broker this server fronts.
@@ -218,6 +241,21 @@ impl BrokerServer {
     }
 }
 
+/// Most frames a writer coalesces into one batched write. Bounds both
+/// the per-wakeup latency of the first queued frame and the transient
+/// buffer the batch is composed into.
+const MAX_COALESCE: usize = 32;
+
+/// What a connection's first frame turned out to be.
+enum Handshake {
+    /// An `RZUH` with validated per-TLD claims: subscribe and stream.
+    Subscribe(Vec<(TldId, Option<Serial>)>),
+    /// An `RZUQ` scrape: answer with the stats report and close.
+    StatsQuery,
+    /// Timeout, malformed frame, or an unknown-TLD claim.
+    Rejected,
+}
+
 /// The per-connection lifecycle: handshake, subscribe, write loop.
 fn run_conn(inner: &ServerInner, mut conn: impl FrameConn) {
     let stats = &inner.stats;
@@ -228,12 +266,21 @@ fn run_conn(inner: &ServerInner, mut conn: impl FrameConn) {
     }
 
     // --- handshake -------------------------------------------------
-    let claims = match hello_claims(inner, &mut conn) {
-        Some(claims) => claims,
-        None => {
+    let claims = match first_frame(inner, &mut conn) {
+        Handshake::Rejected => {
             stats.rejected_hellos.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        Handshake::StatsQuery => {
+            // Count first so the reply's counters include this query,
+            // then answer and close — a scrape connection never joins
+            // the subscriber stream.
+            stats.stats_queries.fetch_add(1, Ordering::Relaxed);
+            let report = build_stats_report(inner);
+            let _ = conn.send_frame(&[&encode_stats_report(&report)]);
+            return;
+        }
+        Handshake::Subscribe(claims) => claims,
     };
     // Registers under each shard's lock: the catch-up plan and the live
     // registration are atomic per shard, so this subscriber's stream
@@ -244,6 +291,7 @@ fn run_conn(inner: &ServerInner, mut conn: impl FrameConn) {
     // --- writer loop -----------------------------------------------
     let tick = inner.config.writer_tick;
     let mut last_io = Instant::now();
+    let mut batch: Vec<BrokerMessage> = Vec::with_capacity(MAX_COALESCE);
     loop {
         if inner.stop.load(Ordering::Relaxed) {
             return;
@@ -264,24 +312,23 @@ fn run_conn(inner: &ServerInner, mut conn: impl FrameConn) {
             }
         };
         match next {
-            SubWait::Message(BrokerMessage::Snapshot { tld, snapshot }) => {
-                let frame = encode_snapshot_push(tld.0, &snapshot);
-                if conn.send_frame(&[&frame]).is_err() {
+            SubWait::Message(first) => {
+                // Writer coalescing: a wakeup that finds several queued
+                // messages (a catch-up backlog, or pushes that raced
+                // ahead of a slow peer) drains up to MAX_COALESCE of
+                // them and writes the whole run as one syscall batch.
+                batch.clear();
+                batch.push(first);
+                while batch.len() < MAX_COALESCE {
+                    match sub.try_next() {
+                        Some(msg) => batch.push(msg),
+                        None => break,
+                    }
+                }
+                if write_batch(inner, &mut conn, &batch).is_err() {
                     stats.disconnects.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
-                stats.snapshots_sent.fetch_add(1, Ordering::Relaxed);
-                last_io = Instant::now();
-            }
-            SubWait::Message(BrokerMessage::Delta { tld, frame }) => {
-                // Envelope header + the shard's refcount-shared frame
-                // bytes, verbatim: no per-subscriber re-encode.
-                let header = delta_envelope_header(tld.0);
-                if conn.send_frame(&[&header, &frame]).is_err() {
-                    stats.disconnects.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
-                stats.deltas_sent.fetch_add(1, Ordering::Relaxed);
                 last_io = Instant::now();
             }
             SubWait::Evicted => {
@@ -304,25 +351,178 @@ fn run_conn(inner: &ServerInner, mut conn: impl FrameConn) {
     }
 }
 
-/// Receive and validate the HELLO; `None` rejects the connection.
-fn hello_claims(
+/// Byte budget for one coalesced write: a batch's single buffer never
+/// grows past (roughly) this plus one frame. Bounds the transient
+/// allocation a run of queued checkpoint snapshots could otherwise
+/// balloon to — MAX_COALESCE frames of up to MAX_FRAME_LEN each.
+const MAX_COALESCE_BYTES: usize = 4 << 20;
+
+/// One message rendered to its frame composition: a snapshot owns its
+/// encoding; a delta is the 6-byte envelope header plus the shard's
+/// refcount-shared `RZU1` bytes, written verbatim (no per-subscriber
+/// re-encode — the encode-once guarantee survives batching).
+enum OutFrame {
+    Snapshot(Bytes),
+    Delta([u8; 6], Bytes),
+}
+
+impl OutFrame {
+    fn payload_len(&self) -> usize {
+        match self {
+            OutFrame::Snapshot(frame) => frame.len(),
+            OutFrame::Delta(header, frame) => header.len() + frame.len(),
+        }
+    }
+}
+
+/// Write a run of queued messages, coalescing consecutive frames into
+/// byte-budgeted syscall batches, and account for it (per-server
+/// counters, plus per-shard coalesced-frame credits via the broker's
+/// lock-free shard atomics). The steady-state single-message wakeup
+/// takes a no-allocation fast path identical to the pre-coalescing
+/// writer.
+fn write_batch(
     inner: &ServerInner,
     conn: &mut impl FrameConn,
-) -> Option<Vec<(TldId, Option<Serial>)>> {
-    conn.set_recv_timeout(Some(inner.config.handshake_timeout)).ok()?;
-    // A timed-out HELLO and a malformed one end the same way: the
+    batch: &[BrokerMessage],
+) -> Result<(), super::frame::TransportError> {
+    let stats = &inner.stats;
+    if let [msg] = batch {
+        // Fast path: most wakeups carry exactly one frame.
+        match msg {
+            BrokerMessage::Snapshot { tld, snapshot } => {
+                conn.send_frame(&[&encode_snapshot_push(tld.0, snapshot)])?;
+                stats.snapshots_sent.fetch_add(1, Ordering::Relaxed);
+            }
+            BrokerMessage::Delta { tld, frame } => {
+                conn.send_frame(&[&delta_envelope_header(tld.0), frame])?;
+                stats.deltas_sent.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        return Ok(());
+    }
+
+    let outs: Vec<(TldId, OutFrame)> = batch
+        .iter()
+        .map(|msg| match msg {
+            BrokerMessage::Snapshot { tld, snapshot } => {
+                (*tld, OutFrame::Snapshot(encode_snapshot_push(tld.0, snapshot)))
+            }
+            BrokerMessage::Delta { tld, frame } => {
+                (*tld, OutFrame::Delta(delta_envelope_header(tld.0), frame.clone()))
+            }
+        })
+        .collect();
+
+    // Emit byte-budgeted runs: a chunk closes once it holds at least
+    // one frame and the next frame would push it past the budget.
+    let mut start = 0;
+    while start < outs.len() {
+        let mut end = start + 1;
+        let mut bytes = outs[start].1.payload_len();
+        while end < outs.len() && bytes + outs[end].1.payload_len() <= MAX_COALESCE_BYTES {
+            bytes += outs[end].1.payload_len();
+            end += 1;
+        }
+        let chunk = &outs[start..end];
+        let parts: Vec<Vec<&[u8]>> = chunk
+            .iter()
+            .map(|(_, out)| match out {
+                OutFrame::Snapshot(frame) => vec![frame.as_ref()],
+                OutFrame::Delta(header, frame) => vec![header.as_ref(), frame.as_ref()],
+            })
+            .collect();
+        let frames: Vec<&[&[u8]]> = parts.iter().map(|v| v.as_slice()).collect();
+        conn.send_frames(&frames)?;
+        // Count this chunk now that it reached the wire: a later
+        // chunk's failure must not erase frames already written (the
+        // per-frame writer counted the same way).
+        for (_, out) in chunk {
+            match out {
+                OutFrame::Snapshot(_) => stats.snapshots_sent.fetch_add(1, Ordering::Relaxed),
+                OutFrame::Delta(..) => stats.deltas_sent.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+        if chunk.len() > 1 {
+            stats.coalesced_writes.fetch_add(1, Ordering::Relaxed);
+            stats.coalesced_frames.fetch_add(chunk.len() as u64 - 1, Ordering::Relaxed);
+            // Every frame behind a chunk head saved one syscall; credit
+            // each to its shard in one directory pass.
+            inner
+                .broker
+                .record_coalesced_frames(chunk[1..].iter().map(|&(tld, _)| tld));
+        }
+        start = end;
+    }
+    Ok(())
+}
+
+/// Receive and classify the connection's first frame.
+fn first_frame(inner: &ServerInner, conn: &mut impl FrameConn) -> Handshake {
+    if conn.set_recv_timeout(Some(inner.config.handshake_timeout)).is_err() {
+        return Handshake::Rejected;
+    }
+    // A timed-out first frame and a malformed one end the same way: the
     // connection is dropped and counted under `rejected_hellos`.
-    let frame = conn.recv_frame().ok()?;
-    let wire_claims = decode_hello(&frame).ok()?;
+    let Ok(frame) = conn.recv_frame() else {
+        return Handshake::Rejected;
+    };
+    if is_stats_query(&frame) {
+        return Handshake::StatsQuery;
+    }
+    let Ok(wire_claims) = decode_hello(&frame) else {
+        return Handshake::Rejected;
+    };
     let mut claims = Vec::with_capacity(wire_claims.len());
     for claim in wire_claims {
         let tld = TldId(claim.tld);
         // Untrusted claim: `subscribe_with` panics on unknown TLDs (an
         // in-process caller bug); a remote peer just gets rejected.
         if !inner.broker.has_shard(tld) {
-            return None;
+            return Handshake::Rejected;
         }
         claims.push((tld, claim.from_serial));
     }
-    Some(claims)
+    Handshake::Subscribe(claims)
+}
+
+/// Build the `RZUQ` report payload from the server's counters and every
+/// shard's accounting.
+fn build_stats_report(inner: &ServerInner) -> StatsReport {
+    let s = &inner.stats;
+    let server = WireServerStats {
+        accepted: s.accepted.load(Ordering::Relaxed),
+        handshakes: s.handshakes.load(Ordering::Relaxed),
+        rejected_hellos: s.rejected_hellos.load(Ordering::Relaxed),
+        deltas_sent: s.deltas_sent.load(Ordering::Relaxed),
+        snapshots_sent: s.snapshots_sent.load(Ordering::Relaxed),
+        evict_notices: s.evict_notices.load(Ordering::Relaxed),
+        disconnects: s.disconnects.load(Ordering::Relaxed),
+        coalesced_writes: s.coalesced_writes.load(Ordering::Relaxed),
+        coalesced_frames: s.coalesced_frames.load(Ordering::Relaxed),
+        stats_queries: s.stats_queries.load(Ordering::Relaxed),
+    };
+    let shards = inner.broker.all_shard_stats().iter().map(wire_shard_stats).collect();
+    StatsReport { server, shards }
+}
+
+/// Project one shard's accounting onto the wire struct.
+fn wire_shard_stats(s: &ShardStats) -> WireShardStats {
+    WireShardStats {
+        tld: s.tld.0,
+        head_serial: s.head_serial,
+        subscribers: s.subscribers as u64,
+        pushes: s.pushes,
+        frame_bytes: s.frame_bytes,
+        checkpoints: s.checkpoints,
+        retained_deltas: s.retained_deltas as u64,
+        retired_deltas: s.retired_deltas,
+        deliveries: s.deliveries,
+        lagged_messages: s.lagged_messages,
+        evictions: s.evictions,
+        snapshot_catchups: s.snapshot_catchups,
+        delta_catchups: s.delta_catchups,
+        lock_contentions: s.lock_contentions,
+        coalesced_frames: s.coalesced_frames,
+    }
 }

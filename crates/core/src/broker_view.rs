@@ -223,10 +223,29 @@ impl BrokerZoneView {
         self.states.get(&tld)
     }
 
-    /// Take the accumulated zone-NRD log (delta `added` domains, arrival
-    /// order), clearing it.
-    pub fn take_new_domains(&mut self) -> Vec<DomainName> {
-        std::mem::take(&mut self.new_domains)
+    /// Append-and-clear the accumulated zone-NRD log (delta `added`
+    /// domains, arrival order) into `out`. Drain-style on purpose: the
+    /// internal buffer keeps its capacity and `out` is caller-reused,
+    /// so the pump → drain hot loop allocates nothing at steady state
+    /// (the old `take_new_domains` handed out a fresh `Vec` per call).
+    pub fn drain_new_domains(&mut self, out: &mut Vec<DomainName>) {
+        out.append(&mut self.new_domains);
+    }
+
+    /// The health probe of the [`crate::membership::ZoneMembership`]
+    /// contract: ready only when every subscribed TLD is bootstrapped
+    /// and no gap is outstanding.
+    pub fn sync_state(&self) -> crate::membership::SyncState {
+        use crate::membership::{SyncHealth, SyncState};
+        let ready = self.tlds.iter().filter(|t| self.states.get(t).is_some()).count();
+        let health = if self.lost_sync {
+            SyncHealth::LostSync
+        } else if ready < self.tlds.len() {
+            SyncHealth::Bootstrapping
+        } else {
+            SyncHealth::Ready
+        };
+        SyncState { health, tlds_ready: ready, tlds_total: self.tlds.len(), resyncs: self.resyncs }
     }
 
     pub fn frames_applied(&self) -> u64 {
@@ -366,6 +385,32 @@ where
         self.client.is_some()
     }
 
+    /// Pump (healing faults as usual) until the view's serial matches
+    /// `targets` for every listed TLD, or `timeout` elapses. This is
+    /// the synchronisation barrier a time-faithful harness needs:
+    /// frames cross the socket asynchronously, so "everything published
+    /// so far has been applied" is only observable as the view reaching
+    /// the publisher's known head serials. Returns whether the targets
+    /// were reached.
+    pub fn pump_until_serials(
+        &mut self,
+        targets: &[(TldId, Serial)],
+        timeout: std::time::Duration,
+    ) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if targets.iter().all(|&(tld, serial)| self.view.serial(tld) == Some(serial)) {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            if self.pump(1024) == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
     /// The underlying view.
     pub fn view(&self) -> &BrokerZoneView {
         &self.view
@@ -415,8 +460,13 @@ mod tests {
         view.pump();
         assert!(!view.contains(TldId(0), &name("fresh.com")), "removed again");
         assert!(view.contains(TldId(0), &name("later.com")));
-        // Both appeared as zone NRDs even though one is transient.
-        assert_eq!(view.take_new_domains(), vec![name("fresh.com"), name("later.com")]);
+        // Both appeared as zone NRDs even though one is transient. The
+        // drain appends into a reusable buffer and clears the log.
+        let mut nrds = Vec::new();
+        view.drain_new_domains(&mut nrds);
+        assert_eq!(nrds, vec![name("fresh.com"), name("later.com")]);
+        view.drain_new_domains(&mut nrds);
+        assert_eq!(nrds.len(), 2, "drained log must be empty");
         assert!(view.synced_with(&broker));
         assert_eq!(view.serial(TldId(0)), Some(Serial::new(3)));
         assert_eq!(view.snapshots_adopted(), 1);
@@ -515,6 +565,8 @@ mod tests {
         assert_eq!(view.len(TldId(0)), Some(20));
         // Bootstrap came from a checkpoint, so only post-checkpoint
         // additions count as NRDs observed live.
-        assert!(view.take_new_domains().len() <= 4);
+        let mut nrds = Vec::new();
+        view.drain_new_domains(&mut nrds);
+        assert!(nrds.len() <= 4);
     }
 }

@@ -10,11 +10,13 @@
 //! * **median reveal latency** — how long after zone insertion a consumer
 //!   first sees a new domain.
 
+use crate::membership::ZoneMembership;
 use darkdns_registry::rzu::first_visible_at_cadence;
 use darkdns_registry::universe::{DomainKind, Universe};
 use darkdns_sim::cdf::Cdf;
 use darkdns_sim::time::{SimDuration, SimTime};
 use serde::Serialize;
+use std::collections::HashSet;
 
 /// Results for one cadence.
 #[derive(Debug, Clone, Serialize)]
@@ -90,6 +92,71 @@ fn pct(num: u64, denom: u64) -> f64 {
     } else {
         100.0 * num as f64 / denom as f64
     }
+}
+
+/// What one *deployed* membership backend actually observed, scored
+/// against ground truth — the consumer-side counterpart of [`sweep`],
+/// which computes the same capture rates in closed form. `sweep` says
+/// what a cadence *could* capture; this says what a concrete
+/// [`ZoneMembership`] backend (direct view, broker view, socket view)
+/// *did* capture after a run, from its drained zone-NRD log.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObservedCapture {
+    /// Distinct domains the backend's new-domain log surfaced.
+    pub domains_observed: u64,
+    /// True window transients, and how many of them the backend saw.
+    pub transient_total: u64,
+    pub transient_observed: u64,
+    pub transient_capture_pct: f64,
+    /// Window NRDs (long-lived + early-removed), and how many appeared.
+    pub nrd_total: u64,
+    pub nrd_observed: u64,
+    pub nrd_observed_pct: f64,
+}
+
+/// Drain `membership`'s zone-NRD log and score it against the ground
+/// truth of `universe`'s window registrations. Call after the backend
+/// has been driven to the end of the window; draining consumes the log.
+pub fn observed_capture<M: ZoneMembership>(
+    membership: &mut M,
+    universe: &Universe,
+    window_start: SimTime,
+) -> ObservedCapture {
+    let mut names = Vec::new();
+    membership.drain_new_domains(&mut names);
+    let observed: HashSet<_> = names.iter().copied().collect();
+    let mut cap = ObservedCapture {
+        domains_observed: observed.len() as u64,
+        transient_total: 0,
+        transient_observed: 0,
+        transient_capture_pct: 0.0,
+        nrd_total: 0,
+        nrd_observed: 0,
+        nrd_observed_pct: 0.0,
+    };
+    for r in universe.iter() {
+        if !r.kind.has_registration() || r.created < window_start {
+            continue;
+        }
+        match r.kind {
+            DomainKind::Transient => {
+                cap.transient_total += 1;
+                if observed.contains(&r.name) {
+                    cap.transient_observed += 1;
+                }
+            }
+            DomainKind::LongLived | DomainKind::EarlyRemoved => {
+                cap.nrd_total += 1;
+                if observed.contains(&r.name) {
+                    cap.nrd_observed += 1;
+                }
+            }
+            _ => continue,
+        }
+    }
+    cap.transient_capture_pct = pct(cap.transient_observed, cap.transient_total);
+    cap.nrd_observed_pct = pct(cap.nrd_observed, cap.nrd_total);
+    cap
 }
 
 /// Render the sweep as an aligned text table.
@@ -186,5 +253,34 @@ mod tests {
         let text = render(&rows);
         assert!(text.contains("5m"));
         assert!(text.contains("1d"));
+    }
+
+    #[test]
+    fn observed_capture_tracks_the_closed_form_sweep() {
+        use crate::membership::ZoneMembership;
+        use darkdns_registry::live::UniverseZoneView;
+        use darkdns_registry::tld::TldId;
+
+        let (u, start) = universe();
+        let cfg = ExperimentConfig::small(3);
+        let tlds: Vec<TldId> = (0..cfg.tlds.len() as u16).map(TldId).collect();
+        let horizon = start + cfg.horizon();
+        let rows = sweep(&u, start, &[300, 86_400]);
+
+        let capture_at = |cadence_secs: u64| {
+            let mut view =
+                UniverseZoneView::new(&u, &tlds, start, SimDuration::from_secs(cadence_secs));
+            ZoneMembership::advance_to(&mut view, horizon);
+            observed_capture(&mut view, &u, start)
+        };
+        let rzu = capture_at(300);
+        let daily = capture_at(86_400);
+        // The deployed view realises the closed-form capture rates
+        // (same grid arithmetic, measured instead of computed).
+        assert!((rzu.transient_capture_pct - rows[0].transient_capture_pct).abs() < 1e-9);
+        assert!((daily.transient_capture_pct - rows[1].transient_capture_pct).abs() < 1e-9);
+        assert!(rzu.transient_capture_pct > daily.transient_capture_pct);
+        assert!(rzu.nrd_observed_pct > 99.0);
+        assert!(rzu.domains_observed >= rzu.transient_observed + rzu.nrd_observed);
     }
 }

@@ -10,12 +10,12 @@
 
 use crate::detector::{Detector, NrdCandidate};
 use crate::feed::Topic;
+use crate::membership::ZoneMembership;
 use crate::validate::{ValidatedCandidate, Validator};
 use darkdns_ct::stream::CertStreamEntry;
 use darkdns_dns::PublicSuffixList;
 use darkdns_rdap::client::RdapClient;
 use darkdns_rdap::server::RdapDirectory;
-use darkdns_registry::czds::SnapshotOracle;
 use darkdns_registry::universe::Universe;
 use rand::rngs::SmallRng;
 
@@ -55,13 +55,16 @@ impl StreamingPipeline {
     }
 
     /// Pump `entries` through detector and validator stages, publishing on
-    /// the way. Returns the validated candidates plus run counters.
+    /// the way. Generic over the zone view, like every pipeline stage:
+    /// the test runs it against the snapshot oracle, a streaming
+    /// deployment hands it a broker- or socket-fed view. Returns the
+    /// validated candidates plus run counters.
     #[allow(clippy::too_many_arguments)]
-    pub fn run(
+    pub fn run<M: ZoneMembership>(
         &self,
         entries: &[CertStreamEntry],
         psl: &PublicSuffixList,
-        oracle: &SnapshotOracle<'_>,
+        membership: M,
         universe: &Universe,
         directory: &mut RdapDirectory<'_>,
         client: RdapClient,
@@ -69,7 +72,7 @@ impl StreamingPipeline {
         validator_rng: SmallRng,
     ) -> (Vec<ValidatedCandidate>, StreamingStats) {
         let mut stats = StreamingStats::default();
-        let mut detector = Detector::new(psl, oracle, universe);
+        let mut detector = Detector::new(psl, universe, membership);
         let mut validator = Validator::new(directory, client, rdap_queue_median_secs, validator_rng);
         let candidate_sub = self.candidates.subscribe();
         let mut validated = Vec::new();
@@ -107,10 +110,11 @@ impl Default for StreamingPipeline {
 mod tests {
     use super::*;
     use crate::config::ExperimentConfig;
+    use crate::membership::OracleMembership;
     use darkdns_ct::ca::CaFleet;
     use darkdns_ct::stream::CertStream;
     use darkdns_rdap::server::RdapConfig;
-    use darkdns_registry::czds::SnapshotSchedule;
+    use darkdns_registry::czds::{SnapshotOracle, SnapshotSchedule};
     use darkdns_registry::hosting::HostingLandscape;
     use darkdns_registry::registrar::RegistrarFleet;
     use darkdns_registry::workload::UniverseBuilder;
@@ -141,7 +145,8 @@ mod tests {
         let oracle = SnapshotOracle::new(&schedule);
 
         // Batch detection.
-        let mut batch_detector = Detector::new(&psl, &oracle, &universe);
+        let mut batch_detector =
+            Detector::new(&psl, &universe, OracleMembership::new(&oracle, &universe));
         let batch: Vec<NrdCandidate> = batch_detector.run(stream.entries());
 
         // Streaming detection + validation.
@@ -151,7 +156,7 @@ mod tests {
         let (validated, stats) = pipeline.run(
             stream.entries(),
             &psl,
-            &oracle,
+            OracleMembership::new(&oracle, &universe),
             &universe,
             &mut directory,
             RdapClient::paper_client(),

@@ -676,6 +676,14 @@ pub fn decode_delta_push(bytes: &[u8]) -> Result<DeltaPush, WireError> {
 //   refcount-shared frame bytes with no per-subscriber re-encode.
 // * `RZUE` — eviction notice (server -> client): the subscriber fell
 //   behind and was evicted; it must reconnect with its claims.
+// * `RZUQ` — stats round trip. As a client -> server frame the magic
+//   alone is the query; the server answers with an `RZUQ` report frame
+//   carrying its transport counters plus one row per TLD shard
+//   ([`WireServerStats`] / [`WireShardStats`]), then closes. Operators
+//   scrape a broker by dialing a fresh connection and sending `RZUQ`
+//   instead of `RZUH` — the monitor path shares the subscriber path's
+//   framing, bounds and client API without interleaving into a live
+//   delta stream.
 //
 // Every decoder here treats counts and lengths as untrusted: a count the
 // remaining buffer cannot possibly hold is rejected before any
@@ -839,6 +847,183 @@ pub fn encode_evict_notice() -> Bytes {
 /// True when `bytes` is exactly an eviction notice.
 pub fn is_evict_notice(bytes: &[u8]) -> bool {
     bytes == EVICT_NOTICE_MAGIC
+}
+
+/// Magic prefix of the stats round trip: alone it is the query; with a
+/// payload it is the report.
+pub const STATS_MAGIC: &[u8; 4] = b"RZUQ";
+
+/// Transport-level server counters as they cross the wire. Field
+/// meanings mirror the broker transport's `ServerStats`; this struct is
+/// codec-neutral (plain integers) so the wire layer does not depend on
+/// the broker crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireServerStats {
+    pub accepted: u64,
+    pub handshakes: u64,
+    pub rejected_hellos: u64,
+    pub deltas_sent: u64,
+    pub snapshots_sent: u64,
+    pub evict_notices: u64,
+    pub disconnects: u64,
+    /// Syscall batches that carried more than one frame (writer
+    /// coalescing).
+    pub coalesced_writes: u64,
+    /// Frames that rode in a batch behind another frame — each is one
+    /// write syscall saved.
+    pub coalesced_frames: u64,
+    /// `RZUQ` queries answered.
+    pub stats_queries: u64,
+}
+
+/// One TLD shard's counters as they cross the wire (mirrors the
+/// broker's per-shard `ShardStats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireShardStats {
+    pub tld: u16,
+    pub head_serial: Serial,
+    pub subscribers: u64,
+    pub pushes: u64,
+    pub frame_bytes: u64,
+    pub checkpoints: u64,
+    pub retained_deltas: u64,
+    pub retired_deltas: u64,
+    pub deliveries: u64,
+    pub lagged_messages: u64,
+    pub evictions: u64,
+    pub snapshot_catchups: u64,
+    pub delta_catchups: u64,
+    pub lock_contentions: u64,
+    /// Frames of this shard delivered inside a coalesced writer batch.
+    pub coalesced_frames: u64,
+}
+
+/// The full `RZUQ` report: server-wide transport counters plus one row
+/// per registered shard.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsReport {
+    pub server: WireServerStats,
+    pub shards: Vec<WireShardStats>,
+}
+
+/// Bytes per encoded [`WireShardStats`] row: `u16` TLD + `u32` serial +
+/// 13 `u64` counters.
+const STATS_SHARD_ROW_LEN: usize = 2 + 4 + 13 * 8;
+
+/// Encode a stats query (the magic is the whole message).
+pub fn encode_stats_query() -> Bytes {
+    Bytes::copy_from_slice(STATS_MAGIC)
+}
+
+/// True when `bytes` is exactly a stats query (a report carries a
+/// payload behind the same magic).
+pub fn is_stats_query(bytes: &[u8]) -> bool {
+    bytes == STATS_MAGIC
+}
+
+/// Encode a stats report.
+///
+/// Layout: `"RZUQ"`, the ten `u64` server counters in
+/// [`WireServerStats`] field order, `u16` shard count, then per shard a
+/// `u16` TLD, `u32` head serial and the thirteen `u64` counters in
+/// [`WireShardStats`] field order.
+pub fn encode_stats_report(report: &StatsReport) -> Bytes {
+    debug_assert!(report.shards.len() <= u16::MAX as usize);
+    let mut buf =
+        BytesMut::with_capacity(4 + 80 + 2 + report.shards.len() * STATS_SHARD_ROW_LEN);
+    buf.put_slice(STATS_MAGIC);
+    let s = &report.server;
+    for v in [
+        s.accepted,
+        s.handshakes,
+        s.rejected_hellos,
+        s.deltas_sent,
+        s.snapshots_sent,
+        s.evict_notices,
+        s.disconnects,
+        s.coalesced_writes,
+        s.coalesced_frames,
+        s.stats_queries,
+    ] {
+        buf.put_u64(v);
+    }
+    buf.put_u16(report.shards.len() as u16);
+    for shard in &report.shards {
+        buf.put_u16(shard.tld);
+        buf.put_u32(shard.head_serial.get());
+        for v in [
+            shard.subscribers,
+            shard.pushes,
+            shard.frame_bytes,
+            shard.checkpoints,
+            shard.retained_deltas,
+            shard.retired_deltas,
+            shard.deliveries,
+            shard.lagged_messages,
+            shard.evictions,
+            shard.snapshot_catchups,
+            shard.delta_catchups,
+            shard.lock_contentions,
+            shard.coalesced_frames,
+        ] {
+            buf.put_u64(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a frame produced by [`encode_stats_report`]. The entire buffer
+/// must be consumed; the shard count is untrusted (each row is exactly
+/// [`STATS_SHARD_ROW_LEN`] bytes, so a count the remaining buffer cannot
+/// hold is a truncation, caught before any allocation is sized from it).
+pub fn decode_stats_report(bytes: &[u8]) -> Result<StatsReport, WireError> {
+    let mut dec = Decoder { bytes, pos: 0 };
+    if dec.take(4)? != STATS_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let server = WireServerStats {
+        accepted: dec.u64()?,
+        handshakes: dec.u64()?,
+        rejected_hellos: dec.u64()?,
+        deltas_sent: dec.u64()?,
+        snapshots_sent: dec.u64()?,
+        evict_notices: dec.u64()?,
+        disconnects: dec.u64()?,
+        coalesced_writes: dec.u64()?,
+        coalesced_frames: dec.u64()?,
+        stats_queries: dec.u64()?,
+    };
+    let count = dec.u16()? as usize;
+    if count
+        .checked_mul(STATS_SHARD_ROW_LEN)
+        .is_none_or(|need| need > dec.remaining())
+    {
+        return Err(WireError::Truncated);
+    }
+    let mut shards = Vec::with_capacity(count);
+    for _ in 0..count {
+        shards.push(WireShardStats {
+            tld: dec.u16()?,
+            head_serial: Serial::new(dec.u32()?),
+            subscribers: dec.u64()?,
+            pushes: dec.u64()?,
+            frame_bytes: dec.u64()?,
+            checkpoints: dec.u64()?,
+            retained_deltas: dec.u64()?,
+            retired_deltas: dec.u64()?,
+            deliveries: dec.u64()?,
+            lagged_messages: dec.u64()?,
+            evictions: dec.u64()?,
+            snapshot_catchups: dec.u64()?,
+            delta_catchups: dec.u64()?,
+            lock_contentions: dec.u64()?,
+            coalesced_frames: dec.u64()?,
+        });
+    }
+    if dec.pos != bytes.len() {
+        return Err(WireError::TrailingBytes(bytes.len() - dec.pos));
+    }
+    Ok(StatsReport { server, shards })
 }
 
 #[cfg(test)]
@@ -1209,6 +1394,93 @@ mod tests {
         assert!(is_evict_notice(&encode_evict_notice()));
         assert!(!is_evict_notice(b"RZUD"));
         assert!(!is_evict_notice(b""));
+    }
+
+    fn sample_stats_report() -> StatsReport {
+        StatsReport {
+            server: WireServerStats {
+                accepted: 9,
+                handshakes: 8,
+                rejected_hellos: 1,
+                deltas_sent: 1_234,
+                snapshots_sent: 8,
+                evict_notices: 2,
+                disconnects: 3,
+                coalesced_writes: 40,
+                coalesced_frames: 120,
+                stats_queries: 5,
+            },
+            shards: vec![
+                WireShardStats {
+                    tld: 0,
+                    head_serial: Serial::new(700),
+                    subscribers: 8,
+                    pushes: 700,
+                    frame_bytes: 1 << 20,
+                    checkpoints: 40,
+                    retained_deltas: 16,
+                    retired_deltas: 684,
+                    deliveries: 5_600,
+                    lagged_messages: 12,
+                    evictions: 1,
+                    snapshot_catchups: 8,
+                    delta_catchups: 3,
+                    lock_contentions: 0,
+                    coalesced_frames: 90,
+                },
+                WireShardStats {
+                    tld: u16::MAX,
+                    head_serial: Serial::new(u32::MAX),
+                    subscribers: 0,
+                    pushes: 0,
+                    frame_bytes: 0,
+                    checkpoints: 0,
+                    retained_deltas: 0,
+                    retired_deltas: 0,
+                    deliveries: 0,
+                    lagged_messages: 0,
+                    evictions: 0,
+                    snapshot_catchups: 0,
+                    delta_catchups: 0,
+                    lock_contentions: u64::MAX,
+                    coalesced_frames: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn stats_report_round_trips() {
+        let report = sample_stats_report();
+        let frame = encode_stats_report(&report);
+        assert_eq!(decode_stats_report(&frame).unwrap(), report);
+        // Empty shard lists are legal (a server with no shards yet).
+        let empty = StatsReport::default();
+        assert_eq!(decode_stats_report(&encode_stats_report(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn stats_query_and_report_share_the_magic_but_not_the_shape() {
+        assert!(is_stats_query(&encode_stats_query()));
+        assert!(!is_stats_query(&encode_stats_report(&sample_stats_report())));
+        assert!(!is_stats_query(b"RZUH"));
+        // A bare query is not a decodable report.
+        assert_eq!(decode_stats_report(&encode_stats_query()), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn stats_report_rejects_oversized_count_bad_magic_and_trailing() {
+        let mut tiny = Vec::new();
+        tiny.extend_from_slice(STATS_MAGIC);
+        tiny.extend_from_slice(&[0u8; 80]); // server counters
+        tiny.extend_from_slice(&u16::MAX.to_be_bytes()); // absurd shard count
+        assert_eq!(decode_stats_report(&tiny), Err(WireError::Truncated));
+        assert_eq!(decode_stats_report(b"NOPE"), Err(WireError::BadMagic));
+        let mut padded = encode_stats_report(&sample_stats_report()).to_vec();
+        padded.push(0);
+        assert_eq!(decode_stats_report(&padded), Err(WireError::TrailingBytes(1)));
+        let frame = encode_stats_report(&sample_stats_report());
+        assert_eq!(decode_stats_report(&frame[..frame.len() - 1]), Err(WireError::Truncated));
     }
 
     #[test]

@@ -42,11 +42,10 @@ pub fn event_log(universe: &Universe, only_tld: Option<TldId>) -> Vec<RegistryEv
                 continue;
             }
         }
-        if !r.kind.has_registration() {
-            continue;
-        }
-        if matches!(r.kind, crate::universe::DomainKind::ReRegistered) {
-            // Pre-window lifecycle only; outside the log's scope.
+        if !r.kind.emits_zone_events() {
+            // Ghosts never touch a zone; re-registered names carry a
+            // pre-window lifecycle only. Shared scope rule with
+            // `UniverseZoneView` (see `DomainKind::emits_zone_events`).
             continue;
         }
         events.push(RegistryEvent {

@@ -22,12 +22,16 @@
 //!   NS-change) derived from a universe;
 //! * [`czds`] — the daily-snapshot schedule, publication-delay model, and
 //!   snapshot membership oracle;
-//! * [`rzu`] — the Rapid Zone Update service (the paper's §5 proposal).
+//! * [`rzu`] — the Rapid Zone Update service (the paper's §5 proposal);
+//! * [`live`] — the direct-universe live zone view: push-cadence
+//!   membership answered from ground truth, the reference backend of the
+//!   `darkdns_core` `ZoneMembership` contract.
 
 pub mod czds;
 pub mod events;
 pub mod hosting;
 pub mod lifecycle;
+pub mod live;
 pub mod namegen;
 pub mod registrar;
 pub mod rzu;

@@ -1,0 +1,263 @@
+//! The direct-universe live zone view — the in-process reference
+//! implementation of push-cadence zone membership.
+//!
+//! [`UniverseZoneView`] answers the same questions a broker-fed
+//! subscriber view answers — "is this name delegated right now?", "which
+//! domains appeared since I last looked?" — straight from the ground
+//! truth, quantised to the RZU push grid. It is the borrowed-`&Universe`
+//! deployment shape of the consumer contract (`darkdns_core`'s
+//! `ZoneMembership`): no broker, no socket, no journal — just the
+//! records and the grid arithmetic of [`crate::rzu`].
+//!
+//! The equivalence that makes it useful as a reference: a subscriber
+//! that applied every RZU delta with `pushed_at <= B` holds exactly the
+//! zone state at grid boundary `B` (net deltas cancel within-window
+//! churn), and that state is exactly `{ r : r.in_zone_at(B) }` over the
+//! records that [`crate::universe::DomainKind::emits_zone_events`]. The
+//! cross-backend tests pin a detection pipeline run against this view,
+//! an in-process broker view and a TCP-fed view to byte-identical
+//! candidate sets.
+
+use crate::rzu::{first_visible_at_cadence, prev_grid_point};
+use crate::tld::TldId;
+use crate::universe::{DomainRecord, Universe};
+use darkdns_dns::{DomainName, Serial};
+use darkdns_sim::time::{SimDuration, SimTime};
+
+/// A multi-TLD live zone view answered directly from the universe.
+///
+/// `advance_to(now)` moves the view to the last push boundary at or
+/// before `now`; membership checks and the new-domain log then reflect
+/// the zone exactly as an RZU subscriber caught up to that boundary
+/// would see it.
+pub struct UniverseZoneView<'a> {
+    universe: &'a Universe,
+    tlds: Vec<TldId>,
+    anchor: SimTime,
+    cadence: SimDuration,
+    /// The grid boundary the view has reached (`None` before the first
+    /// push boundary).
+    boundary: Option<SimTime>,
+    /// Every subscribed record's first-visible boundary, sorted by
+    /// (boundary, name) — the precomputed zone-NRD reveal log.
+    reveals: Vec<(SimTime, DomainName)>,
+    /// First reveal not yet moved into `new_domains`.
+    cursor: usize,
+    /// Reveal buffer between `advance_to` and `drain_new_domains`;
+    /// drained in place, so its capacity is reused across pumps.
+    new_domains: Vec<DomainName>,
+}
+
+impl<'a> UniverseZoneView<'a> {
+    /// Build the view for `tlds` over the push grid anchored at `anchor`
+    /// with the given `cadence`. The reveal log is precomputed in one
+    /// pass over the universe.
+    pub fn new(
+        universe: &'a Universe,
+        tlds: &[TldId],
+        anchor: SimTime,
+        cadence: SimDuration,
+    ) -> Self {
+        let mut reveals: Vec<(SimTime, DomainName)> = universe
+            .iter()
+            .filter(|r| tlds.contains(&r.tld) && r.kind.emits_zone_events())
+            .filter_map(|r| first_visible_at_cadence(r, anchor, cadence).map(|at| (at, r.name)))
+            .collect();
+        reveals.sort_unstable();
+        UniverseZoneView {
+            universe,
+            tlds: tlds.to_vec(),
+            anchor,
+            cadence,
+            boundary: None,
+            reveals,
+            cursor: 0,
+            new_domains: Vec::new(),
+        }
+    }
+
+    /// Move the view to the last push boundary at or before `now`
+    /// (monotonic: an earlier `now` is a no-op). Domains first visible
+    /// in the newly covered boundaries land in the new-domain log.
+    pub fn advance_to(&mut self, now: SimTime) {
+        let Some(b) = prev_grid_point(self.anchor, self.cadence, now) else {
+            return;
+        };
+        if self.boundary.is_some_and(|cur| b <= cur) {
+            return;
+        }
+        self.boundary = Some(b);
+        while self.cursor < self.reveals.len() && self.reveals[self.cursor].0 <= b {
+            self.new_domains.push(self.reveals[self.cursor].1);
+            self.cursor += 1;
+        }
+    }
+
+    /// The boundary the view currently reflects.
+    pub fn boundary(&self) -> Option<SimTime> {
+        self.boundary
+    }
+
+    /// Is `domain` delegated in `tld` at the current boundary?
+    pub fn contains(&self, tld: TldId, domain: &DomainName) -> bool {
+        let Some(b) = self.boundary else { return false };
+        if !self.tlds.contains(&tld) {
+            return false;
+        }
+        self.universe
+            .lookup(domain)
+            .is_some_and(|r| r.tld == tld && r.kind.emits_zone_events() && r.in_zone_at(b))
+    }
+
+    /// Is `domain` delegated in any subscribed TLD at the current
+    /// boundary?
+    pub fn contains_anywhere(&self, domain: &DomainName) -> bool {
+        self.universe.lookup(domain).is_some_and(|r| self.contains_record(r))
+    }
+
+    /// Membership for an already-resolved record — the detector's hot
+    /// path, with no second name lookup. Names are unique in a
+    /// universe, so this agrees with `contains(record.tld, &record.name)`
+    /// by construction.
+    pub fn contains_record(&self, record: &DomainRecord) -> bool {
+        let Some(b) = self.boundary else { return false };
+        self.tlds.contains(&record.tld)
+            && record.kind.emits_zone_events()
+            && record.in_zone_at(b)
+    }
+
+    /// A view-local freshness token: the number of push intervals the
+    /// view has advanced past the anchor. Serials are comparable only
+    /// within one backend — a broker-fed view counts zone-journal
+    /// serials instead — so consumers treat them as opaque progress.
+    pub fn serial(&self, tld: TldId) -> Option<Serial> {
+        if !self.tlds.contains(&tld) {
+            return None;
+        }
+        self.boundary.map(|b| {
+            Serial::new((b.saturating_since(self.anchor).as_secs() / self.cadence.as_secs()) as u32)
+        })
+    }
+
+    /// Append-and-clear the accumulated new-domain log into `out`,
+    /// retaining the internal buffer's capacity.
+    pub fn drain_new_domains(&mut self, out: &mut Vec<DomainName>) {
+        out.append(&mut self.new_domains);
+    }
+
+    /// The TLDs this view covers.
+    pub fn tlds(&self) -> &[TldId] {
+        &self.tlds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosting::ProviderId;
+    use crate::registrar::RegistrarId;
+    use crate::universe::{CertTiming, DomainId, DomainKind, DomainRecord};
+
+    fn record(name: &str, kind: DomainKind, insert: u64, removed: Option<u64>) -> DomainRecord {
+        DomainRecord {
+            id: DomainId(0),
+            name: DomainName::parse(name).unwrap(),
+            tld: TldId(0),
+            kind,
+            created: SimTime::from_secs(insert),
+            zone_insert: SimTime::from_secs(insert),
+            removed: removed.map(SimTime::from_secs),
+            registrar: RegistrarId(0),
+            dns_provider: ProviderId(0),
+            web_asn: 13_335,
+            cert_timing: CertTiming::Prompt,
+            cert_hint: None,
+            ns_change_at: None,
+            malicious: false,
+        }
+    }
+
+    fn universe() -> Universe {
+        let mut u = Universe::new();
+        u.push(record("alive.com", DomainKind::LongLived, 1_000, None));
+        u.push(record("gone.com", DomainKind::Transient, 1_000, Some(100_000)));
+        u.push(record("blink.com", DomainKind::Transient, 1_000, Some(1_100)));
+        u.push(record("old.com", DomainKind::ReRegistered, 0, None));
+        let mut ghost = record("ghost.com", DomainKind::Ghost { previously_registered: true }, 0, None);
+        ghost.tld = TldId(0);
+        u.push(ghost);
+        u
+    }
+
+    const CADENCE: SimDuration = SimDuration::from_minutes(5);
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn membership_quantises_to_the_push_grid() {
+        let u = universe();
+        let mut view = UniverseZoneView::new(&u, &[TldId(0)], SimTime::ZERO, CADENCE);
+        // Before any boundary: nothing is visible.
+        assert!(!view.contains(TldId(0), &name("alive.com")));
+        assert_eq!(view.serial(TldId(0)), None);
+        // 1000s insert reveals at the 1200s boundary, not before.
+        view.advance_to(SimTime::from_secs(1_199));
+        assert!(!view.contains(TldId(0), &name("alive.com")), "not pushed yet at boundary 900");
+        view.advance_to(SimTime::from_secs(1_200));
+        assert!(view.contains(TldId(0), &name("alive.com")));
+        assert!(view.contains_anywhere(&name("gone.com")));
+        assert_eq!(view.serial(TldId(0)), Some(Serial::new(4)));
+    }
+
+    #[test]
+    fn within_window_churn_never_appears() {
+        let u = universe();
+        let mut view = UniverseZoneView::new(&u, &[TldId(0)], SimTime::ZERO, CADENCE);
+        view.advance_to(SimTime::from_secs(10_000));
+        // blink.com lived 1000..1100 — inside one push window.
+        assert!(!view.contains_anywhere(&name("blink.com")));
+        let mut nrds = Vec::new();
+        view.drain_new_domains(&mut nrds);
+        assert_eq!(nrds, vec![name("alive.com"), name("gone.com")]);
+        // The drain cleared the log; a second drain adds nothing.
+        view.drain_new_domains(&mut nrds);
+        assert_eq!(nrds.len(), 2);
+    }
+
+    #[test]
+    fn removal_disappears_at_the_covering_boundary() {
+        let u = universe();
+        let mut view = UniverseZoneView::new(&u, &[TldId(0)], SimTime::ZERO, CADENCE);
+        view.advance_to(SimTime::from_secs(99_900)); // boundary before removal at 100_000
+        assert!(view.contains(TldId(0), &name("gone.com")));
+        view.advance_to(SimTime::from_secs(100_200));
+        assert!(!view.contains(TldId(0), &name("gone.com")));
+        assert!(view.contains(TldId(0), &name("alive.com")));
+    }
+
+    #[test]
+    fn out_of_scope_records_never_appear() {
+        let u = universe();
+        let mut view = UniverseZoneView::new(&u, &[TldId(0)], SimTime::ZERO, CADENCE);
+        view.advance_to(SimTime::from_secs(500_000));
+        // Re-registered (pre-window lifecycle) and ghost records are out
+        // of RZU scope, exactly as in the registry event log.
+        assert!(!view.contains_anywhere(&name("old.com")));
+        assert!(!view.contains_anywhere(&name("ghost.com")));
+        // Unsubscribed TLDs answer negatively and carry no serial.
+        assert!(!view.contains(TldId(9), &name("alive.com")));
+        assert_eq!(view.serial(TldId(9)), None);
+    }
+
+    #[test]
+    fn advance_is_monotonic() {
+        let u = universe();
+        let mut view = UniverseZoneView::new(&u, &[TldId(0)], SimTime::ZERO, CADENCE);
+        view.advance_to(SimTime::from_secs(2_000));
+        let serial = view.serial(TldId(0));
+        view.advance_to(SimTime::from_secs(100)); // earlier: no-op
+        assert_eq!(view.serial(TldId(0)), serial);
+    }
+}

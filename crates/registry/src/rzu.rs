@@ -270,6 +270,19 @@ pub fn next_grid_point(anchor: SimTime, cadence: SimDuration, t: SimTime) -> Sim
     anchor + SimDuration::from_secs(steps * c)
 }
 
+/// The last grid point at or before `t` on the grid anchored at `anchor`
+/// with spacing `cadence` — the push boundary a consumer reading at `t`
+/// has caught up to. Returns `None` for `t < anchor` (no push has gone
+/// out yet).
+pub fn prev_grid_point(anchor: SimTime, cadence: SimDuration, t: SimTime) -> Option<SimTime> {
+    if t < anchor {
+        return None;
+    }
+    let delta = t.saturating_since(anchor).as_secs();
+    let c = cadence.as_secs();
+    Some(anchor + SimDuration::from_secs((delta / c) * c))
+}
+
 /// When a snapshot-or-RZU consumer polling at `cadence` first *sees* the
 /// domain as registered: the first grid point at or after `zone_insert`
 /// that the domain is still alive for. Returns `None` if the domain dies
@@ -340,6 +353,32 @@ mod tests {
         assert_eq!(feed.first_reveal(DomainId(1)), Some(SimTime::from_secs(300)));
         assert_eq!(feed.first_reveal(DomainId(2)), Some(SimTime::from_secs(900)));
         assert_eq!(feed.first_reveal(DomainId(9)), None);
+    }
+
+    #[test]
+    fn prev_grid_point_math() {
+        let c = SimDuration::from_minutes(5);
+        let anchor = SimTime::from_secs(100);
+        assert_eq!(prev_grid_point(anchor, c, SimTime::ZERO), None);
+        assert_eq!(prev_grid_point(anchor, c, anchor), Some(anchor));
+        assert_eq!(prev_grid_point(anchor, c, SimTime::from_secs(399)), Some(anchor));
+        assert_eq!(
+            prev_grid_point(anchor, c, SimTime::from_secs(400)),
+            Some(SimTime::from_secs(400))
+        );
+        assert_eq!(
+            prev_grid_point(anchor, c, SimTime::from_secs(1_000)),
+            Some(SimTime::from_secs(1_000)),
+            "on-grid times are their own boundary"
+        );
+        assert_eq!(
+            prev_grid_point(anchor, c, SimTime::from_secs(950)),
+            Some(SimTime::from_secs(700))
+        );
+        // prev and next agree on grid points and bracket off-grid times.
+        let t = SimTime::from_secs(450);
+        assert!(prev_grid_point(anchor, c, t).unwrap() <= t);
+        assert!(next_grid_point(anchor, c, t) >= t);
     }
 
     #[test]

@@ -48,6 +48,17 @@ impl DomainKind {
     pub fn has_registration(self) -> bool {
         !matches!(self, DomainKind::Ghost { .. })
     }
+
+    /// Does this record contribute events to the registry event log (and
+    /// therefore to every RZU-derived zone view)? Ghosts never touch a
+    /// zone; re-registered names carry a pre-window lifecycle only. This
+    /// is the single membership-scope rule shared by
+    /// [`crate::events::event_log`] and [`crate::live::UniverseZoneView`],
+    /// so the direct-universe view and a broker-fed view agree on which
+    /// records exist at all.
+    pub fn emits_zone_events(self) -> bool {
+        self.has_registration() && !matches!(self, DomainKind::ReRegistered)
+    }
 }
 
 /// When (relative to registration) a certificate is issued, if ever.

@@ -126,10 +126,14 @@ fn main() {
         stats.lagged_messages,
         stats.evictions,
     );
-    let live_nrds = live.take_new_domains().len();
+    let mut nrd_log = Vec::new();
+    live.drain_new_domains(&mut nrd_log);
+    let live_nrds = nrd_log.len();
+    nrd_log.clear();
+    late.drain_new_domains(&mut nrd_log);
     println!(
         "zone NRDs observed live by the full-stream subscriber: {live_nrds} \
          (late joiner saw {} — checkpoint bootstrap compacts earlier churn away)",
-        late.take_new_domains().len(),
+        nrd_log.len(),
     );
 }

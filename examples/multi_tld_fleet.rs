@@ -109,6 +109,7 @@ fn main() {
     );
     assert_eq!(pushes, published as u64, "per-shard pushes must sum to the published total");
     assert_eq!(agg.frames_encoded, pushes, "aggregate must equal the per-shard sum");
-    let nrds = view.take_new_domains().len();
-    println!("zone NRDs observed live across the fleet: {nrds}");
+    let mut nrd_log = Vec::new();
+    view.drain_new_domains(&mut nrd_log);
+    println!("zone NRDs observed live across the fleet: {}", nrd_log.len());
 }

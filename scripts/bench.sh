@@ -93,6 +93,16 @@ DERIVED_PAIRS = {
         "broker/tcp-fanout/poll-wakeup/8subs",
         "broker/tcp-fanout/notify-wakeup/8subs",
     ),
+    # PR 5: end-to-end detection latency through the ZoneMembership
+    # consumer surface — publish a 100-domain delta, wait until the
+    # pipeline's zone view applied it and emitted the domains as
+    # zone-NRD candidates (one add-visible-remove-confirmed cycle).
+    # The ratio is what the loopback-TCP socket path costs the
+    # detection pipeline per push relative to the in-process view.
+    "broker_detect_latency_tcp_vs_inproc": (
+        "broker/detect-latency/tcp",
+        "broker/detect-latency/inproc",
+    ),
 }
 derived = {
     name: round(current[slow]["median_ns"] / current[fast]["median_ns"], 2)

@@ -20,10 +20,15 @@ cargo test -q
 # filter): the threaded tests live in the broker crate's unit suites
 # and in the root proptest/fleet integration targets. The transport
 # fault suite rides along: release timing shifts the writer/publisher/
-# cut interleavings, which is exactly what it must survive.
-echo "==> cargo test -q --release (broker crate + threaded suites + transport faults)"
+# cut interleavings, which is exactly what it must survive. The
+# cross-backend membership-equivalence suite runs here too: it pins
+# byte-identical detection across the direct / in-process-broker / TCP
+# ZoneMembership backends, and the TCP leg is timing-sensitive in
+# exactly the way release builds exercise.
+echo "==> cargo test -q --release (broker crate + threaded suites + transport faults + equivalence)"
 cargo test -q --release -p darkdns-broker
-cargo test -q --release --test proptest_broker --test broker_fleet --test transport_faults
+cargo test -q --release --test proptest_broker --test broker_fleet --test transport_faults \
+    --test membership_equivalence
 
 echo "==> RUSTFLAGS=-Dwarnings cargo build --all-targets"
 RUSTFLAGS="-Dwarnings" cargo build --all-targets

@@ -19,8 +19,8 @@
 //! killed and reconnects mid-stream via its claims.
 
 use darkdns::broker::transport::{
-    duplex, FaultInjectedConn, FaultScript, FrameConn, FrameFault, LengthPrefixed, PipeCutHandle,
-    TransportClient, TransportError, MAX_FRAME_LEN,
+    duplex, fetch_stats, FaultInjectedConn, FaultScript, FrameConn, FrameFault, LengthPrefixed,
+    PipeCutHandle, TransportClient, TransportError, MAX_FRAME_LEN,
 };
 use darkdns::broker::{
     Broker, BrokerConfig, BrokerServer, OverflowPolicy, RetentionConfig, TransportConfig,
@@ -228,7 +228,8 @@ fn duplicate_delivery_is_never_applied_twice() {
     // reconnected with claims, and each serial applied exactly once.
     assert_eq!(view.view().resync_count(), 1);
     assert_eq!(view.view().frames_applied(), 3);
-    let mut nrds = view.view_mut().take_new_domains();
+    let mut nrds = Vec::new();
+    view.view_mut().drain_new_domains(&mut nrds);
     assert_eq!(nrds.len(), 3, "a duplicated delta must not duplicate zone NRDs");
     nrds.sort_unstable();
     nrds.dedup();
@@ -455,5 +456,92 @@ fn tcp_late_joiner_bootstraps_from_checkpoint_over_the_wire() {
     assert!(view.view().frames_applied() <= 4, "only post-checkpoint deltas travel as frames");
     assert_eq!(view.view().resync_count(), 0);
     assert_eq!(broker.stats().snapshot_catchups, 1);
+    server.shutdown();
+}
+
+#[test]
+fn catchup_backlog_is_coalesced_into_batched_writes() {
+    // Six deltas are queued as one catch-up backlog during the
+    // handshake, strictly before the writer loop starts, so the
+    // writer's first wakeup deterministically finds the whole run and
+    // must emit it as one syscall batch — counted per server and
+    // credited per shard — while the client decodes six ordinary
+    // frames (batching is invisible on the wire).
+    let broker = Broker::new(BrokerConfig::default());
+    broker.add_shard(TldId(0), empty_snap("com"));
+    let server = server_over(&broker);
+    for i in 1..=6u32 {
+        broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+    }
+    // A fault-free pipe dialer, so the server side runs the real
+    // single-buffer batch write (not the fault injector's per-frame
+    // fallback).
+    let dial_server = server.clone();
+    let mut view = RemoteZoneView::connect(&[TldId(0)], move |claims| {
+        let (client_end, server_end) = duplex(1 << 16);
+        dial_server.spawn_conn(LengthPrefixed::new(server_end));
+        let mut conn = LengthPrefixed::new(client_end);
+        conn.set_recv_timeout(Some(Duration::from_millis(5)))?;
+        TransportClient::connect(conn, claims)
+    })
+    .expect("connect");
+    pump_until_synced(&mut view, &broker, &[TldId(0)]);
+    assert_zone_converged(&view, &broker, TldId(0));
+    assert_eq!(view.view().frames_applied(), 6);
+    let stats = server.stats();
+    assert!(stats.coalesced_writes >= 1, "backlog must coalesce: {stats:?}");
+    assert!(stats.coalesced_frames >= 5, "five frames ride behind the first: {stats:?}");
+    assert_eq!(stats.deltas_sent, 6);
+    let shard = broker.shard_stats(TldId(0)).expect("shard");
+    assert!(shard.coalesced_frames >= 5, "per-shard coalesce credit missing: {shard:?}");
+    server.shutdown();
+}
+
+#[test]
+fn stats_query_round_trips_and_counts_itself() {
+    // An `RZUQ` scrape connection gets the server counters plus one
+    // row per shard — including the query being answered — and never
+    // joins the subscriber stream.
+    let broker = Broker::new(BrokerConfig::default());
+    broker.add_shard(TldId(0), empty_snap("com"));
+    broker.add_shard(TldId(1), empty_snap("net"));
+    let server = server_over(&broker);
+    for i in 1..=3u32 {
+        broker.publish(TldId(0), add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+    }
+    // One live subscriber so the report has a handshake to show.
+    let (sub_end, sub_server_end) = duplex(1 << 16);
+    server.spawn_conn(LengthPrefixed::new(sub_server_end));
+    let mut sub_conn = LengthPrefixed::new(sub_end);
+    sub_conn.set_recv_timeout(Some(Duration::from_millis(5))).expect("timeout");
+    let sub = TransportClient::connect(sub_conn, &[(TldId(0), Some(Serial::new(0)))])
+        .expect("hello");
+    wait_for("subscriber handshake", || server.stats().handshakes == 1);
+    // Barrier on the subscriber's async writer: every counter the
+    // scrape will report (deltas_sent, the coalesced pair, per-shard
+    // credits) has settled once all three catch-up deltas are out, so
+    // the wire report and the later in-process report compare equal
+    // deterministically.
+    wait_for("catch-up deltas written", || server.stats().deltas_sent == 3);
+
+    let (scrape_end, scrape_server_end) = duplex(1 << 16);
+    server.spawn_conn(LengthPrefixed::new(scrape_server_end));
+    let report = fetch_stats(LengthPrefixed::new(scrape_end)).expect("scrape");
+    assert_eq!(report.server.handshakes, 1, "the subscriber, not the scrape");
+    assert_eq!(report.server.stats_queries, 1, "the reply counts its own query");
+    assert_eq!(report.server.rejected_hellos, 0);
+    assert_eq!(report.shards.len(), 2);
+    let com = report.shards.iter().find(|s| s.tld == 0).expect("com row");
+    assert_eq!(com.pushes, 3);
+    assert_eq!(com.head_serial, Serial::new(3));
+    assert_eq!(com.subscribers, 1);
+    let net = report.shards.iter().find(|s| s.tld == 1).expect("net row");
+    assert_eq!(net.pushes, 0);
+    // The in-process report surface agrees with the wire round trip
+    // (modulo the counters the scrape itself just moved).
+    let local = server.stats_report();
+    assert_eq!(local.shards, report.shards);
+    assert_eq!(local.server, report.server);
+    drop(sub);
     server.shutdown();
 }
