@@ -172,6 +172,11 @@ struct QueuedMessage {
     catchup: bool,
 }
 
+/// Cross-thread readiness callback a reactor installs on a subscription
+/// ([`BrokerSubscription::set_waker`]): invoked on every enqueue and on
+/// eviction, alongside the condvar signal.
+pub type SubWaker = Arc<dyn Fn() + Send + Sync>;
+
 /// Queue state shared between the broker and one subscription handle.
 struct SubShared {
     id: u64,
@@ -181,6 +186,13 @@ struct SubShared {
     /// `queue` mutex (the vendored `parking_lot` guards *are* std
     /// guards, so a std condvar pairs with them directly).
     notify: Condvar,
+    /// Readiness hook for consumers that multiplex many subscriptions on
+    /// one thread (the transport reactor) instead of blocking each on
+    /// its own condvar. Fired at exactly the `notify` signal sites. The
+    /// callback runs under the subscriber queue lock and must only touch
+    /// leaf state (the reactor's pending list and wakeup fd) — see the
+    /// crate-level lock hierarchy.
+    waker: Mutex<Option<SubWaker>>,
     /// Catch-up messages still queued; their depth is bounded by the
     /// retention ring, so they are exempt from the live-push capacity
     /// bound.
@@ -202,6 +214,14 @@ impl SubShared {
             let _ = self.catchup_pending.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
                 Some(c.saturating_sub(n))
             });
+        }
+    }
+
+    /// Fire the installed reactor waker, if any (called at every
+    /// `notify` signal site).
+    fn wake(&self) {
+        if let Some(waker) = self.waker.lock().as_ref() {
+            waker();
         }
     }
 }
@@ -306,6 +326,54 @@ impl BrokerSubscription {
     }
 
     /// True once the broker evicted this subscriber for falling behind.
+    pub fn is_evicted(&self) -> bool {
+        self.shared.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Install (or clear) a readiness waker: a callback fired — in
+    /// addition to the condvar signal — whenever a message is enqueued
+    /// or this subscriber is evicted. This is how a reactor multiplexes
+    /// thousands of subscriptions on one thread: instead of a blocked
+    /// `next_wait` per subscription, each queue pokes the shared event
+    /// loop. The callback runs under the subscriber queue lock (itself
+    /// possibly under a shard lock) and must only touch leaf state;
+    /// anything already queued before installation is NOT re-signalled,
+    /// so install the waker first and then drain once.
+    pub fn set_waker(&self, waker: Option<SubWaker>) {
+        *self.shared.waker.lock() = waker;
+    }
+
+    /// A cheap introspection handle for monitoring this subscription
+    /// from another thread (the transport's per-subscriber stats rows):
+    /// shares the queue state, delivers nothing.
+    pub fn probe(&self) -> SubscriberProbe {
+        SubscriberProbe { shared: Arc::clone(&self.shared) }
+    }
+}
+
+/// Read-only view of one subscription's queue state, cloneable across
+/// threads. Holding a probe does not keep the subscription alive for
+/// delivery purposes — only the owning [`BrokerSubscription`] does.
+#[derive(Clone)]
+pub struct SubscriberProbe {
+    shared: Arc<SubShared>,
+}
+
+impl SubscriberProbe {
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Messages queued right now.
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().len()
+    }
+
+    /// Live pushes dropped under the Lag policy.
+    pub fn dropped_count(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
     pub fn is_evicted(&self) -> bool {
         self.shared.evicted.load(Ordering::Relaxed)
     }
@@ -542,6 +610,7 @@ impl Broker {
             id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
             queue: Mutex::new(VecDeque::new()),
             notify: Condvar::new(),
+            waker: Mutex::new(None),
             catchup_pending: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             evicted: AtomicBool::new(false),
@@ -658,6 +727,7 @@ impl Broker {
                 });
                 counters.deliveries += 1;
                 sub.notify.notify_all();
+                sub.wake();
                 return true;
             }
             match overflow {
@@ -674,6 +744,7 @@ impl Broker {
                     // Wake any blocked consumer so it observes the
                     // eviction now, not at its next timeout tick.
                     sub.notify.notify_all();
+                    sub.wake();
                     false
                 }
             }
@@ -1042,6 +1113,35 @@ mod tests {
             SubWait::TimedOut
         ));
         assert!(start.elapsed() >= std::time::Duration::from_millis(10));
+    }
+
+    #[test]
+    fn waker_fires_on_delivery_and_eviction() {
+        let config = BrokerConfig {
+            subscriber_capacity: 1,
+            overflow: OverflowPolicy::Evict,
+            ..BrokerConfig::default()
+        };
+        let broker = broker_with_com(config);
+        let sub = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        let fired = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&fired);
+        sub.set_waker(Some(Arc::new(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        })));
+        broker.publish(TldId(0), add_delta("d1.com"), Serial::new(1), SimTime::ZERO);
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "delivery must fire the waker");
+        // Second publish overflows the un-drained queue and evicts: the
+        // eviction signal must also reach the waker.
+        broker.publish(TldId(0), add_delta("d2.com"), Serial::new(2), SimTime::ZERO);
+        assert_eq!(fired.load(Ordering::Relaxed), 2, "eviction must fire the waker");
+        assert!(sub.is_evicted());
+        // A probe sees the same state without consuming anything.
+        let probe = sub.probe();
+        assert_eq!(probe.id(), sub.id());
+        assert!(probe.is_evicted());
+        assert_eq!(probe.queued(), 0);
+        sub.set_waker(None);
     }
 
     #[test]

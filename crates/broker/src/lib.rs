@@ -33,11 +33,13 @@
 //!   through the pool.
 //! * [`transport`] — the socket layer: [`transport::BrokerServer`]
 //!   accepts length-prefixed frame connections (TCP, or an in-memory
-//!   duplex pipe in tests — both behind the [`transport::FrameConn`]
-//!   trait), answers the `RZUH` handshake with the same
+//!   duplex pipe in tests), answers the `RZUH` handshake with the same
 //!   snapshot-vs-delta catch-up plan in-process subscribers get, and
-//!   streams live pushes from one writer thread per subscriber, woken
-//!   by the subscriber queue's condvar ([`BrokerSubscription::next_wait`]).
+//!   streams live pushes from a **single reactor thread** — an epoll
+//!   event loop over non-blocking sockets with a per-connection
+//!   outbound ring, woken through an eventfd by the subscriber queue's
+//!   waker callback ([`BrokerSubscription::set_waker`]). Clients keep
+//!   the blocking [`transport::FrameConn`] trait:
 //!   [`transport::TransportClient`] decodes the stream and tracks
 //!   per-TLD claimed serials for reconnect-with-claims
 //!   (`darkdns_core::broker_view::RemoteZoneView` drives the loop).
@@ -83,15 +85,23 @@
 //! with a thread-local assertion in the shard-lock guard; release builds
 //! pay nothing for it.
 //!
-//! Transport **writer threads sit entirely at level 2**: one thread per
-//! subscriber connection, whose only synchronisation is its own
-//! subscriber's queue mutex (and the condvar paired with it) inside
-//! [`BrokerSubscription::next_wait`]. A writer never takes a shard lock
-//! — the handshake's `subscribe_with` call is the connection's one
-//! brush with level 1, before the writer loop starts — so a wedged
-//! socket can back-pressure only its own queue, where the overflow
-//! policy (lag or evict, signalled explicitly through
-//! [`broker::SubWait::Evicted`]) bounds the damage to that subscriber.
+//! The **transport reactor sits entirely at level 2**: one thread for
+//! *all* subscriber connections, which services a connection by
+//! draining its queue with non-blocking `try_next` calls (queue mutex
+//! only) into that connection's bounded outbound ring, then writing
+//! the ring to the socket without ever blocking. The reactor never
+//! takes a shard lock — the handshake's `subscribe_with` call is a
+//! connection's one brush with level 1, before it streams. Wakeups
+//! flow the other way through leaf state only: the waker a connection
+//! installs ([`BrokerSubscription::set_waker`]) runs under that
+//! subscriber's queue lock (level 2, possibly under its shard's level
+//! 1 lock) and touches nothing but an atomic flag, the reactor's
+//! pending-list mutex and an eventfd — so publisher → reactor
+//! signalling can never invert the hierarchy. A wedged socket fills
+//! its ring, which stops its queue drain, which back-pressures only
+//! its own queue — where the overflow policy (lag or evict, signalled
+//! explicitly through [`broker::SubWait::Evicted`]) bounds the damage
+//! to that subscriber.
 //!
 //! # The snapshot-vs-delta catch-up decision rule
 //!
@@ -127,6 +137,6 @@ pub use feed::UniverseFeed;
 pub use pool::{PublishItem, PublishPool};
 pub use shard::{CatchUp, JournalShard, RetentionConfig, SealedDelta};
 pub use transport::{
-    BrokerServer, ClientEvent, FrameConn, TransportClient, TransportConfig, TransportError,
-    WriterWakeup,
+    BrokerServer, ClientEvent, FrameConn, ServedConn, TransportClient, TransportConfig,
+    TransportError,
 };

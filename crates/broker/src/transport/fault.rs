@@ -1,22 +1,23 @@
 //! Scriptable fault injection at the frame boundary.
 //!
-//! [`FaultInjectedConn`] wraps the server side of a pipe-backed
-//! [`FrameConn`] and consults a [`FaultScript`] before every outgoing
-//! frame. Faults are expressed in the transport's own vocabulary —
-//! truncate this frame and cut, flip a byte, deliver it twice, drop the
-//! link — so a test reads as a network incident report rather than a
-//! byte-twiddling exercise. The injected damage still travels through
-//! the real framing layer and the client's real decoders: a truncated
-//! frame is produced by writing a short payload under a full-length
-//! prefix (exactly what a mid-frame TCP disconnect leaves behind), not
-//! by handing the client a pre-broken in-process value.
+//! [`FaultInjectedConn`] bundles the server side of a pipe with a
+//! [`FaultScript`]; the reactor consults the script as it composes each
+//! outgoing protocol frame into the connection's ring (idle heartbeats
+//! bypass the script — faults are scripted against the protocol frame
+//! sequence, which must stay deterministic under timing-dependent
+//! heartbeat interleavings). Faults are expressed in the transport's
+//! own vocabulary — truncate this frame and cut, flip a byte, deliver
+//! it twice, drop the link — so a test reads as a network incident
+//! report rather than a byte-twiddling exercise. The injected damage
+//! still travels through the real ring flush and the client's real
+//! framing layer and decoders: a truncated frame is produced by
+//! flushing a short payload under a full-length prefix (exactly what a
+//! mid-frame TCP disconnect leaves behind), not by handing the client a
+//! pre-broken in-process value.
 
-use super::frame::{FrameConn, LengthPrefixed, TransportError};
-use super::pipe::{PipeCutHandle, PipeEnd};
-use bytes::Bytes;
+use super::pipe::PipeEnd;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
 
 /// What to do to the next outgoing frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +55,8 @@ impl FaultScript {
         self.plan.lock().unwrap_or_else(|p| p.into_inner()).push_back(fault);
     }
 
-    fn next(&self) -> FrameFault {
+    /// Pop the fault for the next protocol frame.
+    pub(super) fn next_fault(&self) -> FrameFault {
         self.plan
             .lock()
             .unwrap_or_else(|p| p.into_inner())
@@ -68,78 +70,21 @@ impl FaultScript {
     }
 }
 
-/// The server-side test double: a pipe-backed frame connection whose
-/// outgoing frames suffer scripted faults.
+/// The server-side test double: a pipe-backed connection whose outgoing
+/// frames suffer scripted faults. Hand it to
+/// [`BrokerServer::spawn_conn`](super::BrokerServer::spawn_conn) — the
+/// reactor applies the script where the old per-connection writer
+/// thread used to, at the frame boundary.
 pub struct FaultInjectedConn {
-    inner: LengthPrefixed<PipeEnd>,
-    script: FaultScript,
-    cut: PipeCutHandle,
+    pub(super) end: PipeEnd,
+    pub(super) max_frame_len: usize,
+    pub(super) script: FaultScript,
 }
 
 impl FaultInjectedConn {
-    /// Wrap the server end of a pipe. The cut handle must belong to the
-    /// same pipe (it is how `TruncateAndCut` / `CutBefore` sever it).
+    /// Wrap the server end of a pipe. `TruncateAndCut` / `CutBefore`
+    /// sever through the pipe's own cut handle.
     pub fn new(end: PipeEnd, max_frame_len: usize, script: FaultScript) -> Self {
-        let cut = end.cut_handle();
-        FaultInjectedConn { inner: LengthPrefixed::with_max(end, max_frame_len), script, cut }
-    }
-}
-
-impl FrameConn for FaultInjectedConn {
-    fn send_frame(&mut self, parts: &[&[u8]]) -> Result<(), TransportError> {
-        if parts.iter().all(|p| p.is_empty()) {
-            // Idle heartbeats pass through without consuming the script:
-            // faults are scripted against the protocol frame sequence,
-            // which must stay deterministic under timing-dependent
-            // heartbeat interleavings.
-            return self.inner.send_frame(parts);
-        }
-        match self.script.next() {
-            FrameFault::Deliver => self.inner.send_frame(parts),
-            FrameFault::Duplicate => {
-                self.inner.send_frame(parts)?;
-                self.inner.send_frame(parts)
-            }
-            FrameFault::CorruptByte(i) => {
-                let mut payload: Vec<u8> = Vec::new();
-                for part in parts {
-                    payload.extend_from_slice(part);
-                }
-                if !payload.is_empty() {
-                    let at = i % payload.len();
-                    payload[at] ^= 0xFF;
-                }
-                self.inner.send_frame(&[&payload])
-            }
-            FrameFault::TruncateAndCut(n) => {
-                let mut payload: Vec<u8> = Vec::new();
-                for part in parts {
-                    payload.extend_from_slice(part);
-                }
-                // Promise the whole payload, deliver a strict prefix,
-                // then partition: the peer is left mid-frame.
-                let keep = n.min(payload.len().saturating_sub(1));
-                self.inner.send_raw(&(payload.len() as u32).to_be_bytes())?;
-                self.inner.send_raw(&payload[..keep])?;
-                self.cut.cut();
-                Err(TransportError::Closed)
-            }
-            FrameFault::CutBefore => {
-                self.cut.cut();
-                Err(TransportError::Closed)
-            }
-        }
-    }
-
-    fn recv_frame(&mut self) -> Result<Bytes, TransportError> {
-        self.inner.recv_frame()
-    }
-
-    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
-        self.inner.set_recv_timeout(timeout)
-    }
-
-    fn set_send_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
-        self.inner.set_send_timeout(timeout)
+        FaultInjectedConn { end, max_frame_len, script }
     }
 }

@@ -147,6 +147,135 @@ enum RecvState {
     Payload { buf: Vec<u8>, have: usize },
 }
 
+/// What one [`FrameAssembler::read_from`] pass produced.
+#[derive(Debug)]
+pub enum FrameProgress {
+    /// One complete frame payload.
+    Frame(Bytes),
+    /// The stream has no bytes to give right now (`WouldBlock` on a
+    /// non-blocking stream, or a read timeout on a blocking one).
+    /// Partial progress is retained; the next pass resumes.
+    Pending,
+    /// Clean EOF at a frame boundary.
+    Closed,
+}
+
+/// The incremental receive state machine behind [`LengthPrefixed`],
+/// factored out so readiness-driven (non-blocking) readers — the
+/// reactor's connection driver — run the exact same header/payload
+/// accumulation and length-bound enforcement as the blocking path.
+///
+/// One `read_from` pass pulls bytes from the stream until a frame
+/// completes, the stream dries up (`Pending`), or the peer goes away.
+/// EOF classification matches [`FrameConn::recv_frame`]: EOF exactly at
+/// a frame boundary is [`FrameProgress::Closed`]; EOF with a torn
+/// header or part of a promised payload is an `UnexpectedEof` I/O
+/// error. Oversized length prefixes are rejected *before* any buffer
+/// is sized from them.
+pub struct FrameAssembler {
+    max_frame_len: usize,
+    state: RecvState,
+}
+
+impl FrameAssembler {
+    pub fn new(max_frame_len: usize) -> Self {
+        FrameAssembler { max_frame_len, state: RecvState::Header { buf: [0; 4], have: 0 } }
+    }
+
+    /// True while a frame is partially received — an EOF now would be a
+    /// mid-frame cut rather than an orderly close.
+    #[cfg(test)]
+    pub fn mid_frame(&self) -> bool {
+        match &self.state {
+            RecvState::Header { have, .. } => *have > 0,
+            RecvState::Payload { .. } => true,
+        }
+    }
+
+    /// Pull bytes from `stream` until one of the [`FrameProgress`]
+    /// outcomes. `Interrupted` reads are retried; `WouldBlock` /
+    /// `TimedOut` surface as `Pending` (the caller decides whether that
+    /// means "wait for readiness" or "report a timeout").
+    pub fn read_from<S: Read + ?Sized>(
+        &mut self,
+        stream: &mut S,
+    ) -> Result<FrameProgress, TransportError> {
+        loop {
+            match &mut self.state {
+                RecvState::Header { buf, have } => {
+                    let n = match read_some(stream, &mut buf[*have..]) {
+                        Ok(n) => n,
+                        Err(ReadSomeError::Dry) => return Ok(FrameProgress::Pending),
+                        Err(ReadSomeError::Io(e)) => return Err(TransportError::Io(e)),
+                    };
+                    if n == 0 {
+                        // EOF with zero header bytes is a clean close;
+                        // EOF with a torn header is a mid-frame cut.
+                        return if *have == 0 {
+                            Ok(FrameProgress::Closed)
+                        } else {
+                            Err(TransportError::Io(ErrorKind::UnexpectedEof.into()))
+                        };
+                    }
+                    *have += n;
+                    if *have < 4 {
+                        continue;
+                    }
+                    let declared = u32::from_be_bytes(*buf) as usize;
+                    if declared > self.max_frame_len {
+                        // Reject before sizing anything from the length.
+                        return Err(TransportError::FrameTooLarge {
+                            declared,
+                            max: self.max_frame_len,
+                        });
+                    }
+                    if declared == 0 {
+                        self.state = RecvState::Header { buf: [0; 4], have: 0 };
+                        return Ok(FrameProgress::Frame(Bytes::new()));
+                    }
+                    self.state = RecvState::Payload { buf: vec![0; declared], have: 0 };
+                }
+                RecvState::Payload { buf, have } => {
+                    let n = match read_some(stream, &mut buf[*have..]) {
+                        Ok(n) => n,
+                        Err(ReadSomeError::Dry) => return Ok(FrameProgress::Pending),
+                        Err(ReadSomeError::Io(e)) => return Err(TransportError::Io(e)),
+                    };
+                    if n == 0 {
+                        // The length prefix promised more: mid-frame cut.
+                        return Err(TransportError::Io(ErrorKind::UnexpectedEof.into()));
+                    }
+                    *have += n;
+                    if *have == buf.len() {
+                        let payload = std::mem::take(buf);
+                        self.state = RecvState::Header { buf: [0; 4], have: 0 };
+                        return Ok(FrameProgress::Frame(Bytes::from(payload)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum ReadSomeError {
+    /// `WouldBlock` / `TimedOut`: the stream has nothing right now.
+    Dry,
+    Io(std::io::Error),
+}
+
+fn read_some<S: Read + ?Sized>(stream: &mut S, buf: &mut [u8]) -> Result<usize, ReadSomeError> {
+    loop {
+        match stream.read(buf) {
+            Ok(n) => return Ok(n),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Err(ReadSomeError::Dry)
+            }
+            Err(e) => return Err(ReadSomeError::Io(e)),
+        }
+    }
+}
+
 /// Length-prefixed framing over a byte stream.
 ///
 /// Receive progress survives timeouts: a `TimedOut` mid-header or
@@ -156,7 +285,7 @@ enum RecvState {
 pub struct LengthPrefixed<S: ByteIo> {
     stream: S,
     max_frame_len: usize,
-    recv: RecvState,
+    recv: FrameAssembler,
     send_buf: Vec<u8>,
 }
 
@@ -176,7 +305,7 @@ impl<S: ByteIo> LengthPrefixed<S> {
         LengthPrefixed {
             stream,
             max_frame_len,
-            recv: RecvState::Header { buf: [0; 4], have: 0 },
+            recv: FrameAssembler::new(max_frame_len),
             send_buf: Vec::new(),
         }
     }
@@ -190,14 +319,17 @@ impl<S: ByteIo> LengthPrefixed<S> {
         Ok(())
     }
 
-    fn read_some(stream: &mut S, buf: &mut [u8]) -> Result<usize, TransportError> {
-        loop {
-            match stream.read(buf) {
-                Ok(n) => return Ok(n),
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e.into()),
-            }
-        }
+    /// The payload-length bound this connection enforces on both sides.
+    pub fn max_frame_len(&self) -> usize {
+        self.max_frame_len
+    }
+
+    /// Surrender the underlying stream (e.g. to hand a handshaken pipe
+    /// end to the reactor, which frames it with its own
+    /// [`FrameAssembler`]). Any partially received frame is discarded —
+    /// callers convert before the first receive.
+    pub fn into_inner(self) -> S {
+        self.stream
     }
 }
 
@@ -255,51 +387,12 @@ impl<S: ByteIo> FrameConn for LengthPrefixed<S> {
     }
 
     fn recv_frame(&mut self) -> Result<Bytes, TransportError> {
-        loop {
-            match &mut self.recv {
-                RecvState::Header { buf, have } => {
-                    let n = Self::read_some(&mut self.stream, &mut buf[*have..])?;
-                    if n == 0 {
-                        // EOF with zero header bytes is a clean close;
-                        // EOF with a torn header is a mid-frame cut.
-                        return if *have == 0 {
-                            Err(TransportError::Closed)
-                        } else {
-                            Err(TransportError::Io(ErrorKind::UnexpectedEof.into()))
-                        };
-                    }
-                    *have += n;
-                    if *have < 4 {
-                        continue;
-                    }
-                    let declared = u32::from_be_bytes(*buf) as usize;
-                    if declared > self.max_frame_len {
-                        // Reject before sizing anything from the length.
-                        return Err(TransportError::FrameTooLarge {
-                            declared,
-                            max: self.max_frame_len,
-                        });
-                    }
-                    if declared == 0 {
-                        self.recv = RecvState::Header { buf: [0; 4], have: 0 };
-                        return Ok(Bytes::new());
-                    }
-                    self.recv = RecvState::Payload { buf: vec![0; declared], have: 0 };
-                }
-                RecvState::Payload { buf, have } => {
-                    let n = Self::read_some(&mut self.stream, &mut buf[*have..])?;
-                    if n == 0 {
-                        // The length prefix promised more: mid-frame cut.
-                        return Err(TransportError::Io(ErrorKind::UnexpectedEof.into()));
-                    }
-                    *have += n;
-                    if *have == buf.len() {
-                        let payload = std::mem::take(buf);
-                        self.recv = RecvState::Header { buf: [0; 4], have: 0 };
-                        return Ok(Bytes::from(payload));
-                    }
-                }
-            }
+        // On a blocking stream the assembler's `Pending` can only mean
+        // the configured read timeout elapsed.
+        match self.recv.read_from(&mut self.stream)? {
+            FrameProgress::Frame(payload) => Ok(payload),
+            FrameProgress::Pending => Err(TransportError::TimedOut),
+            FrameProgress::Closed => Err(TransportError::Closed),
         }
     }
 
@@ -403,6 +496,32 @@ mod tests {
             Err(TransportError::Io(e)) => assert_eq!(e.kind(), ErrorKind::UnexpectedEof),
             other => panic!("expected mid-frame EOF error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn assembler_resumes_across_wouldblock_on_a_nonblocking_stream() {
+        let (a, mut b) = duplex(1 << 16);
+        let mut tx = LengthPrefixed::new(a);
+        b.set_nonblocking(true);
+        let mut asm = FrameAssembler::new(MAX_FRAME_LEN);
+        // Nothing buffered: a readiness-driven reader parks, it doesn't
+        // error.
+        assert!(matches!(asm.read_from(&mut b).unwrap(), FrameProgress::Pending));
+        assert!(!asm.mid_frame());
+        // Half a frame arrives; the assembler keeps the partial state
+        // across the dry spell.
+        tx.send_raw(&10u32.to_be_bytes()).unwrap();
+        tx.send_raw(b"01234").unwrap();
+        assert!(matches!(asm.read_from(&mut b).unwrap(), FrameProgress::Pending));
+        assert!(asm.mid_frame());
+        tx.send_raw(b"56789").unwrap();
+        match asm.read_from(&mut b).unwrap() {
+            FrameProgress::Frame(p) => assert_eq!(&p[..], b"0123456789"),
+            other => panic!("expected a complete frame, got {other:?}"),
+        }
+        assert!(!asm.mid_frame());
+        drop(tx);
+        assert!(matches!(asm.read_from(&mut b).unwrap(), FrameProgress::Closed));
     }
 
     #[test]

@@ -1,15 +1,30 @@
 //! The broker's socket transport: RZU fan-out over real connections.
 //!
-//! Everything below the broker in this module is organised around one
-//! abstraction, [`FrameConn`] — a blocking, bidirectional, whole-frame
-//! connection. The server and client logic is written against the
-//! trait, so the same code runs over TCP ([`tcp_connect`] /
-//! [`BrokerServer::listen_tcp`]) in deployments and examples, and over
-//! the in-memory [`pipe`] duplex in tests — which is what makes the
-//! deterministic fault-injection harness (`tests/transport_faults.rs`)
-//! possible: [`FaultInjectedConn`] scripts mid-frame cuts, corrupt and
-//! duplicated frames at the frame boundary while exercising the same
-//! framing state machine and decoders as a production socket.
+//! The transport is split down the middle of the connection:
+//!
+//! * **Server side — readiness-driven.** [`BrokerServer`] owns exactly
+//!   one reactor thread (an epoll event loop over the vendored
+//!   `mio_shim`) that services every listener and every subscriber
+//!   connection: non-blocking sockets, a per-connection outbound ring
+//!   of composed frames drained with vectored writes, broker-queue
+//!   wakeups delivered through an eventfd. Thread count and idle cost
+//!   are flat in the subscriber count — 10,000 connections are one
+//!   thread, not 10,000 (see [`BrokerServer::transport_threads`]).
+//! * **Client side — blocking.** Consumers keep the simple
+//!   [`FrameConn`] trait: a blocking, bidirectional, whole-frame
+//!   connection over TCP ([`tcp_connect`]) or the in-memory [`pipe`]
+//!   duplex. Both sides share one framing state machine
+//!   (`FrameAssembler`), so the bytes the reactor's ring produces are
+//!   decoded by exactly the code the blocking client uses.
+//!
+//! The in-memory pipe speaks both dialects — blocking for clients,
+//! non-blocking with readiness hooks for the reactor — which is what
+//! keeps the deterministic fault-injection harness
+//! (`tests/transport_faults.rs`) on the production code path:
+//! [`FaultInjectedConn`] scripts mid-frame cuts, corrupt and duplicated
+//! frames, and the reactor applies the script as it composes frames
+//! into the ring, while the client exercises the same framing state
+//! machine and decoders as a production socket.
 //!
 //! # Protocol
 //!
@@ -28,11 +43,16 @@
 //! |        |                  | `ShardStats` rows ([`fetch_stats`])       |
 //! | empty  | server → client  | idle heartbeat / dead-peer probe          |
 //!
-//! Consecutive queued messages found at one writer wakeup are coalesced
-//! into a single syscall batch ([`FrameConn::send_frames`]); framing on
-//! the wire is unchanged, and the saved syscalls are counted in
-//! [`ServerStats`] (`coalesced_writes` / `coalesced_frames`) and
-//! per-shard in `ShardStats::coalesced_frames`.
+//! The `RZUQ` reply carries the transport counters, per-shard rows, and
+//! one row per live subscriber connection (queue depth, lag drops,
+//! coalesced frames, buffered ring bytes, per-TLD claims) — every
+//! length field bounded before allocation, as for all untrusted input.
+//!
+//! Consecutive messages found queued when a connection's ring is pumped
+//! are coalesced into a single vectored write; framing on the wire is
+//! unchanged, and the saved syscalls are counted in [`ServerStats`]
+//! (`coalesced_writes` / `coalesced_frames`) and per-shard in
+//! `ShardStats::coalesced_frames`.
 //!
 //! The handshake *is* the catch-up entry point: the server validates the
 //! claims, calls `Broker::subscribe_with`, and the broker enqueues the
@@ -56,13 +76,15 @@ mod client;
 mod fault;
 mod frame;
 pub mod pipe;
+mod reactor;
+mod ring;
 mod server;
 
 pub use client::{fetch_stats, ClientEvent, TransportClient};
-pub use darkdns_dns::wire::{StatsReport, WireServerStats, WireShardStats};
+pub use darkdns_dns::wire::{StatsReport, WireServerStats, WireShardStats, WireSubscriberStats};
 pub use fault::{FaultInjectedConn, FaultScript, FrameFault};
 pub use frame::{
     tcp_connect, ByteIo, FrameConn, LengthPrefixed, TcpFrameConn, TransportError, MAX_FRAME_LEN,
 };
 pub use pipe::{duplex, PipeCutHandle, PipeEnd};
-pub use server::{BrokerServer, ServerStats, TransportConfig, WriterWakeup};
+pub use server::{BrokerServer, ServedConn, ServerStats, TransportConfig};

@@ -1,69 +1,60 @@
-//! The push side of the transport: one writer thread per subscriber.
+//! The push side of the transport: a reactor-fronted [`BrokerServer`].
 //!
-//! [`BrokerServer`] accepts frame connections (TCP or in-memory), runs
-//! the `RZUH` handshake, registers the subscriber with the broker —
-//! which enqueues the snapshot-vs-delta catch-up plan under the shard
-//! locks, exactly as for in-process subscribers — and then drives a
-//! per-connection writer loop off the subscriber queue's notify wakeup.
+//! [`BrokerServer`] accepts frame connections (TCP or in-memory) and
+//! hands every one of them to a single readiness-driven reactor thread
+//! (see [`super::reactor`]). The reactor runs the `RZUH` handshake,
+//! registers the subscriber with the broker — which enqueues the
+//! snapshot-vs-delta catch-up plan under the shard locks, exactly as
+//! for in-process subscribers — and then drives the connection's
+//! outbound ring off queue wakeups and socket writability. Thread
+//! count is **flat**: one reactor serves every listener and every
+//! connection, whether the fleet is 8 subscribers or 10,000
+//! ([`BrokerServer::transport_threads`] exposes the count for tests and
+//! benches to assert on).
 //!
-//! Writer threads sit *below* the broker's lock hierarchy: they never
-//! touch a shard lock. Their only synchronisation is the subscriber
-//! queue mutex taken inside [`BrokerSubscription::next_wait`] (and the
-//! condvar paired with it), so a slow or wedged socket can stall only
-//! its own subscriber — which the broker's overflow policy then lags or
-//! evicts, and the writer reports the eviction to the peer as an `RZUE`
-//! frame before closing so the client reconnects with its claims.
+//! This type keeps the cross-thread surface: construction, connection
+//! hand-off ([`BrokerServer::spawn_conn`] — the name survives from the
+//! writer-thread era; today it *stages* rather than spawns),
+//! listeners, stats, and shutdown. All of it communicates with the
+//! reactor through the announcement mailbox and eventfd in
+//! [`ReactorShared`], never by touching connection state directly.
 
-use super::frame::{FrameConn, LengthPrefixed};
-use crate::broker::{Broker, BrokerMessage, ShardStats, SubWait};
-use bytes::Bytes;
+use super::fault::FaultInjectedConn;
+use super::frame::LengthPrefixed;
+use super::pipe::PipeEnd;
+use super::reactor::{self, NewPipeConn, ReactorShared};
+use crate::broker::{Broker, ShardStats, SubscriberProbe};
 use darkdns_dns::wire::{
-    decode_hello, delta_envelope_header, encode_evict_notice, encode_snapshot_push,
-    encode_stats_report, is_stats_query, StatsReport, WireServerStats, WireShardStats,
+    StatsReport, TldClaim, WireServerStats, WireShardStats, WireSubscriberStats,
 };
 use darkdns_dns::Serial;
-use darkdns_registry::tld::TldId;
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-
-/// How a writer thread waits for work on its subscriber queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum WriterWakeup {
-    /// Block on the queue's condvar ([`BrokerSubscription::next_wait`]):
-    /// zero CPU while idle, wakes exactly on enqueue or eviction.
-    #[default]
-    Notify,
-    /// Spin on `try_next` with `yield_now` — the poll-loop baseline the
-    /// bench compares against. Burns a core per idle subscriber; kept
-    /// only to measure what the notify path is worth.
-    Poll,
-}
+use std::time::Duration;
 
 /// Transport tuning.
 #[derive(Debug, Clone, Copy)]
 pub struct TransportConfig {
     /// Per-frame payload bound enforced on receive.
     pub max_frame_len: usize,
-    /// Idle tick: how often a blocked writer wakes to check for
-    /// shutdown and to heartbeat the connection (an empty frame, which
-    /// doubles as dead-peer detection while a subscriber is quiet).
+    /// Idle tick: the reactor's epoll-wait bound, and how long a quiet
+    /// connection stays silent before it gets a heartbeat frame (an
+    /// empty frame the client skips, which doubles as dead-peer
+    /// detection while a subscriber is quiet).
     pub writer_tick: Duration,
     /// How long a fresh connection may take to send its HELLO.
     pub handshake_timeout: Duration,
-    /// How long one frame write may block on a peer that is not
-    /// draining before the writer declares the connection dead. This
-    /// bounds two hazards a wedged-but-open peer would otherwise cause:
-    /// a writer stuck in `send_frame` that [`BrokerServer::shutdown`]
-    /// could never join, and (under `OverflowPolicy::Evict`) a writer
-    /// that never returns to its queue to observe — and report — the
-    /// eviction.
+    /// How long a connection's outbound ring may sit non-empty without
+    /// the peer accepting a single byte before the reactor declares the
+    /// connection dead. This bounds the damage of a wedged-but-open
+    /// peer: its ring (and, upstream, its broker queue under the
+    /// overflow policy) cannot be held hostage forever, and
+    /// [`BrokerServer::shutdown`] never waits on it.
     pub write_timeout: Duration,
-    /// Writer wait strategy.
-    pub wakeup: WriterWakeup,
 }
 
 impl Default for TransportConfig {
@@ -73,7 +64,6 @@ impl Default for TransportConfig {
             writer_tick: Duration::from_millis(50),
             handshake_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(10),
-            wakeup: WriterWakeup::Notify,
         }
     }
 }
@@ -82,111 +72,166 @@ impl Default for TransportConfig {
 /// from [`BrokerServer::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Connections handed to a writer thread.
+    /// Connections registered with the reactor.
     pub accepted: u64,
     /// Handshakes that produced a live subscription.
     pub handshakes: u64,
     /// Connections dropped during the handshake (timeout, bad frame,
     /// unknown TLD claim).
     pub rejected_hellos: u64,
-    /// Delta envelopes written (each wraps the shard's shared `RZU1`
-    /// frame verbatim — never re-encoded per subscriber).
+    /// Delta envelopes fully flushed (each wraps the shard's shared
+    /// `RZU1` frame verbatim — never re-encoded per subscriber).
     pub deltas_sent: u64,
-    /// Snapshot bootstraps written.
+    /// Snapshot bootstraps fully flushed.
     pub snapshots_sent: u64,
-    /// `RZUE` eviction notices written (connection closed right after).
+    /// `RZUE` eviction notices composed (connection drains and closes).
     pub evict_notices: u64,
-    /// Connections that died mid-stream (peer gone).
+    /// Connections that died mid-stream (peer gone, write stall).
     pub disconnects: u64,
-    /// Writer batches that carried more than one frame (several
-    /// consecutive queued messages coalesced into one syscall).
+    /// Vectored writes that carried more than one message frame
+    /// (several queued messages coalesced into one syscall).
     pub coalesced_writes: u64,
-    /// Frames that rode in a batch behind another frame — each is one
-    /// write syscall saved at fan-out.
+    /// Frames that rode in a vectored write behind another frame — each
+    /// is one write syscall saved at fan-out.
     pub coalesced_frames: u64,
     /// `RZUQ` stats queries answered (scrape connections).
     pub stats_queries: u64,
 }
 
 #[derive(Default)]
-struct StatsInner {
-    accepted: AtomicU64,
-    handshakes: AtomicU64,
-    rejected_hellos: AtomicU64,
-    deltas_sent: AtomicU64,
-    snapshots_sent: AtomicU64,
-    evict_notices: AtomicU64,
-    disconnects: AtomicU64,
-    coalesced_writes: AtomicU64,
-    coalesced_frames: AtomicU64,
-    stats_queries: AtomicU64,
+pub(super) struct StatsInner {
+    pub(super) accepted: AtomicU64,
+    pub(super) handshakes: AtomicU64,
+    pub(super) rejected_hellos: AtomicU64,
+    pub(super) deltas_sent: AtomicU64,
+    pub(super) snapshots_sent: AtomicU64,
+    pub(super) evict_notices: AtomicU64,
+    pub(super) disconnects: AtomicU64,
+    pub(super) coalesced_writes: AtomicU64,
+    pub(super) coalesced_frames: AtomicU64,
+    pub(super) stats_queries: AtomicU64,
 }
 
-struct ServerInner {
-    broker: Broker,
-    config: TransportConfig,
-    stop: AtomicBool,
-    stats: StatsInner,
+/// One live subscriber connection's stats surface: what the `RZUQ`
+/// report's per-subscriber rows are built from. The probe reads the
+/// broker queue's own accounting; the rest is transport-side state the
+/// reactor maintains (lock-free counters plus a leaf mutex over the
+/// claim map).
+pub(super) struct ConnStatsEntry {
+    pub(super) probe: SubscriberProbe,
+    pub(super) coalesced_frames: AtomicU64,
+    pub(super) buffered_bytes: AtomicU64,
+    /// Per-TLD serials this connection has *verifiably* streamed past:
+    /// seeded from the HELLO claims, advanced only when a delta's last
+    /// byte reaches the stream.
+    pub(super) claims: Mutex<BTreeMap<u16, Option<Serial>>>,
+}
+
+pub(super) struct ServerInner {
+    pub(super) broker: Broker,
+    pub(super) config: TransportConfig,
+    pub(super) stats: StatsInner,
+    pub(super) reactor: Arc<ReactorShared>,
+    /// Live subscriber connections by subscriber id (sorted, so the
+    /// report rows come out in a stable order).
+    pub(super) conns: Mutex<BTreeMap<u64, Arc<ConnStatsEntry>>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
+/// A connection ready to hand to the reactor: the server end of a pipe
+/// plus optional per-connection framing bound and fault script. All
+/// supported connection shapes convert [`Into`] this — TCP streams
+/// never appear here, they arrive through a registered listener.
+pub struct ServedConn {
+    end: PipeEnd,
+    max_frame_len: Option<usize>,
+    script: Option<super::fault::FaultScript>,
+}
+
+impl From<PipeEnd> for ServedConn {
+    fn from(end: PipeEnd) -> Self {
+        ServedConn { end, max_frame_len: None, script: None }
+    }
+}
+
+impl From<LengthPrefixed<PipeEnd>> for ServedConn {
+    fn from(conn: LengthPrefixed<PipeEnd>) -> Self {
+        let max = conn.max_frame_len();
+        ServedConn { end: conn.into_inner(), max_frame_len: Some(max), script: None }
+    }
+}
+
+impl From<FaultInjectedConn> for ServedConn {
+    fn from(conn: FaultInjectedConn) -> Self {
+        ServedConn {
+            end: conn.end,
+            max_frame_len: Some(conn.max_frame_len),
+            script: Some(conn.script),
+        }
+    }
+}
+
 /// A transport frontend over one [`Broker`]. Cheap to clone; all clones
-/// share the listener threads, stats and shutdown flag.
+/// share the reactor, stats and shutdown flag.
 #[derive(Clone)]
 pub struct BrokerServer {
     inner: Arc<ServerInner>,
 }
 
 impl BrokerServer {
+    /// Build the server and start its reactor thread. The reactor is
+    /// the server's *only* transport thread, shared by every listener
+    /// and connection.
     pub fn new(broker: Broker, config: TransportConfig) -> Self {
-        BrokerServer {
-            inner: Arc::new(ServerInner {
-                broker,
-                config,
-                stop: AtomicBool::new(false),
-                stats: StatsInner::default(),
-                threads: Mutex::new(Vec::new()),
-            }),
-        }
+        let reactor =
+            Arc::new(ReactorShared::new().expect("create reactor epoll wakeup eventfd"));
+        let inner = Arc::new(ServerInner {
+            broker,
+            config,
+            stats: StatsInner::default(),
+            reactor,
+            conns: Mutex::new(BTreeMap::new()),
+            threads: Mutex::new(Vec::new()),
+        });
+        let loop_inner = Arc::clone(&inner);
+        let handle = std::thread::spawn(move || reactor::run(loop_inner));
+        inner.threads.lock().push(handle);
+        BrokerServer { inner }
     }
 
-    /// Serve one already-established frame connection on a fresh writer
-    /// thread (the in-memory path used by tests; the TCP acceptor calls
-    /// the same loop).
-    pub fn spawn_conn(&self, conn: impl FrameConn + 'static) {
-        let inner = Arc::clone(&self.inner);
-        let handle = std::thread::spawn(move || run_conn(&inner, conn));
-        self.inner.threads.lock().push(handle);
+    /// Hand one already-established in-memory connection to the reactor
+    /// (the path tests and the fault harness use; TCP connections
+    /// arrive via [`BrokerServer::listen_tcp`] instead). The name is a
+    /// holdover from the writer-thread transport: nothing is spawned —
+    /// the connection is staged in the reactor's mailbox and serviced
+    /// on its thread.
+    pub fn spawn_conn(&self, conn: impl Into<ServedConn>) {
+        let ServedConn { end, max_frame_len, script } = conn.into();
+        self.inner
+            .reactor
+            .announce(|pending| pending.conns.push(NewPipeConn { end, max_frame_len, script }));
     }
 
-    /// Bind a TCP listener and accept subscribers until
-    /// [`BrokerServer::shutdown`]. Returns the bound address (bind to
-    /// port 0 for an ephemeral one).
+    /// Bind a TCP listener and register it with the reactor, which
+    /// accepts subscribers until [`BrokerServer::shutdown`]. Returns
+    /// the bound address (bind to port 0 for an ephemeral one).
     pub fn listen_tcp(&self, addr: &str) -> std::io::Result<SocketAddr> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        // Non-blocking accept polled on the writer tick, so shutdown
-        // never hangs on a quiet listener.
+        // Non-blocking is load-bearing: the reactor drains accept
+        // bursts to `WouldBlock` inside the event loop — there is no
+        // acceptor thread and no sleep-poll.
         listener.set_nonblocking(true)?;
-        let inner = Arc::clone(&self.inner);
-        let server = self.clone();
-        let handle = std::thread::spawn(move || loop {
-            if inner.stop.load(Ordering::Relaxed) {
-                return;
-            }
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    let _ = stream.set_nodelay(true);
-                    server.spawn_conn(LengthPrefixed::with_max(stream, inner.config.max_frame_len));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-                Err(_) => return,
-            }
-        });
-        self.inner.threads.lock().push(handle);
+        self.inner.reactor.announce(|pending| pending.listeners.push(listener));
         Ok(local)
+    }
+
+    /// How many OS threads the transport currently owns. The reactor
+    /// model's headline invariant: this is `1` regardless of listener
+    /// or connection count (it was `listeners + connections` in the
+    /// writer-thread transport), and `0` after shutdown.
+    pub fn transport_threads(&self) -> usize {
+        self.inner.threads.lock().len()
     }
 
     /// A point-in-time copy of the transport counters.
@@ -206,9 +251,10 @@ impl BrokerServer {
         }
     }
 
-    /// The `RZUQ` payload: transport counters plus one row per shard —
-    /// what a scrape connection receives, and what in-process monitors
-    /// can read without a socket.
+    /// The `RZUQ` payload: transport counters, one row per shard, and
+    /// one row per live subscriber connection — what a scrape
+    /// connection receives, and what in-process monitors can read
+    /// without a socket.
     pub fn stats_report(&self) -> StatsReport {
         build_stats_report(&self.inner)
     }
@@ -218,277 +264,26 @@ impl BrokerServer {
         &self.inner.broker
     }
 
-    /// Stop accepting, wake every writer at its next tick, and join all
-    /// transport threads. A writer mid-write to a peer that is not
-    /// draining unblocks within [`TransportConfig::write_timeout`], so
-    /// the join is bounded even with wedged connections.
+    /// Stop the reactor and join it: every connection and listener
+    /// closes when the reactor drops its slot table. Bounded even with
+    /// wedged peers — the reactor never blocks in a write.
     pub fn shutdown(&self) {
-        self.inner.stop.store(true, Ordering::Relaxed);
-        // Joining may race new pushes from spawn_conn only before stop
-        // was visible; drain repeatedly until empty.
-        loop {
-            let drained: Vec<JoinHandle<()>> = {
-                let mut threads = self.inner.threads.lock();
-                threads.drain(..).collect()
-            };
-            if drained.is_empty() {
-                return;
-            }
-            for handle in drained {
-                let _ = handle.join();
-            }
-        }
-    }
-}
-
-/// Most frames a writer coalesces into one batched write. Bounds both
-/// the per-wakeup latency of the first queued frame and the transient
-/// buffer the batch is composed into.
-const MAX_COALESCE: usize = 32;
-
-/// What a connection's first frame turned out to be.
-enum Handshake {
-    /// An `RZUH` with validated per-TLD claims: subscribe and stream.
-    Subscribe(Vec<(TldId, Option<Serial>)>),
-    /// An `RZUQ` scrape: answer with the stats report and close.
-    StatsQuery,
-    /// Timeout, malformed frame, or an unknown-TLD claim.
-    Rejected,
-}
-
-/// The per-connection lifecycle: handshake, subscribe, write loop.
-fn run_conn(inner: &ServerInner, mut conn: impl FrameConn) {
-    let stats = &inner.stats;
-    stats.accepted.fetch_add(1, Ordering::Relaxed);
-    if conn.set_send_timeout(Some(inner.config.write_timeout)).is_err() {
-        stats.rejected_hellos.fetch_add(1, Ordering::Relaxed);
-        return;
-    }
-
-    // --- handshake -------------------------------------------------
-    let claims = match first_frame(inner, &mut conn) {
-        Handshake::Rejected => {
-            stats.rejected_hellos.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        Handshake::StatsQuery => {
-            // Count first so the reply's counters include this query,
-            // then answer and close — a scrape connection never joins
-            // the subscriber stream.
-            stats.stats_queries.fetch_add(1, Ordering::Relaxed);
-            let report = build_stats_report(inner);
-            let _ = conn.send_frame(&[&encode_stats_report(&report)]);
-            return;
-        }
-        Handshake::Subscribe(claims) => claims,
-    };
-    // Registers under each shard's lock: the catch-up plan and the live
-    // registration are atomic per shard, so this subscriber's stream
-    // has no per-TLD gap or overlap from the very first frame.
-    let sub = inner.broker.subscribe_with(&claims);
-    stats.handshakes.fetch_add(1, Ordering::Relaxed);
-
-    // --- writer loop -----------------------------------------------
-    let tick = inner.config.writer_tick;
-    let mut last_io = Instant::now();
-    let mut batch: Vec<BrokerMessage> = Vec::with_capacity(MAX_COALESCE);
-    loop {
-        if inner.stop.load(Ordering::Relaxed) {
-            return;
-        }
-        let next = match inner.config.wakeup {
-            WriterWakeup::Notify => sub.next_wait(tick),
-            WriterWakeup::Poll => {
-                if let Some(msg) = sub.try_next() {
-                    SubWait::Message(msg)
-                } else if sub.is_evicted() {
-                    SubWait::Evicted
-                } else if last_io.elapsed() >= tick {
-                    SubWait::TimedOut
-                } else {
-                    std::thread::yield_now();
-                    continue;
-                }
-            }
+        self.inner.reactor.stop.store(true, Ordering::Relaxed);
+        self.inner.reactor.wakeup.wake();
+        let drained: Vec<JoinHandle<()>> = {
+            let mut threads = self.inner.threads.lock();
+            threads.drain(..).collect()
         };
-        match next {
-            SubWait::Message(first) => {
-                // Writer coalescing: a wakeup that finds several queued
-                // messages (a catch-up backlog, or pushes that raced
-                // ahead of a slow peer) drains up to MAX_COALESCE of
-                // them and writes the whole run as one syscall batch.
-                batch.clear();
-                batch.push(first);
-                while batch.len() < MAX_COALESCE {
-                    match sub.try_next() {
-                        Some(msg) => batch.push(msg),
-                        None => break,
-                    }
-                }
-                if write_batch(inner, &mut conn, &batch).is_err() {
-                    stats.disconnects.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
-                last_io = Instant::now();
-            }
-            SubWait::Evicted => {
-                // The explicit slow-subscriber signal: tell the peer,
-                // then close so it reconnects with its serial claims.
-                let _ = conn.send_frame(&[&encode_evict_notice()]);
-                stats.evict_notices.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            SubWait::TimedOut => {
-                // Idle heartbeat: an empty frame the client skips; its
-                // failure is how a writer notices a silently dead peer.
-                if conn.send_frame(&[]).is_err() {
-                    stats.disconnects.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
-                last_io = Instant::now();
-            }
+        for handle in drained {
+            let _ = handle.join();
         }
+        self.inner.conns.lock().clear();
     }
 }
 
-/// Byte budget for one coalesced write: a batch's single buffer never
-/// grows past (roughly) this plus one frame. Bounds the transient
-/// allocation a run of queued checkpoint snapshots could otherwise
-/// balloon to — MAX_COALESCE frames of up to MAX_FRAME_LEN each.
-const MAX_COALESCE_BYTES: usize = 4 << 20;
-
-/// One message rendered to its frame composition: a snapshot owns its
-/// encoding; a delta is the 6-byte envelope header plus the shard's
-/// refcount-shared `RZU1` bytes, written verbatim (no per-subscriber
-/// re-encode — the encode-once guarantee survives batching).
-enum OutFrame {
-    Snapshot(Bytes),
-    Delta([u8; 6], Bytes),
-}
-
-impl OutFrame {
-    fn payload_len(&self) -> usize {
-        match self {
-            OutFrame::Snapshot(frame) => frame.len(),
-            OutFrame::Delta(header, frame) => header.len() + frame.len(),
-        }
-    }
-}
-
-/// Write a run of queued messages, coalescing consecutive frames into
-/// byte-budgeted syscall batches, and account for it (per-server
-/// counters, plus per-shard coalesced-frame credits via the broker's
-/// lock-free shard atomics). The steady-state single-message wakeup
-/// takes a no-allocation fast path identical to the pre-coalescing
-/// writer.
-fn write_batch(
-    inner: &ServerInner,
-    conn: &mut impl FrameConn,
-    batch: &[BrokerMessage],
-) -> Result<(), super::frame::TransportError> {
-    let stats = &inner.stats;
-    if let [msg] = batch {
-        // Fast path: most wakeups carry exactly one frame.
-        match msg {
-            BrokerMessage::Snapshot { tld, snapshot } => {
-                conn.send_frame(&[&encode_snapshot_push(tld.0, snapshot)])?;
-                stats.snapshots_sent.fetch_add(1, Ordering::Relaxed);
-            }
-            BrokerMessage::Delta { tld, frame } => {
-                conn.send_frame(&[&delta_envelope_header(tld.0), frame])?;
-                stats.deltas_sent.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        return Ok(());
-    }
-
-    let outs: Vec<(TldId, OutFrame)> = batch
-        .iter()
-        .map(|msg| match msg {
-            BrokerMessage::Snapshot { tld, snapshot } => {
-                (*tld, OutFrame::Snapshot(encode_snapshot_push(tld.0, snapshot)))
-            }
-            BrokerMessage::Delta { tld, frame } => {
-                (*tld, OutFrame::Delta(delta_envelope_header(tld.0), frame.clone()))
-            }
-        })
-        .collect();
-
-    // Emit byte-budgeted runs: a chunk closes once it holds at least
-    // one frame and the next frame would push it past the budget.
-    let mut start = 0;
-    while start < outs.len() {
-        let mut end = start + 1;
-        let mut bytes = outs[start].1.payload_len();
-        while end < outs.len() && bytes + outs[end].1.payload_len() <= MAX_COALESCE_BYTES {
-            bytes += outs[end].1.payload_len();
-            end += 1;
-        }
-        let chunk = &outs[start..end];
-        let parts: Vec<Vec<&[u8]>> = chunk
-            .iter()
-            .map(|(_, out)| match out {
-                OutFrame::Snapshot(frame) => vec![frame.as_ref()],
-                OutFrame::Delta(header, frame) => vec![header.as_ref(), frame.as_ref()],
-            })
-            .collect();
-        let frames: Vec<&[&[u8]]> = parts.iter().map(|v| v.as_slice()).collect();
-        conn.send_frames(&frames)?;
-        // Count this chunk now that it reached the wire: a later
-        // chunk's failure must not erase frames already written (the
-        // per-frame writer counted the same way).
-        for (_, out) in chunk {
-            match out {
-                OutFrame::Snapshot(_) => stats.snapshots_sent.fetch_add(1, Ordering::Relaxed),
-                OutFrame::Delta(..) => stats.deltas_sent.fetch_add(1, Ordering::Relaxed),
-            };
-        }
-        if chunk.len() > 1 {
-            stats.coalesced_writes.fetch_add(1, Ordering::Relaxed);
-            stats.coalesced_frames.fetch_add(chunk.len() as u64 - 1, Ordering::Relaxed);
-            // Every frame behind a chunk head saved one syscall; credit
-            // each to its shard in one directory pass.
-            inner
-                .broker
-                .record_coalesced_frames(chunk[1..].iter().map(|&(tld, _)| tld));
-        }
-        start = end;
-    }
-    Ok(())
-}
-
-/// Receive and classify the connection's first frame.
-fn first_frame(inner: &ServerInner, conn: &mut impl FrameConn) -> Handshake {
-    if conn.set_recv_timeout(Some(inner.config.handshake_timeout)).is_err() {
-        return Handshake::Rejected;
-    }
-    // A timed-out first frame and a malformed one end the same way: the
-    // connection is dropped and counted under `rejected_hellos`.
-    let Ok(frame) = conn.recv_frame() else {
-        return Handshake::Rejected;
-    };
-    if is_stats_query(&frame) {
-        return Handshake::StatsQuery;
-    }
-    let Ok(wire_claims) = decode_hello(&frame) else {
-        return Handshake::Rejected;
-    };
-    let mut claims = Vec::with_capacity(wire_claims.len());
-    for claim in wire_claims {
-        let tld = TldId(claim.tld);
-        // Untrusted claim: `subscribe_with` panics on unknown TLDs (an
-        // in-process caller bug); a remote peer just gets rejected.
-        if !inner.broker.has_shard(tld) {
-            return Handshake::Rejected;
-        }
-        claims.push((tld, claim.from_serial));
-    }
-    Handshake::Subscribe(claims)
-}
-
-/// Build the `RZUQ` report payload from the server's counters and every
-/// shard's accounting.
-fn build_stats_report(inner: &ServerInner) -> StatsReport {
+/// Build the `RZUQ` report payload from the server's counters, every
+/// shard's accounting, and every live subscriber connection's row.
+pub(super) fn build_stats_report(inner: &ServerInner) -> StatsReport {
     let s = &inner.stats;
     let server = WireServerStats {
         accepted: s.accepted.load(Ordering::Relaxed),
@@ -503,7 +298,25 @@ fn build_stats_report(inner: &ServerInner) -> StatsReport {
         stats_queries: s.stats_queries.load(Ordering::Relaxed),
     };
     let shards = inner.broker.all_shard_stats().iter().map(wire_shard_stats).collect();
-    StatsReport { server, shards }
+    let subs = inner
+        .conns
+        .lock()
+        .iter()
+        .map(|(&id, entry)| WireSubscriberStats {
+            id,
+            queue_depth: entry.probe.queued() as u64,
+            lag_drops: entry.probe.dropped_count(),
+            coalesced_frames: entry.coalesced_frames.load(Ordering::Relaxed),
+            buffered_bytes: entry.buffered_bytes.load(Ordering::Relaxed),
+            claims: entry
+                .claims
+                .lock()
+                .iter()
+                .map(|(&tld, &from_serial)| TldClaim { tld, from_serial })
+                .collect(),
+        })
+        .collect();
+    StatsReport { server, shards, subs }
 }
 
 /// Project one shard's accounting onto the wire struct.

@@ -374,6 +374,29 @@ impl<'a> Decoder<'a> {
         Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
     }
 
+    /// Advance past an encoded name without materialising it: labels are
+    /// skipped in place and a compression pointer (2 bytes) ends the
+    /// walk — the allocation-free half of [`Decoder::name`], for callers
+    /// that only need what lies *behind* the name.
+    fn skip_name(&mut self) -> Result<(), WireError> {
+        loop {
+            let len = self.u8()?;
+            match len & 0xC0 {
+                0x00 => {
+                    if len == 0 {
+                        return Ok(());
+                    }
+                    self.take(len as usize)?;
+                }
+                0xC0 => {
+                    self.u8()?; // pointer low byte; the target is elsewhere
+                    return Ok(());
+                }
+                _ => return Err(WireError::BadName("reserved label length bits".into())),
+            }
+        }
+    }
+
     /// Decode an NS set encoded by [`Encoder::ns_set`]. Host order is
     /// preserved as encoded.
     fn ns_set(&mut self) -> Result<NsSet, WireError> {
@@ -839,6 +862,23 @@ pub fn decode_delta_envelope(bytes: &[u8]) -> Result<(u16, DeltaPush), WireError
     Ok((tld, push))
 }
 
+/// Peek the `(from_serial, to_serial)` pair of a bare `RZU1` delta-push
+/// frame without decoding its body — the origin name is skipped in
+/// place, nothing is allocated. This is what lets a relay (or the
+/// server's per-subscriber accounting) track how far a verbatim-
+/// forwarded delta stream has advanced at a cost independent of the
+/// delta's size.
+pub fn peek_delta_push_serials(bytes: &[u8]) -> Result<(Serial, Serial), WireError> {
+    let mut dec = Decoder { bytes, pos: 0 };
+    if dec.take(4)? != DELTA_PUSH_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    dec.skip_name()?;
+    let from = Serial::new(dec.u32()?);
+    let to = Serial::new(dec.u32()?);
+    Ok((from, to))
+}
+
 /// Encode an eviction notice (the magic is the whole message).
 pub fn encode_evict_notice() -> Bytes {
     Bytes::copy_from_slice(EVICT_NOTICE_MAGIC)
@@ -898,17 +938,49 @@ pub struct WireShardStats {
     pub coalesced_frames: u64,
 }
 
-/// The full `RZUQ` report: server-wide transport counters plus one row
-/// per registered shard.
+/// One live subscriber connection's row in the `RZUQ` report — the
+/// fleet-ops view of *who* is keeping up: queue depth and outbound
+/// buffer occupancy say how far behind the connection is right now,
+/// `lag_drops` how much it has already lost, `coalesced_frames` how
+/// hard the writer is batching for it, and `claims` the per-TLD serial
+/// the server has verifiably streamed it up to (the HELLO claims,
+/// advanced as delta frames reach the wire).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireSubscriberStats {
+    /// The broker-assigned subscription id.
+    pub id: u64,
+    /// Messages waiting in the subscriber's broker queue.
+    pub queue_depth: u64,
+    /// Live pushes dropped for this subscriber under the Lag policy.
+    pub lag_drops: u64,
+    /// Frames delivered to this connection inside a coalesced batch.
+    pub coalesced_frames: u64,
+    /// Bytes composed into the connection's outbound ring but not yet
+    /// accepted by the socket.
+    pub buffered_bytes: u64,
+    /// Per-TLD serial reached, in HELLO claim encoding.
+    pub claims: Vec<TldClaim>,
+}
+
+/// The full `RZUQ` report: server-wide transport counters, one row per
+/// registered shard, and one row per live subscriber connection.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsReport {
     pub server: WireServerStats,
     pub shards: Vec<WireShardStats>,
+    pub subs: Vec<WireSubscriberStats>,
 }
 
 /// Bytes per encoded [`WireShardStats`] row: `u16` TLD + `u32` serial +
 /// 13 `u64` counters.
 const STATS_SHARD_ROW_LEN: usize = 2 + 4 + 13 * 8;
+
+/// Minimum bytes per encoded [`WireSubscriberStats`] row: 5 `u64`
+/// counters + a `u16` claim count (claims add 7 bytes each).
+const STATS_SUB_ROW_MIN_LEN: usize = 5 * 8 + 2;
+
+/// Bytes per encoded claim (shared with the HELLO layout).
+const CLAIM_LEN: usize = 7;
 
 /// Encode a stats query (the magic is the whole message).
 pub fn encode_stats_query() -> Bytes {
@@ -926,9 +998,13 @@ pub fn is_stats_query(bytes: &[u8]) -> bool {
 /// Layout: `"RZUQ"`, the ten `u64` server counters in
 /// [`WireServerStats`] field order, `u16` shard count, then per shard a
 /// `u16` TLD, `u32` head serial and the thirteen `u64` counters in
-/// [`WireShardStats`] field order.
+/// [`WireShardStats`] field order; then a `u16` subscriber count and
+/// per subscriber the five `u64` counters in [`WireSubscriberStats`]
+/// field order followed by a `u16` claim count and its claims in HELLO
+/// encoding.
 pub fn encode_stats_report(report: &StatsReport) -> Bytes {
     debug_assert!(report.shards.len() <= u16::MAX as usize);
+    debug_assert!(report.subs.len() <= u16::MAX as usize);
     let mut buf =
         BytesMut::with_capacity(4 + 80 + 2 + report.shards.len() * STATS_SHARD_ROW_LEN);
     buf.put_slice(STATS_MAGIC);
@@ -967,6 +1043,29 @@ pub fn encode_stats_report(report: &StatsReport) -> Bytes {
             shard.coalesced_frames,
         ] {
             buf.put_u64(v);
+        }
+    }
+    buf.put_u16(report.subs.len() as u16);
+    for sub in &report.subs {
+        debug_assert!(sub.claims.len() <= u16::MAX as usize);
+        for v in
+            [sub.id, sub.queue_depth, sub.lag_drops, sub.coalesced_frames, sub.buffered_bytes]
+        {
+            buf.put_u64(v);
+        }
+        buf.put_u16(sub.claims.len() as u16);
+        for claim in &sub.claims {
+            buf.put_u16(claim.tld);
+            match claim.from_serial {
+                Some(s) => {
+                    buf.put_u8(1);
+                    buf.put_u32(s.get());
+                }
+                None => {
+                    buf.put_u8(0);
+                    buf.put_u32(0);
+                }
+            }
         }
     }
     buf.freeze()
@@ -1020,10 +1119,51 @@ pub fn decode_stats_report(bytes: &[u8]) -> Result<StatsReport, WireError> {
             coalesced_frames: dec.u64()?,
         });
     }
+    let sub_count = dec.u16()? as usize;
+    // Same discipline as the shard rows: a subscriber row costs at least
+    // STATS_SUB_ROW_MIN_LEN bytes, so a count the remaining buffer
+    // cannot hold is rejected before the Vec is sized from it — and the
+    // nested claim count is re-checked per row against what remains.
+    if sub_count
+        .checked_mul(STATS_SUB_ROW_MIN_LEN)
+        .is_none_or(|need| need > dec.remaining())
+    {
+        return Err(WireError::Truncated);
+    }
+    let mut subs = Vec::with_capacity(sub_count);
+    for _ in 0..sub_count {
+        let id = dec.u64()?;
+        let queue_depth = dec.u64()?;
+        let lag_drops = dec.u64()?;
+        let coalesced_frames = dec.u64()?;
+        let buffered_bytes = dec.u64()?;
+        let claim_count = dec.u16()? as usize;
+        if claim_count.checked_mul(CLAIM_LEN).is_none_or(|need| need > dec.remaining()) {
+            return Err(WireError::Truncated);
+        }
+        let mut claims = Vec::with_capacity(claim_count);
+        for _ in 0..claim_count {
+            let tld = dec.u16()?;
+            let has_serial = dec.u8()?;
+            let serial = dec.u32()?;
+            claims.push(TldClaim {
+                tld,
+                from_serial: (has_serial != 0).then(|| Serial::new(serial)),
+            });
+        }
+        subs.push(WireSubscriberStats {
+            id,
+            queue_depth,
+            lag_drops,
+            coalesced_frames,
+            buffered_bytes,
+            claims,
+        });
+    }
     if dec.pos != bytes.len() {
         return Err(WireError::TrailingBytes(bytes.len() - dec.pos));
     }
-    Ok(StatsReport { server, shards })
+    Ok(StatsReport { server, shards, subs })
 }
 
 #[cfg(test)]
@@ -1446,6 +1586,27 @@ mod tests {
                     coalesced_frames: 0,
                 },
             ],
+            subs: vec![
+                WireSubscriberStats {
+                    id: 42,
+                    queue_depth: 3,
+                    lag_drops: 1,
+                    coalesced_frames: 17,
+                    buffered_bytes: 4096,
+                    claims: vec![
+                        TldClaim { tld: 0, from_serial: Some(Serial::new(699)) },
+                        TldClaim { tld: u16::MAX, from_serial: None },
+                    ],
+                },
+                WireSubscriberStats {
+                    id: u64::MAX,
+                    queue_depth: 0,
+                    lag_drops: 0,
+                    coalesced_frames: 0,
+                    buffered_bytes: 0,
+                    claims: vec![],
+                },
+            ],
         }
     }
 
@@ -1481,6 +1642,59 @@ mod tests {
         assert_eq!(decode_stats_report(&padded), Err(WireError::TrailingBytes(1)));
         let frame = encode_stats_report(&sample_stats_report());
         assert_eq!(decode_stats_report(&frame[..frame.len() - 1]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn stats_report_rejects_absurd_subscriber_and_claim_counts() {
+        // A report with no shards, an absurd subscriber count: rejected
+        // before the row Vec is sized from it.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(STATS_MAGIC);
+        bytes.extend_from_slice(&[0u8; 80]); // server counters
+        bytes.extend_from_slice(&0u16.to_be_bytes()); // shard count
+        let mut absurd_subs = bytes.clone();
+        absurd_subs.extend_from_slice(&u16::MAX.to_be_bytes());
+        assert_eq!(decode_stats_report(&absurd_subs), Err(WireError::Truncated));
+
+        // One subscriber row whose nested claim count overruns what
+        // remains: the per-row bound catches it.
+        let mut absurd_claims = bytes.clone();
+        absurd_claims.extend_from_slice(&1u16.to_be_bytes()); // sub count
+        absurd_claims.extend_from_slice(&[0u8; 40]); // five u64 counters
+        absurd_claims.extend_from_slice(&u16::MAX.to_be_bytes()); // claim count
+        assert_eq!(decode_stats_report(&absurd_claims), Err(WireError::Truncated));
+
+        // A report truncated inside a claim is a truncation, not a
+        // partial decode.
+        let frame = encode_stats_report(&sample_stats_report());
+        assert_eq!(decode_stats_report(&frame[..frame.len() - 3]), Err(WireError::Truncated));
+
+        // The sub section is mandatory: a report that stops after the
+        // shard rows (the pre-subscriber-row layout) no longer decodes.
+        assert_eq!(decode_stats_report(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn delta_push_serial_peek_matches_full_decode() {
+        let mut delta = crate::ZoneDelta::default();
+        delta
+            .added
+            .push((name("example.com"), crate::NsSet::new(vec![name("ns1.provider0.net")])));
+        let frame = encode_delta_push(
+            &name("com"),
+            Serial::new(41),
+            Serial::new(42),
+            SimTime::from_secs(7),
+            &delta,
+        );
+        assert_eq!(
+            peek_delta_push_serials(&frame).unwrap(),
+            (Serial::new(41), Serial::new(42))
+        );
+        let full = decode_delta_push(&frame).unwrap();
+        assert_eq!((full.from_serial, full.to_serial), (Serial::new(41), Serial::new(42)));
+        assert_eq!(peek_delta_push_serials(b"RZUS"), Err(WireError::BadMagic));
+        assert_eq!(peek_delta_push_serials(&frame[..6]), Err(WireError::Truncated));
     }
 
     #[test]

@@ -83,16 +83,6 @@ DERIVED_PAIRS = {
         "broker/concurrent-publish/global-lock/8shards-8threads",
         "broker/concurrent-publish/per-shard/8shards-8threads",
     ),
-    # PR 4: end-to-end socket fan-out (publish -> writer thread ->
-    # loopback TCP -> client decode, 8 subscribers). Poll-loop writers
-    # spin on try_next and steal CPU from the publisher and decoders;
-    # notify writers block on the subscriber-queue condvar. >= 1.0 means
-    # the notify path is no slower; the gap widens as idle subscriber
-    # count grows.
-    "broker_tcp_fanout_8subs_poll_vs_notify": (
-        "broker/tcp-fanout/poll-wakeup/8subs",
-        "broker/tcp-fanout/notify-wakeup/8subs",
-    ),
     # PR 5: end-to-end detection latency through the ZoneMembership
     # consumer surface — publish a 100-domain delta, wait until the
     # pipeline's zone view applied it and emitted the domains as
@@ -110,6 +100,22 @@ derived = {
     if slow in current and fast in current and current[fast]["median_ns"]
 }
 
+# PR 6: the reactor's non-timing gauges ride the same JSON channel as
+# the timed benches (value carried in median_ns) under these ids; lift
+# them into dedicated top-level report fields. `threads` is the
+# transport thread count observed while serving the 10k fan-out (flat
+# at 1 by construction — the bench asserts it); `bytes_per_conn` is
+# server RSS growth per accepted connection.
+GAUGES = {
+    "threads": "broker/tcp-fanout-10k/threads",
+    "bytes_per_conn": "broker/tcp-fanout-10k/bytes_per_conn",
+}
+gauges = {
+    field: current.pop(rec_id)["median_ns"]
+    for field, rec_id in GAUGES.items()
+    if rec_id in current
+}
+
 report = {
     "baseline_label": "seed (pre interning + zero-copy diff)",
     "baseline": BASELINE,
@@ -120,6 +126,7 @@ report = {
         if bench in current and current[bench]["median_ns"]
     },
     "derived": derived,
+    **gauges,
 }
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2, sort_keys=True)
@@ -129,4 +136,6 @@ for bench, ratio in sorted(report["speedup"].items()):
     print(f"  {bench:<44} {ratio:>6}x vs baseline")
 for name, ratio in sorted(derived.items()):
     print(f"  {name:<44} {ratio:>6}x (in-run baseline)")
+for field, value in sorted(gauges.items()):
+    print(f"  {field:<44} {value:>8.1f} (reactor gauge)")
 PY

@@ -20,15 +20,27 @@ cargo test -q
 # filter): the threaded tests live in the broker crate's unit suites
 # and in the root proptest/fleet integration targets. The transport
 # fault suite rides along: release timing shifts the writer/publisher/
-# cut interleavings, which is exactly what it must survive. The
-# cross-backend membership-equivalence suite runs here too: it pins
-# byte-identical detection across the direct / in-process-broker / TCP
-# ZoneMembership backends, and the TCP leg is timing-sensitive in
-# exactly the way release builds exercise.
+# cut interleavings, which is exactly what it must survive — its
+# reconnect-storm case additionally pins a flat reactor thread count
+# under a half-fleet reconnect burst. The cross-backend
+# membership-equivalence suite runs here too: it pins byte-identical
+# detection across the direct / in-process-broker / TCP ZoneMembership
+# backends, and the TCP leg is timing-sensitive in exactly the way
+# release builds exercise.
 echo "==> cargo test -q --release (broker crate + threaded suites + transport faults + equivalence)"
 cargo test -q --release -p darkdns-broker
 cargo test -q --release --test proptest_broker --test broker_fleet --test transport_faults \
     --test membership_equivalence
+
+# Scaled-down fan-out smoke: the 10k-subscriber reactor bench at 256
+# subscribers with a minimal sampling budget. This exercises the whole
+# child-process fleet path (re-exec, epoll client loop, round
+# convergence) and asserts inside the bench that the reactor thread
+# count stays 1 — cheap enough for every CI run.
+echo "==> reactor fan-out smoke (256 subscribers)"
+DARKDNS_FANOUT_SUBS=256 DARKDNS_BENCH_ONLY=tcp-fanout-10k \
+DARKDNS_BENCH_SAMPLES=3 DARKDNS_BENCH_MS=200 \
+    cargo bench -p darkdns-bench --bench broker
 
 echo "==> RUSTFLAGS=-Dwarnings cargo build --all-targets"
 RUSTFLAGS="-Dwarnings" cargo build --all-targets

@@ -537,11 +537,113 @@ fn stats_query_round_trips_and_counts_itself() {
     assert_eq!(com.subscribers, 1);
     let net = report.shards.iter().find(|s| s.tld == 1).expect("net row");
     assert_eq!(net.pushes, 0);
+    // One per-subscriber row: the live subscriber, not the scrape. Its
+    // claims have advanced to the last delta it verifiably received,
+    // its queue is drained, and nothing was dropped on it.
+    assert_eq!(report.subs.len(), 1, "one live subscriber row: {:?}", report.subs);
+    let row = &report.subs[0];
+    assert_eq!(row.queue_depth, 0, "queue drained after catch-up: {row:?}");
+    assert_eq!(row.lag_drops, 0);
+    assert_eq!(row.buffered_bytes, 0, "ring flushed: {row:?}");
+    assert!(row.coalesced_frames >= 2, "catch-up run rode coalesced writes: {row:?}");
+    assert_eq!(row.claims.len(), 1);
+    assert_eq!(row.claims[0].tld, 0);
+    assert_eq!(row.claims[0].from_serial, Some(Serial::new(3)));
     // The in-process report surface agrees with the wire round trip
     // (modulo the counters the scrape itself just moved).
     let local = server.stats_report();
     assert_eq!(local.shards, report.shards);
     assert_eq!(local.server, report.server);
     drop(sub);
+    server.shutdown();
+}
+
+#[test]
+fn tcp_reconnect_storm_converges_on_one_reactor_thread() {
+    // A CI-sized fleet (200 subscribers by default; `DARKDNS_STORM_SUBS`
+    // scales it) over loopback TCP. Half the fleet is killed at once and
+    // the whole storm reconnects-with-claims against the single reactor
+    // thread. Pinned: every view converges to the exact head serial, the
+    // killed half resyncs exactly once and heals by pure delta catch-up
+    // (no second snapshot), the surviving half never resyncs, and the
+    // transport thread count stays 1 regardless of fleet size.
+    let subs: usize = std::env::var("DARKDNS_STORM_SUBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    const PUSHES_BEFORE: u32 = 5;
+    const PUSHES_AFTER: u32 = 5;
+
+    let broker = Broker::new(BrokerConfig {
+        retention: RetentionConfig::new(64, 16),
+        ..BrokerConfig::default()
+    });
+    let tld = TldId(0);
+    broker.add_shard(tld, empty_snap("com"));
+    let server = server_over(&broker);
+    let addr = server.listen_tcp("127.0.0.1:0").expect("bind loopback");
+
+    let kills: Vec<Arc<Mutex<Option<TcpStream>>>> =
+        (0..subs).map(|_| Arc::new(Mutex::new(None))).collect();
+    let mut views: Vec<_> = kills
+        .iter()
+        .map(|kill| {
+            RemoteZoneView::connect(&[tld], tcp_dialer(addr, Arc::clone(kill)))
+                .expect("tcp connect")
+        })
+        .collect();
+    wait_for("all handshakes", || server.stats().handshakes == subs as u64);
+    assert_eq!(server.transport_threads(), 1, "one reactor thread for the whole fleet");
+
+    for i in 1..=PUSHES_BEFORE {
+        broker.publish(tld, add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+    }
+    for view in &mut views {
+        pump_until_synced(view, &broker, &[tld]);
+    }
+
+    // The storm: sever every even-indexed subscriber's socket in one
+    // burst, then keep publishing while the half-fleet reconnects.
+    for kill in kills.iter().step_by(2) {
+        kill.lock().unwrap().take().expect("live socket").shutdown(Shutdown::Both).unwrap();
+    }
+    for i in PUSHES_BEFORE + 1..=PUSHES_BEFORE + PUSHES_AFTER {
+        broker.publish(tld, add_delta(&format!("d{i}.com")), Serial::new(i), SimTime::ZERO);
+    }
+
+    for (k, view) in views.iter_mut().enumerate() {
+        pump_until_synced(view, &broker, &[tld]);
+        assert_zone_converged(view, &broker, tld);
+        if k % 2 == 0 {
+            assert_eq!(view.view().resync_count(), 1, "killed sub {k} heals in one resync");
+        } else {
+            assert_eq!(view.view().resync_count(), 0, "surviving sub {k} never resyncs");
+        }
+        // Reconnect-with-claims lands inside the retention ring, so the
+        // only snapshot each view ever adopts is its bootstrap.
+        assert_eq!(view.view().snapshots_adopted(), 1, "sub {k} healed by pure delta catch-up");
+        assert_eq!(
+            view.view().frames_applied(),
+            u64::from(PUSHES_BEFORE + PUSHES_AFTER),
+            "sub {k} applied each serial exactly once"
+        );
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.handshakes, subs as u64 + subs.div_ceil(2) as u64);
+    assert_eq!(stats.rejected_hellos, 0);
+    assert_eq!(server.transport_threads(), 1, "reconnect storm must not grow threads");
+    // Every live connection shows up as a stats row with its claims at
+    // the head serial. (Polled: the reactor books a completion a hair
+    // after the client observes the frame.)
+    let head_claim = darkdns::dns::wire::TldClaim {
+        tld: 0,
+        from_serial: Some(Serial::new(PUSHES_BEFORE + PUSHES_AFTER)),
+    };
+    wait_for("one head-serial stats row per live subscriber", || {
+        let report = server.stats_report();
+        report.subs.len() == subs
+            && report.subs.iter().all(|row| row.claims == vec![head_claim])
+    });
     server.shutdown();
 }

@@ -1,0 +1,408 @@
+//! Minimal vendored readiness shim over Linux `epoll` — the subset of
+//! `mio` the broker's transport reactor needs, as thin FFI over the
+//! raw syscall surface (`epoll_create1` / `epoll_ctl` / `epoll_wait`,
+//! plus an `eventfd` wakeup for cross-thread notification).
+//!
+//! Level-triggered only: the reactor re-polls readiness after every
+//! partial read/write, so edge-triggered bookkeeping buys nothing here
+//! and level semantics make lost-event bugs structurally impossible.
+//! Everything is expressed against `RawFd`, leaving ownership of the
+//! underlying socket with the caller.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+mod sys {
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    // The kernel packs `epoll_event` on x86-64 (a 12-byte struct); other
+    // architectures use natural alignment. Mirror glibc's __EPOLL_PACKED.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    pub struct Rlimit {
+        pub rlim_cur: u64,
+        pub rlim_max: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+    }
+}
+
+/// Opaque per-registration identifier carried in the kernel's event
+/// payload and handed back by [`Event::token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness directions a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    pub const READABLE: Interest = Interest(sys::EPOLLIN | sys::EPOLLRDHUP);
+    pub const WRITABLE: Interest = Interest(sys::EPOLLOUT);
+
+    /// Combine two interests (set union).
+    #[must_use]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    events: u32,
+    token: Token,
+}
+
+impl Event {
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    pub fn is_readable(&self) -> bool {
+        self.events & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLRDHUP | sys::EPOLLERR) != 0
+    }
+
+    pub fn is_writable(&self) -> bool {
+        self.events & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0
+    }
+
+    /// Error or hangup: the fd needs attention even if neither plain
+    /// readiness bit is set.
+    pub fn is_error(&self) -> bool {
+        self.events & (sys::EPOLLERR | sys::EPOLLHUP) != 0
+    }
+}
+
+/// Reusable buffer a [`Epoll::wait`] call fills with ready events.
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|raw| Event {
+            events: raw.events,
+            token: Token(raw.data as usize),
+        })
+    }
+}
+
+/// An epoll instance: a level-triggered readiness selector.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+// The fd is used via thread-safe syscalls only.
+unsafe impl Send for Epoll {}
+unsafe impl Sync for Epoll {}
+
+impl Epoll {
+    pub fn new() -> io::Result<Epoll> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: Token, interest: u32) -> io::Result<()> {
+        let mut ev = sys::EpollEvent { events: interest, data: token.0 as u64 };
+        let rc = unsafe { sys::epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Start watching `fd` for `interest`, tagging events with `token`.
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest.0)
+    }
+
+    /// Change an existing registration's interest set.
+    pub fn modify(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest.0)
+    }
+
+    /// Stop watching `fd` (safe to call on an fd the kernel already
+    /// dropped from the set when the socket closed).
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, Token(0), 0)
+    }
+
+    /// Block until at least one registered fd is ready or `timeout`
+    /// elapses (`None` = wait forever). Fills `events` and returns the
+    /// count; `Ok(0)` is a timeout. EINTR retries internally.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 1 ns timeout cannot spin at 0 ms.
+            Some(t) => t.as_millis().saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+        };
+        loop {
+            let n = unsafe {
+                sys::epoll_wait(self.fd, events.buf.as_mut_ptr(), events.buf.len() as i32, timeout_ms)
+            };
+            if n >= 0 {
+                events.len = n as usize;
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+/// Cross-thread wakeup for a blocked [`Epoll::wait`]: an `eventfd`
+/// registered with the epoll set. Any thread calls [`WakeupFd::wake`];
+/// the reactor drains it on its next pass. The armed flag collapses
+/// storms of wakes between drains into one `write` syscall.
+pub struct WakeupFd {
+    fd: RawFd,
+    armed: AtomicBool,
+}
+
+unsafe impl Send for WakeupFd {}
+unsafe impl Sync for WakeupFd {}
+
+impl WakeupFd {
+    pub fn new() -> io::Result<WakeupFd> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_NONBLOCK | sys::EFD_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakeupFd { fd, armed: AtomicBool::new(false) })
+    }
+
+    /// The fd to register READABLE with the epoll set.
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Make the next (or current) `epoll_wait` return. Cheap when a
+    /// wake is already pending.
+    pub fn wake(&self) {
+        if self.armed.swap(true, Ordering::AcqRel) {
+            return; // a pending wake already covers this one
+        }
+        let one: u64 = 1;
+        // The counter would overflow only after 2^64-2 unconsumed wakes;
+        // EAGAIN there still leaves the fd readable, which is all we need.
+        unsafe { sys::write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Consume pending wakes (the reactor calls this when the wakeup
+    /// token surfaces) so level-triggered polling goes quiet again.
+    pub fn drain(&self) {
+        self.armed.store(false, Ordering::Release);
+        let mut buf = 0u64;
+        unsafe { sys::read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for WakeupFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+/// Raise the process's open-file soft limit to at least `min` fds
+/// (capped at the hard limit). Returns the resulting soft limit. The
+/// 10k-connection bench calls this before dialing: two sockets per
+/// subscriber plus slack would blow through a conservative default.
+pub fn raise_nofile_limit(min: u64) -> io::Result<u64> {
+    let mut lim = sys::Rlimit { rlim_cur: 0, rlim_max: 0 };
+    if unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.rlim_cur >= min {
+        return Ok(lim.rlim_cur);
+    }
+    lim.rlim_cur = min.min(lim.rlim_max);
+    if unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(lim.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn timeout_expires_with_no_events() {
+        let epoll = Epoll::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        let start = std::time::Instant::now();
+        let n = epoll.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn wakeup_fd_unblocks_wait_from_another_thread() {
+        let epoll = Epoll::new().unwrap();
+        let wakeup = std::sync::Arc::new(WakeupFd::new().unwrap());
+        epoll.register(wakeup.raw_fd(), Token(7), Interest::READABLE).unwrap();
+        let waker = std::sync::Arc::clone(&wakeup);
+        let t = std::thread::spawn(move || waker.wake());
+        let mut events = Events::with_capacity(4);
+        let n = epoll.wait(&mut events, Some(Duration::from_secs(30))).unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+        wakeup.drain();
+        // Drained: the set is quiet again.
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_millis(5))).unwrap(), 0);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wake_storm_collapses_but_still_readable() {
+        let epoll = Epoll::new().unwrap();
+        let wakeup = WakeupFd::new().unwrap();
+        epoll.register(wakeup.raw_fd(), Token(1), Interest::READABLE).unwrap();
+        for _ in 0..1000 {
+            wakeup.wake();
+        }
+        let mut events = Events::with_capacity(4);
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        wakeup.drain();
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_millis(5))).unwrap(), 0);
+    }
+
+    #[test]
+    fn tcp_readiness_tracks_data_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let epoll = Epoll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // A fresh connected socket is writable but not readable.
+        epoll
+            .register(server.as_raw_fd(), Token(3), Interest::READABLE.add(Interest::WRITABLE))
+            .unwrap();
+        let n = epoll.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(n >= 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token(), Token(3));
+        assert!(ev.is_writable());
+        assert!(!ev.is_readable());
+
+        // Narrow to READABLE: quiet until the peer writes.
+        epoll.modify(server.as_raw_fd(), Token(3), Interest::READABLE).unwrap();
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_millis(5))).unwrap(), 0);
+        client.write_all(b"ping").unwrap();
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(events.iter().next().unwrap().is_readable());
+
+        // Level-triggered: still readable until drained.
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        let mut buf = [0u8; 16];
+        let mut srv = &server;
+        assert_eq!(srv.read(&mut buf).unwrap(), 4);
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_millis(5))).unwrap(), 0);
+
+        epoll.deregister(server.as_raw_fd()).unwrap();
+        client.write_all(b"x").unwrap();
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+    }
+
+    #[test]
+    fn peer_close_reports_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.register(server.as_raw_fd(), Token(9), Interest::READABLE).unwrap();
+        drop(client);
+        let mut events = Events::with_capacity(4);
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        // EOF surfaces as readable (read() will return 0).
+        assert!(events.iter().next().unwrap().is_readable());
+    }
+
+    #[test]
+    fn nofile_limit_can_be_raised() {
+        let cur = raise_nofile_limit(1024).unwrap();
+        assert!(cur >= 1024 || cur > 0, "soft limit should be usable");
+        // Idempotent: asking for less than current is a no-op.
+        let again = raise_nofile_limit(16).unwrap();
+        assert!(again >= cur.min(1024));
+    }
+}
