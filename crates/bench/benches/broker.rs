@@ -141,6 +141,7 @@ fn fanout_broker(tlds: usize, subs_per_tld: usize, shard_size: usize) -> (Broker
         // state publish cost is measured, not queue growth.
         subscriber_capacity: 8,
         overflow: OverflowPolicy::Lag,
+        lag_slo: None,
     });
     let mut ids = Vec::with_capacity(tlds);
     for t in 0..tlds {
@@ -307,6 +308,7 @@ fn bench_tcp_fanout(c: &mut Criterion) {
             retention: RetentionConfig::new(64, 16),
             subscriber_capacity: 4096,
             overflow: OverflowPolicy::Lag,
+            lag_slo: None,
         });
         let tld = TldId(0);
         broker.add_shard(tld, shard_snapshot("com", 10_000));
@@ -603,6 +605,7 @@ fn bench_tcp_fanout_10k(c: &mut Criterion) {
         retention: RetentionConfig::new(64, 16),
         subscriber_capacity: 64,
         overflow: OverflowPolicy::Lag,
+        lag_slo: None,
     });
     let tld = TldId(0);
     broker.add_shard(tld, shard_snapshot("com", 10_000));

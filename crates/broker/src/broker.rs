@@ -55,6 +55,17 @@ pub struct BrokerConfig {
     /// exempt; their depth is bounded by the retention ring instead).
     pub subscriber_capacity: usize,
     pub overflow: OverflowPolicy,
+    /// Sustained-lag SLO, the fleet-ops refinement of
+    /// [`OverflowPolicy::Lag`]: a subscriber whose live buffer stays
+    /// full — every publish to it dropping, with no successful delivery
+    /// in between — for at least this long is evicted exactly as under
+    /// [`OverflowPolicy::Evict`]. A *briefly* slow subscriber (one that
+    /// drains before the window closes) only accrues lag drops and
+    /// survives; a wedged one stops burning publish cycles forever.
+    /// `None` (the default) keeps plain drop-and-count lagging.
+    /// Ignored under [`OverflowPolicy::Evict`], which evicts on the
+    /// first overflow.
+    pub lag_slo: Option<Duration>,
 }
 
 impl Default for BrokerConfig {
@@ -63,6 +74,7 @@ impl Default for BrokerConfig {
             retention: RetentionConfig::default(),
             subscriber_capacity: 1024,
             overflow: OverflowPolicy::Lag,
+            lag_slo: None,
         }
     }
 }
@@ -198,6 +210,14 @@ struct SubShared {
     /// bound.
     catchup_pending: AtomicU64,
     dropped: AtomicU64,
+    /// When the current *uninterrupted* run of overflow drops started
+    /// (`None` while the subscriber is keeping up). Set on the first
+    /// drop, cleared by any successful delivery, read by the
+    /// sustained-lag SLO ([`BrokerConfig::lag_slo`]). A leaf lock in
+    /// the documented hierarchy, touched only on the publish path under
+    /// the shard + queue locks — and only when the SLO is configured,
+    /// so the default broker never pays for it.
+    lagging_since: Mutex<Option<Instant>>,
     evicted: AtomicBool,
     closed: AtomicBool,
 }
@@ -471,6 +491,22 @@ fn lock_shard(handle: &ShardHandle, count_contention: bool) -> ShardGuard<'_> {
     ShardGuard { guard }
 }
 
+/// Shard publish locks held by the calling thread. Always `0` in
+/// release builds, where the debug guard rail compiles out. Exposed so
+/// code that promises a publish-lock-free read path — the edge index's
+/// epoch-swap query answering — can debug-assert the promise at every
+/// lookup instead of relying on review.
+pub fn shard_locks_held_by_current_thread() -> usize {
+    #[cfg(debug_assertions)]
+    {
+        SHARD_LOCKS_HELD.with(|held| held.get())
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
 /// The sharded RZU distribution broker. Cheap to clone (`Arc`-shared);
 /// clones publish into and subscribe from the same state. `Send + Sync`:
 /// publishers of disjoint TLDs run fully in parallel (see
@@ -613,6 +649,7 @@ impl Broker {
             waker: Mutex::new(None),
             catchup_pending: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            lagging_since: Mutex::new(None),
             evicted: AtomicBool::new(false),
             closed: AtomicBool::new(false),
         });
@@ -699,6 +736,10 @@ impl Broker {
         let retention = self.inner.config.retention;
         let capacity = self.inner.config.subscriber_capacity;
         let overflow = self.inner.config.overflow;
+        let lag_slo = self.inner.config.lag_slo;
+        // One clock read per publish serves every subscriber's SLO
+        // arithmetic; skipped entirely when no SLO is configured.
+        let now = lag_slo.map(|_| Instant::now());
         // Seal and fan out under the shard lock (subscriber queues nest
         // inside it, same order as subscribe): releasing the shard before
         // fan-out would let a subscriber compute a catch-up plan that
@@ -726,28 +767,39 @@ impl Broker {
                     catchup: false,
                 });
                 counters.deliveries += 1;
+                if now.is_some() {
+                    // The subscriber made room: its lag run (if any) is
+                    // over, so the SLO clock restarts from scratch on
+                    // the next overflow.
+                    *sub.lagging_since.lock() = None;
+                }
                 sub.notify.notify_all();
                 sub.wake();
                 return true;
             }
-            match overflow {
-                OverflowPolicy::Lag => {
-                    sub.dropped.fetch_add(1, Ordering::Relaxed);
-                    counters.lagged_messages += 1;
-                    true
+            let evict_for_slo = match (overflow, lag_slo, now) {
+                (OverflowPolicy::Lag, Some(window), Some(now)) => {
+                    let mut since = sub.lagging_since.lock();
+                    now.duration_since(*since.get_or_insert(now)) >= window
                 }
-                OverflowPolicy::Evict => {
-                    queue.clear();
-                    sub.catchup_pending.store(0, Ordering::Relaxed);
-                    sub.evicted.store(true, Ordering::Relaxed);
-                    counters.evictions += 1;
-                    // Wake any blocked consumer so it observes the
-                    // eviction now, not at its next timeout tick.
-                    sub.notify.notify_all();
-                    sub.wake();
-                    false
-                }
+                _ => false,
+            };
+            if overflow == OverflowPolicy::Lag && !evict_for_slo {
+                sub.dropped.fetch_add(1, Ordering::Relaxed);
+                counters.lagged_messages += 1;
+                return true;
             }
+            // OverflowPolicy::Evict, or a Lag subscriber whose buffer
+            // has now been continuously full past the SLO window: evict.
+            queue.clear();
+            sub.catchup_pending.store(0, Ordering::Relaxed);
+            sub.evicted.store(true, Ordering::Relaxed);
+            counters.evictions += 1;
+            // Wake any blocked consumer so it observes the eviction
+            // now, not at its next timeout tick.
+            sub.notify.notify_all();
+            sub.wake();
+            false
         });
         sealed
     }
@@ -1016,6 +1068,55 @@ mod tests {
     }
 
     #[test]
+    fn lag_slo_evicts_wedged_subscriber_but_spares_briefly_slow_one() {
+        let config = BrokerConfig {
+            subscriber_capacity: 1,
+            overflow: OverflowPolicy::Lag,
+            lag_slo: Some(Duration::from_millis(150)),
+            ..BrokerConfig::default()
+        };
+        let broker = broker_with_com(config);
+        let briefly_slow = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+        let wedged = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));
+
+        // Both buffers fill on the first push; the second push overflows
+        // both and starts their SLO clocks.
+        broker.publish(TldId(0), add_delta("d1.com"), Serial::new(1), SimTime::ZERO);
+        broker.publish(TldId(0), add_delta("d2.com"), Serial::new(2), SimTime::ZERO);
+        assert_eq!(briefly_slow.dropped_count(), 1);
+        assert_eq!(wedged.dropped_count(), 1);
+        assert!(!briefly_slow.is_evicted() && !wedged.is_evicted());
+
+        // Still inside the window: more drops, no eviction yet — lag
+        // alone is not a death sentence.
+        broker.publish(TldId(0), add_delta("d3.com"), Serial::new(3), SimTime::ZERO);
+        assert!(!briefly_slow.is_evicted() && !wedged.is_evicted());
+
+        // The briefly-slow subscriber drains before the window closes;
+        // the wedged one never does.
+        briefly_slow.drain();
+        std::thread::sleep(Duration::from_millis(200));
+
+        // Past the window. The briefly-slow subscriber takes a delivery
+        // (its clock was reset by the drain-enabled delivery below) and
+        // survives; the wedged one's buffer has been continuously full
+        // since d2 and is evicted.
+        broker.publish(TldId(0), add_delta("d4.com"), Serial::new(4), SimTime::ZERO);
+        assert!(!briefly_slow.is_evicted(), "a briefly-slow subscriber must survive the SLO");
+        assert!(wedged.is_evicted(), "a wedged subscriber must be evicted at the SLO window");
+        assert_eq!(wedged.queued(), 0, "evicted queue is cleared");
+        assert_eq!(briefly_slow.queued(), 1);
+        assert_eq!(broker.stats().evictions, 1);
+        assert_eq!(broker.subscriber_count(), 1);
+
+        // A survivor that lags again starts a *fresh* window rather
+        // than inheriting the old clock.
+        broker.publish(TldId(0), add_delta("d5.com"), Serial::new(5), SimTime::ZERO);
+        assert!(!briefly_slow.is_evicted());
+        assert_eq!(briefly_slow.dropped_count(), 3);
+    }
+
+    #[test]
     fn catch_up_backlog_is_exempt_from_the_live_capacity_bound() {
         // A fresh subscriber with a catch-up backlog larger than its
         // live capacity must not be lagged or evicted by the next push.
@@ -1023,6 +1124,7 @@ mod tests {
             retention: RetentionConfig::new(16, 16),
             subscriber_capacity: 2,
             overflow: OverflowPolicy::Evict,
+            lag_slo: None,
         };
         let broker = broker_with_com(config);
         for i in 1..=10u32 {
@@ -1177,6 +1279,7 @@ mod tests {
             retention: RetentionConfig::new(8, 4),
             subscriber_capacity: 1,
             overflow: OverflowPolicy::Evict,
+            lag_slo: None,
         };
         let broker = broker_with_com(config);
         let slow = broker.subscribe(&[TldId(0)], Some(Serial::new(0)));

@@ -103,6 +103,16 @@
 //! explicitly through [`broker::SubWait::Evicted`]) bounds the damage
 //! to that subscriber.
 //!
+//! The edge tier (`darkdns-edge`) extends this map with a rule rather
+//! than a new level: its lookup path holds **no lock from either
+//! level** — an edge feed (an ordinary level-2 consumer) builds each
+//! index generation off to the side and swaps an `Arc`, so thin-client
+//! queries resolve against immutable epochs and publish-side contention
+//! cannot reach them. The thread-local
+//! [`shard_locks_held_by_current_thread`] counter that backs the
+//! no-two-shard-locks assertion is exported precisely so the edge crate
+//! can debug-assert that epoch-swap invariant on every query.
+//!
 //! # The snapshot-vs-delta catch-up decision rule
 //!
 //! A subscriber arrives claiming serial `s` for a shard whose head is `h`
@@ -130,8 +140,8 @@ pub mod shard;
 pub mod transport;
 
 pub use broker::{
-    Broker, BrokerConfig, BrokerMessage, BrokerStats, BrokerSubscription, OverflowPolicy,
-    ShardStats, SubWait,
+    shard_locks_held_by_current_thread, Broker, BrokerConfig, BrokerMessage, BrokerStats,
+    BrokerSubscription, OverflowPolicy, ShardStats, SubWait,
 };
 pub use feed::UniverseFeed;
 pub use pool::{PublishItem, PublishPool};

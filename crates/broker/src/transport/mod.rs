@@ -84,7 +84,12 @@ pub use client::{fetch_stats, ClientEvent, TransportClient};
 pub use darkdns_dns::wire::{StatsReport, WireServerStats, WireShardStats, WireSubscriberStats};
 pub use fault::{FaultInjectedConn, FaultScript, FrameFault};
 pub use frame::{
-    tcp_connect, ByteIo, FrameConn, LengthPrefixed, TcpFrameConn, TransportError, MAX_FRAME_LEN,
+    tcp_connect, ByteIo, FrameAssembler, FrameConn, FrameProgress, LengthPrefixed, TcpFrameConn,
+    TransportError, MAX_FRAME_LEN,
 };
 pub use pipe::{duplex, PipeCutHandle, PipeEnd};
+// The outbound-ring building blocks are shared with `darkdns-edge`'s
+// query reactor: any readiness-driven server in the workspace composes
+// frames into an [`OutRing`] and drains it with vectored writes.
+pub use ring::{CompletedFrame, FlushStatus, FrameKind, OutRing, RingFrame};
 pub use server::{BrokerServer, ServedConn, ServerStats, TransportConfig};

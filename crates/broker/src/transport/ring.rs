@@ -29,21 +29,21 @@ use std::io::{ErrorKind, IoSlice, Write};
 
 /// Most frames one vectored write carries. Bounds the latency of the
 /// frame behind a long run and the `IoSlice` gather array.
-pub(super) const MAX_COALESCE: usize = 32;
+pub const MAX_COALESCE: usize = 32;
 
 /// Frame-count capacity of one connection's ring.
-pub(super) const MAX_RING_FRAMES: usize = 32;
+pub const MAX_RING_FRAMES: usize = 32;
 
 /// Unsent-byte capacity of one connection's ring. A frame already
 /// accepted by the ring is never refused mid-flush; the cap gates new
 /// admissions ([`OutRing::has_room`]).
-pub(super) const MAX_RING_BYTES: usize = 4 << 20;
+pub const MAX_RING_BYTES: usize = 4 << 20;
 
 /// What a ring frame was, replayed to the caller when the frame's last
 /// byte reaches the stream so counters and claims advance exactly once,
 /// and exactly for bytes the kernel (or pipe) actually accepted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(super) enum FrameKind {
+pub enum FrameKind {
     /// A snapshot bootstrap for `tld`.
     Snapshot { tld: u16 },
     /// A delta envelope for `tld`; the connection's claim for that TLD
@@ -63,7 +63,7 @@ pub(super) enum FrameKind {
 /// One composed frame: up to 10 head bytes (4-byte big-endian length
 /// prefix, optionally followed by the 6-byte delta envelope header)
 /// and the payload, shared not copied.
-pub(super) struct RingFrame {
+pub struct RingFrame {
     head: [u8; 10],
     head_len: u8,
     payload: Bytes,
@@ -76,7 +76,7 @@ pub(super) struct RingFrame {
 
 impl RingFrame {
     /// A frame whose payload goes out as-is behind its length prefix.
-    pub(super) fn plain(payload: Bytes, kind: FrameKind, counted: bool) -> Self {
+    pub fn plain(payload: Bytes, kind: FrameKind, counted: bool) -> Self {
         let mut head = [0u8; 10];
         head[..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
         RingFrame { head, head_len: 4, payload, kind, counted }
@@ -84,7 +84,7 @@ impl RingFrame {
 
     /// A frame with extra head bytes between the prefix and the shared
     /// payload (the delta envelope): the length prefix covers both.
-    pub(super) fn with_envelope(
+    pub fn with_envelope(
         envelope: &[u8],
         payload: Bytes,
         kind: FrameKind,
@@ -98,7 +98,7 @@ impl RingFrame {
     }
 
     /// An idle heartbeat: the empty frame.
-    pub(super) fn heartbeat() -> Self {
+    pub fn heartbeat() -> Self {
         RingFrame::plain(Bytes::new(), FrameKind::Heartbeat, false)
     }
 
@@ -106,7 +106,7 @@ impl RingFrame {
     /// bytes but only `partial` follows. After this frame flushes, the
     /// reactor severs the connection — the peer is left mid-frame,
     /// exactly what a TCP disconnect under an in-flight frame leaves.
-    pub(super) fn torn(declared_len: usize, partial: Bytes) -> Self {
+    pub fn torn(declared_len: usize, partial: Bytes) -> Self {
         debug_assert!(partial.len() < declared_len);
         let mut head = [0u8; 10];
         head[..4].copy_from_slice(&(declared_len as u32).to_be_bytes());
@@ -120,7 +120,7 @@ impl RingFrame {
 
 /// One frame's completion record.
 #[derive(Debug, Clone, Copy)]
-pub(super) struct CompletedFrame {
+pub struct CompletedFrame {
     pub kind: FrameKind,
     pub counted: bool,
     /// Frames sharing a `write_seq` reached the stream in the same
@@ -130,7 +130,7 @@ pub(super) struct CompletedFrame {
 
 /// Outcome of one flush pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(super) enum FlushStatus {
+pub enum FlushStatus {
     /// The ring is empty; nothing left to write.
     Drained,
     /// The stream stopped accepting bytes (`WouldBlock`): wait for
@@ -139,7 +139,7 @@ pub(super) enum FlushStatus {
 }
 
 /// The per-connection outbound staging ring. See the module docs.
-pub(super) struct OutRing {
+pub struct OutRing {
     frames: VecDeque<RingFrame>,
     /// Bytes of the front frame already accepted by the stream.
     front_sent: usize,
@@ -151,17 +151,17 @@ pub(super) struct OutRing {
 }
 
 impl OutRing {
-    pub(super) fn new() -> Self {
+    pub fn new() -> Self {
         OutRing { frames: VecDeque::new(), front_sent: 0, unsent: 0, write_seq: 0 }
     }
 
-    pub(super) fn is_empty(&self) -> bool {
+    pub fn is_empty(&self) -> bool {
         self.frames.is_empty()
     }
 
     /// Unsent bytes staged in the ring (the `buffered_bytes` a stats
     /// row reports for this connection).
-    pub(super) fn unsent_bytes(&self) -> usize {
+    pub fn unsent_bytes(&self) -> usize {
         self.unsent
     }
 
@@ -169,11 +169,11 @@ impl OutRing {
     /// (evict, heartbeat, stats, faults) may be pushed regardless — the
     /// caps gate the broker-queue drain, which is where backpressure
     /// must bite.
-    pub(super) fn has_room(&self) -> bool {
+    pub fn has_room(&self) -> bool {
         self.frames.len() < MAX_RING_FRAMES && self.unsent < MAX_RING_BYTES
     }
 
-    pub(super) fn push(&mut self, frame: RingFrame) {
+    pub fn push(&mut self, frame: RingFrame) {
         self.unsent += frame.len();
         self.frames.push_back(frame);
     }
@@ -183,7 +183,7 @@ impl OutRing {
     /// appended to `completed` (in wire order). `Interrupted` retries;
     /// `WouldBlock`/`TimedOut` parks with state intact; other errors
     /// surface (the connection is dead — undelivered frames are moot).
-    pub(super) fn flush_into(
+    pub fn flush_into(
         &mut self,
         stream: &mut impl Write,
         completed: &mut Vec<CompletedFrame>,

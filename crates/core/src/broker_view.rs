@@ -157,6 +157,14 @@ impl BrokerZoneView {
         applied
     }
 
+    /// Record an eviction observed by an external driver (a transport
+    /// client or an edge feed pumping a detached view): latches
+    /// [`BrokerZoneView::lost_sync`] exactly as [`BrokerZoneView::pump`]
+    /// does when its own subscription reports eviction.
+    pub fn ingest_eviction(&mut self) {
+        self.lost_sync = true;
+    }
+
     /// True once a dropped frame left the view unable to advance.
     pub fn lost_sync(&self) -> bool {
         self.lost_sync
@@ -491,6 +499,7 @@ mod tests {
             retention: RetentionConfig::new(8, 4),
             subscriber_capacity: 2,
             overflow: OverflowPolicy::Lag,
+            lag_slo: None,
         };
         let broker = Broker::new(config);
         broker.add_shard(TldId(0), empty_snap("com"));
@@ -532,6 +541,7 @@ mod tests {
             retention: RetentionConfig::new(16, 8),
             subscriber_capacity: 2,
             overflow: OverflowPolicy::Evict,
+            lag_slo: None,
         };
         let broker = Broker::new(config);
         broker.add_shard(TldId(0), empty_snap("com"));

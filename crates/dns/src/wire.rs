@@ -39,6 +39,8 @@ pub enum WireError {
     TrailingBytes(usize),
     /// A delta-push frame did not start with the `RZU1` magic.
     BadMagic,
+    /// A lookup answer row carried flag bits outside the defined set.
+    BadFlags(u8),
 }
 
 impl fmt::Display for WireError {
@@ -57,6 +59,7 @@ impl fmt::Display for WireError {
             }
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             WireError::BadMagic => write!(f, "not an RZU1 delta-push frame"),
+            WireError::BadFlags(b) => write!(f, "unknown lookup answer flags {b:#04x}"),
         }
     }
 }
@@ -1166,6 +1169,203 @@ pub fn decode_stats_report(bytes: &[u8]) -> Result<StatsReport, WireError> {
     Ok(StatsReport { server, shards, subs })
 }
 
+// ---------------------------------------------------------------------------
+// Membership lookup round trip (`RZUL` / `RZUR`)
+//
+// The thin-client path: instead of holding a full `RemoteZoneView`
+// replica, a client sends a batched `RZUL` request to a query-serving
+// edge and gets one `RZUR` answer row per query — delegated or not, at
+// which shard serial, and (when the name appeared in a recent delta's
+// `added` section) the NRD first-seen timestamp from the edge's hot
+// recency window. Both codecs follow the bounded-untrusted-count
+// discipline of the frames above.
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of a batched membership lookup request.
+pub const LOOKUP_REQUEST_MAGIC: &[u8; 4] = b"RZUL";
+/// Magic prefix of a batched membership lookup response.
+pub const LOOKUP_RESPONSE_MAGIC: &[u8; 4] = b"RZUR";
+/// The `u16` TLD sentinel in a [`LookupQuery`] that asks "is this name
+/// delegated in *any* TLD the edge serves?" (`contains_anywhere`).
+pub const LOOKUP_ANY_TLD: u16 = u16::MAX;
+
+/// One query in an `RZUL` batch: a target TLD (transport-level `u16`,
+/// the registry's `TldId` payload, or [`LOOKUP_ANY_TLD`]) and the name
+/// whose delegation status is being asked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupQuery {
+    pub tld: u16,
+    pub name: DomainName,
+}
+
+/// One answer row in an `RZUR` batch, positionally matched to the query
+/// at the same index in the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LookupAnswer {
+    /// Is the name currently delegated (in the queried TLD, or anywhere
+    /// for [`LOOKUP_ANY_TLD`] queries)?
+    pub present: bool,
+    /// The serial of the shard snapshot that answered — the staleness
+    /// bound of this row. `None` for [`LOOKUP_ANY_TLD`] queries and for
+    /// TLDs the edge does not serve.
+    pub serial: Option<Serial>,
+    /// When the name appeared in a delta's `added` section, if that
+    /// event is still inside the edge's hot NRD-recency window (the
+    /// delta's publisher-side `pushed_at`). `None` means "not a recent
+    /// NRD as far as this edge remembers", never "not delegated".
+    pub first_seen: Option<SimTime>,
+}
+
+/// A decoded `RZUR` frame: the echoed request id, the edge epoch that
+/// answered (monotonic per edge — a client comparing epochs across
+/// responses can tell whether the index advanced between them), and one
+/// answer per query in request order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LookupResponse {
+    pub request_id: u64,
+    pub epoch: u64,
+    pub answers: Vec<LookupAnswer>,
+}
+
+/// [`LookupAnswer`] flag bits: delegated.
+const LOOKUP_F_PRESENT: u8 = 1 << 0;
+/// [`LookupAnswer`] flag bits: a `u32` shard serial follows.
+const LOOKUP_F_SERIAL: u8 = 1 << 1;
+/// [`LookupAnswer`] flag bits: a `u64` NRD first-seen timestamp follows.
+const LOOKUP_F_FIRST_SEEN: u8 = 1 << 2;
+
+/// Encode a batched lookup request.
+///
+/// Layout: `"RZUL"`, `u64` request id, `u16` query count, then per
+/// query a `u16` TLD and the name in RFC 1035 label encoding with
+/// frame-scoped compression (repeated suffixes across a batch collapse
+/// to 2-byte pointers).
+pub fn encode_lookup_request(request_id: u64, queries: &[LookupQuery]) -> Bytes {
+    debug_assert!(queries.len() <= u16::MAX as usize);
+    let mut enc = Encoder::new();
+    enc.buf.put_slice(LOOKUP_REQUEST_MAGIC);
+    enc.buf.put_u64(request_id);
+    enc.buf.put_u16(queries.len() as u16);
+    for query in queries {
+        enc.buf.put_u16(query.tld);
+        enc.name(&query.name);
+    }
+    enc.buf.freeze()
+}
+
+/// Decode a frame produced by [`encode_lookup_request`]. The entire
+/// buffer must be consumed. The query count is untrusted: each query
+/// costs at least 3 bytes (`u16` TLD + a 1-byte root or pointer-free
+/// name), so a count the remaining buffer cannot hold is a truncation,
+/// caught before any allocation is sized from it.
+pub fn decode_lookup_request(bytes: &[u8]) -> Result<(u64, Vec<LookupQuery>), WireError> {
+    let mut dec = Decoder { bytes, pos: 0 };
+    if dec.take(4)? != LOOKUP_REQUEST_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let request_id = dec.u64()?;
+    let count = dec.u16()? as usize;
+    if count.checked_mul(3).is_none_or(|need| need > dec.remaining()) {
+        return Err(WireError::Truncated);
+    }
+    let mut queries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tld = dec.u16()?;
+        let name = dec.name()?;
+        queries.push(LookupQuery { tld, name });
+    }
+    if dec.pos != bytes.len() {
+        return Err(WireError::TrailingBytes(bytes.len() - dec.pos));
+    }
+    Ok((request_id, queries))
+}
+
+/// Encode a batched lookup response.
+///
+/// Layout: `"RZUR"`, `u64` request id, `u64` edge epoch, `u16` answer
+/// count, then per answer a `u8` flag byte ([`LOOKUP_F_PRESENT`] |
+/// [`LOOKUP_F_SERIAL`] | [`LOOKUP_F_FIRST_SEEN`]) followed by a `u32`
+/// serial iff the serial flag is set and a `u64` first-seen timestamp
+/// iff the first-seen flag is set — absent fields cost zero bytes, so
+/// the common miss row is a single byte.
+pub fn encode_lookup_response(
+    request_id: u64,
+    epoch: u64,
+    answers: &[LookupAnswer],
+) -> Bytes {
+    debug_assert!(answers.len() <= u16::MAX as usize);
+    let mut buf = BytesMut::with_capacity(4 + 8 + 8 + 2 + answers.len() * 6);
+    buf.put_slice(LOOKUP_RESPONSE_MAGIC);
+    buf.put_u64(request_id);
+    buf.put_u64(epoch);
+    buf.put_u16(answers.len() as u16);
+    for answer in answers {
+        let mut flags = 0u8;
+        if answer.present {
+            flags |= LOOKUP_F_PRESENT;
+        }
+        if answer.serial.is_some() {
+            flags |= LOOKUP_F_SERIAL;
+        }
+        if answer.first_seen.is_some() {
+            flags |= LOOKUP_F_FIRST_SEEN;
+        }
+        buf.put_u8(flags);
+        if let Some(serial) = answer.serial {
+            buf.put_u32(serial.get());
+        }
+        if let Some(first_seen) = answer.first_seen {
+            buf.put_u64(first_seen.as_secs());
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a frame produced by [`encode_lookup_response`]. The entire
+/// buffer must be consumed. The answer count is untrusted: each row
+/// costs at least 1 byte (the flag byte), so a count the remaining
+/// buffer cannot hold is a truncation, caught before any allocation is
+/// sized from it; flag bits outside the three defined ones are a
+/// [`WireError::BadFlags`] (a canonical encoder never sets them).
+pub fn decode_lookup_response(bytes: &[u8]) -> Result<LookupResponse, WireError> {
+    let mut dec = Decoder { bytes, pos: 0 };
+    if dec.take(4)? != LOOKUP_RESPONSE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let request_id = dec.u64()?;
+    let epoch = dec.u64()?;
+    let count = dec.u16()? as usize;
+    if count > dec.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut answers = Vec::with_capacity(count);
+    for _ in 0..count {
+        let flags = dec.u8()?;
+        if flags & !(LOOKUP_F_PRESENT | LOOKUP_F_SERIAL | LOOKUP_F_FIRST_SEEN) != 0 {
+            return Err(WireError::BadFlags(flags));
+        }
+        let serial = if flags & LOOKUP_F_SERIAL != 0 {
+            Some(Serial::new(dec.u32()?))
+        } else {
+            None
+        };
+        let first_seen = if flags & LOOKUP_F_FIRST_SEEN != 0 {
+            Some(SimTime::from_secs(dec.u64()?))
+        } else {
+            None
+        };
+        answers.push(LookupAnswer {
+            present: flags & LOOKUP_F_PRESENT != 0,
+            serial,
+            first_seen,
+        });
+    }
+    if dec.pos != bytes.len() {
+        return Err(WireError::TrailingBytes(bytes.len() - dec.pos));
+    }
+    Ok(LookupResponse { request_id, epoch, answers })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1695,6 +1895,95 @@ mod tests {
         assert_eq!((full.from_serial, full.to_serial), (Serial::new(41), Serial::new(42)));
         assert_eq!(peek_delta_push_serials(b"RZUS"), Err(WireError::BadMagic));
         assert_eq!(peek_delta_push_serials(&frame[..6]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn lookup_request_round_trips() {
+        let queries = vec![
+            LookupQuery { tld: 0, name: name("example.com") },
+            LookupQuery { tld: 3, name: name("a-rather-long-registration-label.net") },
+            LookupQuery { tld: LOOKUP_ANY_TLD, name: name("example.com") },
+        ];
+        let frame = encode_lookup_request(0xDEAD_BEEF_0BAD_CAFE, &queries);
+        let (id, decoded) = decode_lookup_request(&frame).unwrap();
+        assert_eq!(id, 0xDEAD_BEEF_0BAD_CAFE);
+        assert_eq!(decoded, queries);
+        // Frame-scoped compression: the repeated example.com collapses
+        // to a 2-byte pointer, so the frame is smaller than two full
+        // encodings of it plus the long name.
+        assert!(frame.len() < 4 + 8 + 2 + 3 * 2 + 2 * 13 + 38);
+        // Empty batches are legal (a keepalive-shaped probe).
+        let empty = encode_lookup_request(7, &[]);
+        assert_eq!(decode_lookup_request(&empty).unwrap(), (7, vec![]));
+    }
+
+    #[test]
+    fn lookup_request_rejects_bad_magic_truncation_and_trailing() {
+        assert_eq!(decode_lookup_request(b"NOPE"), Err(WireError::BadMagic));
+        assert_eq!(decode_lookup_request(b"RZUL"), Err(WireError::Truncated));
+        // An absurd query count is rejected before any allocation.
+        let mut absurd = Vec::new();
+        absurd.extend_from_slice(LOOKUP_REQUEST_MAGIC);
+        absurd.extend_from_slice(&7u64.to_be_bytes());
+        absurd.extend_from_slice(&u16::MAX.to_be_bytes());
+        assert_eq!(decode_lookup_request(&absurd), Err(WireError::Truncated));
+        let queries = [LookupQuery { tld: 1, name: name("example.com") }];
+        let frame = encode_lookup_request(1, &queries);
+        assert_eq!(decode_lookup_request(&frame[..frame.len() - 1]), Err(WireError::Truncated));
+        let mut padded = frame.to_vec();
+        padded.push(0);
+        assert_eq!(decode_lookup_request(&padded), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn lookup_response_round_trips() {
+        let answers = vec![
+            LookupAnswer { present: true, serial: Some(Serial::new(42)), first_seen: None },
+            LookupAnswer {
+                present: true,
+                serial: Some(Serial::new(u32::MAX)),
+                first_seen: Some(SimTime::from_secs(u64::MAX)),
+            },
+            LookupAnswer { present: false, serial: None, first_seen: None },
+            LookupAnswer { present: false, serial: Some(Serial::new(0)), first_seen: None },
+        ];
+        let frame = encode_lookup_response(99, 12, &answers);
+        let decoded = decode_lookup_response(&frame).unwrap();
+        assert_eq!(decoded.request_id, 99);
+        assert_eq!(decoded.epoch, 12);
+        assert_eq!(decoded.answers, answers);
+        // The common miss row costs exactly one byte.
+        let misses = vec![LookupAnswer::default(); 3];
+        let frame = encode_lookup_response(0, 0, &misses);
+        assert_eq!(frame.len(), 4 + 8 + 8 + 2 + 3);
+        assert_eq!(decode_lookup_response(&frame).unwrap().answers, misses);
+    }
+
+    #[test]
+    fn lookup_response_rejects_bad_magic_flags_truncation_and_trailing() {
+        assert_eq!(decode_lookup_response(b"NOPE"), Err(WireError::BadMagic));
+        assert_eq!(decode_lookup_response(b"RZUR"), Err(WireError::Truncated));
+        let mut absurd = Vec::new();
+        absurd.extend_from_slice(LOOKUP_RESPONSE_MAGIC);
+        absurd.extend_from_slice(&0u64.to_be_bytes());
+        absurd.extend_from_slice(&0u64.to_be_bytes());
+        absurd.extend_from_slice(&u16::MAX.to_be_bytes());
+        assert_eq!(decode_lookup_response(&absurd), Err(WireError::Truncated));
+        // Undefined flag bits are rejected, not silently masked.
+        let mut bad_flags = absurd[..4 + 8 + 8].to_vec();
+        bad_flags.extend_from_slice(&1u16.to_be_bytes());
+        bad_flags.push(0x80);
+        assert_eq!(decode_lookup_response(&bad_flags), Err(WireError::BadFlags(0x80)));
+        let answers =
+            [LookupAnswer { present: true, serial: Some(Serial::new(5)), first_seen: None }];
+        let frame = encode_lookup_response(3, 1, &answers);
+        assert_eq!(
+            decode_lookup_response(&frame[..frame.len() - 1]),
+            Err(WireError::Truncated)
+        );
+        let mut padded = frame.to_vec();
+        padded.push(0);
+        assert_eq!(decode_lookup_response(&padded), Err(WireError::TrailingBytes(1)));
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! The thin-client side: a blocking `RZUL`/`RZUR` round trip over any
+//! [`FrameConn`].
+//!
+//! This is the whole point of the edge tier: a consumer that wants
+//! membership answers but not a zone replica holds one TCP connection
+//! and a few hundred bytes of state — no snapshots, no delta chain, no
+//! resync logic. Batching is the client's lever: one `RZUL` frame
+//! carries up to [`MAX_LOOKUP_BATCH`] names and one `RZUR` answers them
+//! all from a single index epoch.
+
+use darkdns_broker::transport::{tcp_connect, FrameConn, TransportError};
+use darkdns_dns::wire::{
+    decode_lookup_response, encode_lookup_request, LookupQuery, LookupResponse,
+    LOOKUP_RESPONSE_MAGIC,
+};
+use darkdns_dns::wire::WireError;
+
+/// Cap on names per `RZUL` batch — far below the `u16` wire bound, so a
+/// batch always fits the frame limit even with incompressible names.
+pub const MAX_LOOKUP_BATCH: usize = 4096;
+
+/// A connected edge thin client.
+pub struct EdgeClient {
+    conn: Box<dyn FrameConn>,
+    next_id: u64,
+}
+
+impl EdgeClient {
+    /// Wrap an established frame connection (TCP or an in-memory pipe).
+    pub fn new(conn: impl FrameConn + 'static) -> Self {
+        EdgeClient { conn: Box::new(conn), next_id: 1 }
+    }
+
+    /// Dial an edge server over TCP.
+    pub fn connect_tcp(addr: std::net::SocketAddr) -> std::io::Result<Self> {
+        Ok(Self::new(tcp_connect(addr)?))
+    }
+
+    /// Bound how long a lookup waits for its reply.
+    pub fn set_recv_timeout(
+        &mut self,
+        timeout: Option<std::time::Duration>,
+    ) -> Result<(), TransportError> {
+        self.conn.set_recv_timeout(timeout)
+    }
+
+    /// Answer a batch of membership queries: one request frame, one
+    /// reply frame, answers in request order. Server heartbeats (empty
+    /// frames) and replies to requests this client has already given up
+    /// on (stale ids) are skipped; a reply with the wrong answer count
+    /// or an id from the future closes the book on the connection.
+    pub fn lookup(&mut self, queries: &[LookupQuery]) -> Result<LookupResponse, TransportError> {
+        assert!(queries.len() <= MAX_LOOKUP_BATCH, "batch exceeds MAX_LOOKUP_BATCH");
+        let request_id = self.next_id;
+        self.next_id += 1;
+        self.conn.send_frame(&[&encode_lookup_request(request_id, queries)])?;
+        loop {
+            let frame = self.conn.recv_frame()?;
+            if frame.is_empty() {
+                continue; // server heartbeat
+            }
+            if frame.len() < 4 || &frame[..4] != LOOKUP_RESPONSE_MAGIC {
+                return Err(WireError::BadMagic.into());
+            }
+            let response = decode_lookup_response(&frame)?;
+            if response.request_id < request_id {
+                continue; // a reply this client timed out on earlier
+            }
+            if response.request_id > request_id || response.answers.len() != queries.len() {
+                // The stream is out of step with the request sequence;
+                // nothing on it can be trusted any more.
+                return Err(TransportError::Closed);
+            }
+            return Ok(response);
+        }
+    }
+}

@@ -1,0 +1,721 @@
+//! The query-serving front of the edge: one reactor thread answering
+//! `RZUL` batches for thousands of thin clients.
+//!
+//! [`EdgeServer`] reuses the broker transport's building blocks — the
+//! length-prefixed [`FrameAssembler`], the vectored-write [`OutRing`],
+//! and the vendored `mio_shim` epoll — in the same shape as the broker
+//! reactor: non-blocking sockets, `EPOLLOUT` registered only while a
+//! connection's ring holds unsent bytes, accept bursts drained to
+//! `WouldBlock`, idle heartbeats and a write-stall bound swept on the
+//! tick clock. One thread serves every listener and connection.
+//!
+//! The protocol is simpler than the broker's — there is **no
+//! handshake**: a connection is usable from its first byte and every
+//! inbound frame stands alone.
+//!
+//! | frame  | meaning                                                  |
+//! |--------|----------------------------------------------------------|
+//! | `RZUL` | batched lookup → `RZUR` reply, connection stays open     |
+//! | `RZUQ` | stats scrape → report reply, then drain and close        |
+//! | empty  | client keepalive, ignored (the server sends its own)     |
+//!
+//! Anything else — bad magic, a frame that fails validation — closes
+//! the connection: a thin client speaking garbage is indistinguishable
+//! from a corrupt stream.
+//!
+//! Every `RZUL` batch is answered from **one** loaded [`EdgeEpoch`]
+//! (`index.load()` → `answer` → `encode_lookup_response`), so the
+//! answers in a reply are mutually consistent and the reply's `epoch`
+//! field names the generation they came from. Per the epoch-swap
+//! invariant (see [`crate::index`]), the whole service path runs
+//! without touching any broker shard publish lock — debug builds assert
+//! it on every load and every answered query.
+//!
+//! # The `RZUQ` report, edge dialect
+//!
+//! The edge answers stats scrapes with the same [`StatsReport`] wire
+//! payload the broker uses, so [`fetch_stats`] and the fleet monitor
+//! work unchanged against either endpoint. The counters are mapped —
+//! a monitor scraping an edge should render edge labels:
+//!
+//! * `server.handshakes` carries **lookup batches answered**,
+//! * `server.deltas_sent` carries **names answered**,
+//! * `server.rejected_hellos` carries **bad frames**,
+//! * `server.accepted` / `disconnects` / `stats_queries` keep their
+//!   transport meaning; the remaining server counters are zero.
+//! * one shard row per TLD the current epoch serves: `head_serial` is
+//!   the epoch's serial for that TLD, `subscribers` the live connection
+//!   count, and `pushes` carries the index **epoch generation** (the
+//!   same value in every row); the other shard counters are zero.
+//!
+//! In-process callers get the unmapped counters from
+//! [`EdgeServer::stats`].
+
+use crate::index::{EdgeEpoch, EdgeIndex};
+use darkdns_broker::transport::{
+    FlushStatus, FrameAssembler, FrameProgress, FrameKind, OutRing, RingFrame, StatsReport,
+    MAX_FRAME_LEN,
+};
+use darkdns_dns::wire::{
+    decode_lookup_request, encode_lookup_response, encode_stats_report, is_stats_query,
+    WireServerStats, WireShardStats, LOOKUP_REQUEST_MAGIC,
+};
+use mio_shim::{Epoll, Events, Interest, Token, WakeupFd};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The wakeup eventfd's reserved token (slot tokens are slab indices).
+const WAKE_TOKEN: usize = usize::MAX;
+
+/// Edge transport tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeConfig {
+    /// Per-frame payload bound enforced on receive.
+    pub max_frame_len: usize,
+    /// Idle tick: the reactor's epoll-wait bound, and how long a quiet
+    /// connection stays silent before it gets a heartbeat frame.
+    pub writer_tick: Duration,
+    /// How long a connection's outbound ring may sit non-empty without
+    /// the peer accepting a byte before it is declared dead.
+    pub write_timeout: Duration,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            max_frame_len: MAX_FRAME_LEN,
+            writer_tick: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Monotonic edge-server counters (a point-in-time copy comes back from
+/// [`EdgeServer::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeServerStats {
+    /// Connections registered with the reactor.
+    pub accepted: u64,
+    /// Connections currently open (a gauge, not a counter).
+    pub open_conns: u64,
+    /// `RZUL` batches answered.
+    pub lookup_batches: u64,
+    /// Individual names answered across all batches.
+    pub lookup_names: u64,
+    /// `RZUQ` scrapes answered.
+    pub stats_queries: u64,
+    /// Frames that failed validation (connection closed).
+    pub bad_frames: u64,
+    /// Connections that died mid-stream (peer gone, write stall, bad
+    /// frame).
+    pub disconnects: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    accepted: AtomicU64,
+    open_conns: AtomicU64,
+    lookup_batches: AtomicU64,
+    lookup_names: AtomicU64,
+    stats_queries: AtomicU64,
+    bad_frames: AtomicU64,
+    disconnects: AtomicU64,
+}
+
+struct EdgeInner {
+    index: Arc<EdgeIndex>,
+    config: EdgeConfig,
+    stats: StatsInner,
+    pending: Mutex<Vec<TcpListener>>,
+    wakeup: WakeupFd,
+    stop: AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The edge query server: cheap to clone, all clones share the reactor.
+#[derive(Clone)]
+pub struct EdgeServer {
+    inner: Arc<EdgeInner>,
+}
+
+impl EdgeServer {
+    /// Build the server over `index` and start its reactor thread.
+    pub fn new(index: Arc<EdgeIndex>, config: EdgeConfig) -> Self {
+        let inner = Arc::new(EdgeInner {
+            index,
+            config,
+            stats: StatsInner::default(),
+            pending: Mutex::new(Vec::new()),
+            wakeup: WakeupFd::new().expect("create edge reactor wakeup eventfd"),
+            stop: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+        });
+        let loop_inner = Arc::clone(&inner);
+        let handle = std::thread::spawn(move || Reactor::run(loop_inner));
+        inner.threads.lock().push(handle);
+        EdgeServer { inner }
+    }
+
+    /// Bind a TCP listener and register it with the reactor. Returns
+    /// the bound address (bind to port 0 for an ephemeral one).
+    pub fn listen_tcp(&self, addr: &str) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        self.inner.pending.lock().push(listener);
+        self.inner.wakeup.wake();
+        Ok(local)
+    }
+
+    /// The index this server answers from.
+    pub fn index(&self) -> &Arc<EdgeIndex> {
+        &self.inner.index
+    }
+
+    /// A point-in-time copy of the edge counters.
+    pub fn stats(&self) -> EdgeServerStats {
+        let s = &self.inner.stats;
+        EdgeServerStats {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            open_conns: s.open_conns.load(Ordering::Relaxed),
+            lookup_batches: s.lookup_batches.load(Ordering::Relaxed),
+            lookup_names: s.lookup_names.load(Ordering::Relaxed),
+            stats_queries: s.stats_queries.load(Ordering::Relaxed),
+            bad_frames: s.bad_frames.load(Ordering::Relaxed),
+            disconnects: s.disconnects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The `RZUQ` payload in the edge dialect (see the module docs for
+    /// the counter mapping) — what a scrape connection receives, and
+    /// what in-process monitors can read without a socket.
+    pub fn stats_report(&self) -> StatsReport {
+        build_stats_report(&self.inner, &self.inner.index.load())
+    }
+
+    /// How many OS threads the edge transport owns: `1` regardless of
+    /// listener or connection count, `0` after shutdown.
+    pub fn transport_threads(&self) -> usize {
+        self.inner.threads.lock().len()
+    }
+
+    /// Stop the reactor and join it: every connection and listener
+    /// closes when the reactor drops its slot table.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        self.inner.wakeup.wake();
+        let drained: Vec<JoinHandle<()>> = {
+            let mut threads = self.inner.threads.lock();
+            threads.drain(..).collect()
+        };
+        for handle in drained {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Project the edge counters and the current epoch onto the broker's
+/// `RZUQ` report shape (counter mapping in the module docs).
+fn build_stats_report(inner: &EdgeInner, epoch: &EdgeEpoch) -> StatsReport {
+    let s = &inner.stats;
+    let server = WireServerStats {
+        accepted: s.accepted.load(Ordering::Relaxed),
+        handshakes: s.lookup_batches.load(Ordering::Relaxed),
+        rejected_hellos: s.bad_frames.load(Ordering::Relaxed),
+        deltas_sent: s.lookup_names.load(Ordering::Relaxed),
+        snapshots_sent: 0,
+        evict_notices: 0,
+        disconnects: s.disconnects.load(Ordering::Relaxed),
+        coalesced_writes: 0,
+        coalesced_frames: 0,
+        stats_queries: s.stats_queries.load(Ordering::Relaxed),
+    };
+    let open = s.open_conns.load(Ordering::Relaxed);
+    let shards = epoch
+        .tlds()
+        .into_iter()
+        .map(|tld| WireShardStats {
+            tld: tld.0,
+            head_serial: epoch.serial(tld).unwrap_or_default(),
+            subscribers: open,
+            pushes: epoch.epoch(),
+            frame_bytes: 0,
+            checkpoints: 0,
+            retained_deltas: 0,
+            retired_deltas: 0,
+            deliveries: 0,
+            lagged_messages: 0,
+            evictions: 0,
+            snapshot_catchups: 0,
+            delta_catchups: 0,
+            lock_contentions: 0,
+            coalesced_frames: 0,
+        })
+        .collect();
+    StatsReport { server, shards, subs: Vec::new() }
+}
+
+enum Slot {
+    Free,
+    Listener(TcpListener),
+    Conn(Box<Conn>),
+}
+
+struct Conn {
+    io: TcpStream,
+    assembler: FrameAssembler,
+    ring: OutRing,
+    /// Flush the ring, then close (a stats reply on its way out).
+    draining: bool,
+    /// Heartbeat clock: last byte received or frame composed.
+    last_io: Instant,
+    /// Write-stall clock: last time the stream accepted ring bytes.
+    last_progress: Instant,
+    /// Whether `EPOLLOUT` is currently registered.
+    want_write: bool,
+}
+
+impl Conn {
+    fn push_frame(&mut self, frame: RingFrame, now: Instant) {
+        if self.ring.is_empty() {
+            self.last_progress = now;
+        }
+        self.last_io = now;
+        self.ring.push(frame);
+    }
+}
+
+/// Why a connection is being closed.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CloseWhy {
+    /// Peer gone mid-stream, write stall, or a frame that failed
+    /// validation.
+    Disconnect,
+    /// Orderly close (clean EOF between frames, drained stats reply).
+    Quiet,
+}
+
+struct Reactor {
+    inner: Arc<EdgeInner>,
+    epoll: Epoll,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+}
+
+impl Reactor {
+    fn run(inner: Arc<EdgeInner>) {
+        let Ok(epoll) = Epoll::new() else { return };
+        if epoll.register(inner.wakeup.raw_fd(), Token(WAKE_TOKEN), Interest::READABLE).is_err() {
+            return;
+        }
+        Reactor { inner, epoll, slots: Vec::new(), free: Vec::new() }.event_loop();
+    }
+
+    fn event_loop(&mut self) {
+        let mut events = Events::with_capacity(1024);
+        let tick = self.inner.config.writer_tick;
+        let sweep_every = tick / 4;
+        let mut last_sweep = Instant::now();
+        loop {
+            if self.inner.stop.load(Ordering::Relaxed) {
+                return; // dropping self closes every conn and listener
+            }
+            let _ = self.epoll.wait(&mut events, Some(tick));
+            if self.inner.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let mut fd_work: Vec<(usize, bool, bool)> = Vec::new();
+            for event in events.iter() {
+                if event.token().0 == WAKE_TOKEN {
+                    self.inner.wakeup.drain();
+                } else {
+                    fd_work.push((event.token().0, event.is_readable(), event.is_writable()));
+                }
+            }
+            for (idx, readable, writable) in fd_work {
+                match self.slots.get(idx) {
+                    Some(Slot::Listener(_)) => self.accept_burst(idx),
+                    Some(Slot::Conn(_)) => self.service(idx, readable, writable),
+                    _ => {}
+                }
+            }
+            let staged: Vec<TcpListener> = std::mem::take(&mut *self.inner.pending.lock());
+            for listener in staged {
+                self.add_listener(listener);
+            }
+            if last_sweep.elapsed() >= sweep_every {
+                self.sweep();
+                last_sweep = Instant::now();
+            }
+        }
+    }
+
+    fn alloc_slot(&mut self) -> usize {
+        if let Some(idx) = self.free.pop() {
+            idx
+        } else {
+            self.slots.push(Slot::Free);
+            self.slots.len() - 1
+        }
+    }
+
+    fn add_listener(&mut self, listener: TcpListener) {
+        let idx = self.alloc_slot();
+        if self.epoll.register(listener.as_raw_fd(), Token(idx), Interest::READABLE).is_err() {
+            self.free.push(idx);
+            return;
+        }
+        self.slots[idx] = Slot::Listener(listener);
+    }
+
+    fn accept_burst(&mut self, listener_idx: usize) {
+        loop {
+            let accepted = match &self.slots[listener_idx] {
+                Slot::Listener(listener) => listener.accept(),
+                _ => return,
+            };
+            match accepted {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.inner.stats.open_conns.fetch_add(1, Ordering::Relaxed);
+                    let idx = self.alloc_slot();
+                    if self
+                        .epoll
+                        .register(stream.as_raw_fd(), Token(idx), Interest::READABLE)
+                        .is_err()
+                    {
+                        self.free.push(idx);
+                        self.inner.stats.open_conns.fetch_sub(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let now = Instant::now();
+                    self.slots[idx] = Slot::Conn(Box::new(Conn {
+                        io: stream,
+                        assembler: FrameAssembler::new(self.inner.config.max_frame_len),
+                        ring: OutRing::new(),
+                        draining: false,
+                        last_io: now,
+                        last_progress: now,
+                        want_write: false,
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Drive one connection: inbound frames, ring flush, drain-close.
+    fn service(&mut self, idx: usize, readable: bool, writable: bool) {
+        let mut conn = match std::mem::replace(&mut self.slots[idx], Slot::Free) {
+            Slot::Conn(conn) => conn,
+            other => {
+                self.slots[idx] = other;
+                return;
+            }
+        };
+        let _ = writable; // flushing is unconditional below
+        let mut close = if readable { self.read_inbound(&mut conn) } else { None };
+        if close.is_none() {
+            close = self.flush(&mut conn, idx);
+        }
+        match close {
+            Some(why) => self.finalize_close(idx, conn, why),
+            None => self.slots[idx] = Slot::Conn(conn),
+        }
+    }
+
+    fn read_inbound(&mut self, conn: &mut Conn) -> Option<CloseWhy> {
+        loop {
+            match conn.assembler.read_from(&mut conn.io) {
+                Ok(FrameProgress::Frame(frame)) => {
+                    conn.last_io = Instant::now();
+                    if let Some(why) = self.handle_frame(conn, &frame) {
+                        return Some(why);
+                    }
+                }
+                Ok(FrameProgress::Pending) => return None,
+                // Clean EOF between frames: the thin client hung up.
+                Ok(FrameProgress::Closed) => return Some(CloseWhy::Quiet),
+                Err(_) => return Some(CloseWhy::Disconnect),
+            }
+        }
+    }
+
+    /// One inbound frame, no handshake context: lookups stay open,
+    /// scrapes drain, garbage closes.
+    fn handle_frame(&mut self, conn: &mut Conn, frame: &[u8]) -> Option<CloseWhy> {
+        if conn.draining {
+            // The peer has its reply coming and this connection is done;
+            // late frames are ignored while the ring drains.
+            return None;
+        }
+        if frame.is_empty() {
+            return None; // client keepalive
+        }
+        let now = Instant::now();
+        if is_stats_query(frame) {
+            // Count first so the reply's counters include this query.
+            self.inner.stats.stats_queries.fetch_add(1, Ordering::Relaxed);
+            let epoch = self.inner.index.load();
+            let report = encode_stats_report(&build_stats_report(&self.inner, &epoch));
+            conn.draining = true;
+            conn.push_frame(RingFrame::plain(report, FrameKind::Stats, false), now);
+            return None;
+        }
+        if frame.len() >= 4 && &frame[..4] == LOOKUP_REQUEST_MAGIC {
+            let Ok((request_id, queries)) = decode_lookup_request(frame) else {
+                self.inner.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                return Some(CloseWhy::Disconnect);
+            };
+            // One loaded epoch answers the whole batch — the reply is
+            // internally consistent and never sees a broker lock.
+            let epoch = self.inner.index.load();
+            let answers = epoch.answer(&queries);
+            let payload = encode_lookup_response(request_id, epoch.epoch(), &answers);
+            self.inner.stats.lookup_batches.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.lookup_names.fetch_add(queries.len() as u64, Ordering::Relaxed);
+            conn.push_frame(RingFrame::plain(payload, FrameKind::Stats, false), now);
+            return None;
+        }
+        self.inner.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+        Some(CloseWhy::Disconnect)
+    }
+
+    fn flush(&mut self, conn: &mut Conn, idx: usize) -> Option<CloseWhy> {
+        if conn.ring.is_empty() {
+            self.set_want_write(conn, idx, false);
+            return conn.draining.then_some(CloseWhy::Quiet);
+        }
+        let before = conn.ring.unsent_bytes();
+        let mut completed = Vec::new();
+        let status = conn.ring.flush_into(&mut conn.io, &mut completed);
+        if conn.ring.unsent_bytes() < before {
+            conn.last_progress = Instant::now();
+        }
+        match status {
+            Err(_) => Some(if conn.draining { CloseWhy::Quiet } else { CloseWhy::Disconnect }),
+            Ok(FlushStatus::Drained) => {
+                self.set_want_write(conn, idx, false);
+                conn.draining.then_some(CloseWhy::Quiet)
+            }
+            Ok(FlushStatus::Blocked) => {
+                self.set_want_write(conn, idx, true);
+                None
+            }
+        }
+    }
+
+    fn set_want_write(&self, conn: &mut Conn, idx: usize, want: bool) {
+        if conn.want_write == want {
+            return;
+        }
+        conn.want_write = want;
+        let interest = if want {
+            Interest::READABLE.add(Interest::WRITABLE)
+        } else {
+            Interest::READABLE
+        };
+        let _ = self.epoll.modify(conn.io.as_raw_fd(), Token(idx), interest);
+    }
+
+    /// Time-based duties: idle heartbeats on the tick, the write-stall
+    /// bound for wedged peers.
+    fn sweep(&mut self) {
+        let now = Instant::now();
+        let tick = self.inner.config.writer_tick;
+        let stall = self.inner.config.write_timeout;
+        let mut closes: Vec<usize> = Vec::new();
+        let mut flushes: Vec<usize> = Vec::new();
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            let Slot::Conn(conn) = slot else { continue };
+            if !conn.ring.is_empty() {
+                if now.duration_since(conn.last_progress) >= stall {
+                    closes.push(idx);
+                }
+            } else if !conn.draining && now.duration_since(conn.last_io) >= tick {
+                conn.push_frame(RingFrame::heartbeat(), now);
+                flushes.push(idx);
+            }
+        }
+        for idx in closes {
+            if let Slot::Conn(conn) = std::mem::replace(&mut self.slots[idx], Slot::Free) {
+                self.finalize_close(idx, conn, CloseWhy::Disconnect);
+            }
+        }
+        for idx in flushes {
+            self.service(idx, false, true);
+        }
+    }
+
+    fn finalize_close(&mut self, idx: usize, conn: Box<Conn>, why: CloseWhy) {
+        if why == CloseWhy::Disconnect {
+            self.inner.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.stats.open_conns.fetch_sub(1, Ordering::Relaxed);
+        let _ = self.epoll.deregister(conn.io.as_raw_fd());
+        drop(conn);
+        self.slots[idx] = Slot::Free;
+        self.free.push(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::EdgeClient;
+    use crate::feed::EdgeFeed;
+    use crate::index::EdgeIndexConfig;
+    use darkdns_broker::transport::{fetch_stats, tcp_connect, FrameConn};
+    use darkdns_broker::{Broker, BrokerConfig};
+    use darkdns_dns::wire::{LookupQuery, LOOKUP_ANY_TLD};
+    use darkdns_dns::{DomainName, Serial, ZoneDelta, ZoneSnapshot};
+    use darkdns_dns::zone::NsSet;
+    use darkdns_registry::tld::TldId;
+    use darkdns_sim::time::SimTime;
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn snap(origin: &str, serial: u32, names: &[&str]) -> ZoneSnapshot {
+        let entries =
+            names.iter().map(|n| (name(n), vec![name("ns1.provider0.net")])).collect();
+        ZoneSnapshot::from_entries(name(origin), Serial::new(serial), SimTime::ZERO, entries)
+    }
+
+    fn quick_server(index: Arc<EdgeIndex>) -> (EdgeServer, SocketAddr) {
+        let server = EdgeServer::new(
+            index,
+            EdgeConfig { writer_tick: Duration::from_millis(10), ..EdgeConfig::default() },
+        );
+        let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+        (server, addr)
+    }
+
+    #[test]
+    fn lookup_round_trip_over_tcp() {
+        let index = Arc::new(EdgeIndex::default());
+        index.adopt_snapshot(TldId(0), snap("com", 7, &["a.com", "b.com"]));
+        index.adopt_snapshot(TldId(1), snap("net", 3, &["c.net"]));
+        let (server, addr) = quick_server(Arc::clone(&index));
+
+        let mut client = EdgeClient::connect_tcp(addr).unwrap();
+        let queries = [
+            LookupQuery { tld: 0, name: name("a.com") },
+            LookupQuery { tld: 0, name: name("missing.com") },
+            LookupQuery { tld: LOOKUP_ANY_TLD, name: name("c.net") },
+            LookupQuery { tld: 9, name: name("c.net") },
+        ];
+        let response = client.lookup(&queries).unwrap();
+        assert_eq!(response.epoch, index.epoch());
+        assert_eq!(response.answers.len(), 4);
+        assert!(response.answers[0].present);
+        assert_eq!(response.answers[0].serial, Some(Serial::new(7)));
+        assert!(!response.answers[1].present);
+        assert!(response.answers[2].present, "ANY-TLD scan finds c.net");
+        assert!(!response.answers[3].present, "unserved TLD answers absent");
+
+        // The connection is persistent: a second batch on the same
+        // socket, answered after a writer swap, reports the new epoch.
+        index.adopt_snapshot(TldId(0), snap("com", 8, &["a.com", "b.com", "d.com"]));
+        let response = client.lookup(&[LookupQuery { tld: 0, name: name("d.com") }]).unwrap();
+        assert!(response.answers[0].present);
+        assert_eq!(response.answers[0].serial, Some(Serial::new(8)));
+
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.lookup_batches, 2);
+        assert_eq!(stats.lookup_names, 5);
+        assert_eq!(stats.disconnects, 0);
+        server.shutdown();
+        assert_eq!(server.transport_threads(), 0);
+    }
+
+    #[test]
+    fn stats_scrape_speaks_the_broker_dialect() {
+        let index = Arc::new(EdgeIndex::default());
+        index.adopt_snapshot(TldId(2), snap("org", 5, &["x.org"]));
+        let (server, addr) = quick_server(Arc::clone(&index));
+
+        let mut client = EdgeClient::connect_tcp(addr).unwrap();
+        client.lookup(&[LookupQuery { tld: 2, name: name("x.org") }]).unwrap();
+
+        let report = fetch_stats(tcp_connect(addr).unwrap()).unwrap();
+        assert_eq!(report.server.handshakes, 1, "lookup batches ride the handshakes counter");
+        assert_eq!(report.server.deltas_sent, 1, "names answered ride deltas_sent");
+        assert_eq!(report.server.stats_queries, 1);
+        assert_eq!(report.shards.len(), 1);
+        assert_eq!(report.shards[0].tld, 2);
+        assert_eq!(report.shards[0].head_serial, Serial::new(5));
+        assert_eq!(report.shards[0].pushes, index.epoch(), "epoch rides the pushes counter");
+        assert!(report.subs.is_empty());
+        // In-process report matches the scraped one modulo the scrape
+        // accounting itself.
+        assert_eq!(server.stats_report().server.stats_queries, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_frame_closes_the_connection() {
+        let index = Arc::new(EdgeIndex::default());
+        let (server, addr) = quick_server(Arc::clone(&index));
+        let mut conn = tcp_connect(addr).unwrap();
+        conn.send_frame(&[b"JUNK-frame"]).unwrap();
+        // The server closes; the next receive errors out (EOF).
+        assert!(conn.recv_frame().is_err());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().bad_frames == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.bad_frames, 1);
+        assert_eq!(stats.disconnects, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn live_feed_serves_fresh_answers_under_full_cadence() {
+        // The tentpole wiring, end to end: broker -> feed -> index ->
+        // server -> thin client, with the publisher pushing deltas the
+        // whole time.
+        let broker = Broker::new(BrokerConfig::default());
+        broker.add_shard(TldId(0), snap("com", 0, &[]));
+        let index = Arc::new(EdgeIndex::new(EdgeIndexConfig::default()));
+        let mut feed = EdgeFeed::subscribe(&broker, &[TldId(0)], Arc::clone(&index));
+        let (server, addr) = quick_server(Arc::clone(&index));
+        let mut client = EdgeClient::connect_tcp(addr).unwrap();
+
+        for i in 0..50u32 {
+            let mut delta = ZoneDelta::default();
+            delta.added.push((
+                name(&format!("d{i}.com")),
+                NsSet::new(vec![name("ns1.provider0.net")]),
+            ));
+            broker.publish(TldId(0), delta, Serial::new(i + 1), SimTime::from_secs(100 + i as u64));
+            feed.pump();
+        }
+        assert!(feed.pump_until_serials(&[(TldId(0), Serial::new(50))], Duration::from_secs(5)));
+
+        let response = client
+            .lookup(&[LookupQuery { tld: 0, name: name("d49.com") }])
+            .unwrap();
+        assert!(response.answers[0].present);
+        assert_eq!(response.answers[0].serial, Some(Serial::new(50)));
+        assert_eq!(
+            response.answers[0].first_seen,
+            Some(SimTime::from_secs(149)),
+            "NRD recency crosses the wire"
+        );
+        server.shutdown();
+    }
+}

@@ -52,6 +52,7 @@ fn main() {
         retention: RetentionConfig::new(64, 16),
         subscriber_capacity: 4096,
         overflow: OverflowPolicy::Lag,
+        lag_slo: None,
     });
     feed.register_shards(&broker);
     println!("broker over 3 TLDs (seed {seed}): {} pushes pending", feed.pending());

@@ -46,6 +46,7 @@ fn main() {
         retention: RetentionConfig::new(64, 16),
         subscriber_capacity: 1 << 16,
         overflow: OverflowPolicy::Lag,
+        lag_slo: None,
     });
     feed.register_shards(&broker);
     let pool = PublishPool::new();

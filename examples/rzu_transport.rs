@@ -78,6 +78,7 @@ fn main() {
         retention: RetentionConfig::new(256, 32),
         subscriber_capacity: 4096,
         overflow: OverflowPolicy::Lag,
+        lag_slo: None,
     });
     feed.register_shards(&broker);
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Run the perf-tracking criterion suites (B1 zone-diff race, B3 pipeline
-# throughput, B4 broker fan-out / cold catch-up) with reduced sample
-# counts and emit BENCH_<tag>.json at the repo root, recording the
-# per-PR baseline alongside the fresh numbers.
+# throughput, B4 broker fan-out / cold catch-up, B5 edge-tier query
+# throughput under publish cadence) with reduced sample counts and emit
+# BENCH_<tag>.json at the repo root, recording the per-PR baseline
+# alongside the fresh numbers.
 #
 # Usage:
 #   scripts/bench.sh [tag]       # default tag: pr1  → BENCH_pr1.json
@@ -23,6 +24,7 @@ export DARKDNS_BENCH_SAMPLES="${DARKDNS_BENCH_SAMPLES:-11}"
 DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench zone_diff
 DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench pipeline
 DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench broker
+DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench edge
 
 python3 - "$RAW" "$OUT" <<'PY'
 import json
@@ -109,6 +111,12 @@ derived = {
 GAUGES = {
     "threads": "broker/tcp-fanout-10k/threads",
     "bytes_per_conn": "broker/tcp-fanout-10k/bytes_per_conn",
+    # PR 7: the edge qps ramp — fleet-wide thin-client queries/s sampled
+    # every 25 ms across the 1→8-client ramp while the 4-shard fleet
+    # publishes at full RZU cadence; p50 is mid-ramp steady state, p99
+    # is peak throughput at full fan-in.
+    "queries_per_sec_p50": "edge/qps/queries_per_sec_p50",
+    "queries_per_sec_p99": "edge/qps/queries_per_sec_p99",
 }
 gauges = {
     field: current.pop(rec_id)["median_ns"]
@@ -137,5 +145,5 @@ for bench, ratio in sorted(report["speedup"].items()):
 for name, ratio in sorted(derived.items()):
     print(f"  {name:<44} {ratio:>6}x (in-run baseline)")
 for field, value in sorted(gauges.items()):
-    print(f"  {field:<44} {value:>8.1f} (reactor gauge)")
+    print(f"  {field:<44} {value:>8.1f} (gauge)")
 PY

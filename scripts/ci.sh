@@ -32,6 +32,15 @@ cargo test -q --release -p darkdns-broker
 cargo test -q --release --test proptest_broker --test broker_fleet --test transport_faults \
     --test membership_equivalence
 
+# The edge suite again in release too, for the same reason: the epoch
+# Arc-swap cell, the feed-vs-query concurrency test and the server's
+# reactor loop are all timing-sensitive, and the edge-equivalence pin
+# (thin-client answers byte-identical to a full replica, over the real
+# RZUL/RZUR wire path) is the tier's acceptance contract.
+echo "==> cargo test -q --release (edge crate + edge equivalence)"
+cargo test -q --release -p darkdns-edge
+cargo test -q --release --test edge_equivalence
+
 # Scaled-down fan-out smoke: the 10k-subscriber reactor bench at 256
 # subscribers with a minimal sampling budget. This exercises the whole
 # child-process fleet path (re-exec, epoll client loop, round

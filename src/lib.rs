@@ -28,6 +28,7 @@ pub use darkdns_broker as broker;
 pub use darkdns_core as core;
 pub use darkdns_ct as ct;
 pub use darkdns_dns as dns;
+pub use darkdns_edge as edge;
 pub use darkdns_intel as intel;
 pub use darkdns_measure as measure;
 pub use darkdns_rdap as rdap;

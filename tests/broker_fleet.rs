@@ -34,6 +34,7 @@ fn fifty_tld_universe_publishes_concurrently_and_converges() {
         // Generous buffer: a healthy fleet deployment must not lag.
         subscriber_capacity: 1 << 16,
         overflow: OverflowPolicy::Lag,
+        lag_slo: None,
     });
     feed.register_shards(&broker);
     assert_eq!(broker.shard_count(), FLEET);

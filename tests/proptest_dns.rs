@@ -235,3 +235,80 @@ proptest! {
         );
     }
 }
+
+// The edge lookup codecs (`RZUL`/`RZUR`): same adversarial discipline
+// as the transport decoders above — arbitrary garbage is an error,
+// never a panic or an unbounded allocation, and every valid message
+// round-trips exactly (strict prefixes rejected, trailing bytes
+// rejected).
+mod lookup_codecs {
+    use super::*;
+    use darkdns::dns::wire::{
+        decode_lookup_request, decode_lookup_response, encode_lookup_request,
+        encode_lookup_response, LookupAnswer, LookupQuery, LOOKUP_REQUEST_MAGIC,
+        LOOKUP_RESPONSE_MAGIC,
+    };
+
+    proptest! {
+        #[test]
+        fn lookup_request_round_trips(
+            request_id in any::<u64>(),
+            raw in prop::collection::vec((any::<u16>(), name_strategy()), 0..40),
+        ) {
+            let queries: Vec<LookupQuery> =
+                raw.into_iter().map(|(tld, name)| LookupQuery { tld, name }).collect();
+            let frame = encode_lookup_request(request_id, &queries);
+            let (id, decoded) = decode_lookup_request(&frame).unwrap();
+            prop_assert_eq!(id, request_id);
+            prop_assert_eq!(decoded, queries);
+            // A strict prefix is rejected: exactly one whole message per
+            // frame.
+            prop_assert!(decode_lookup_request(&frame[..frame.len() - 1]).is_err());
+        }
+
+        #[test]
+        fn lookup_response_round_trips(
+            request_id in any::<u64>(),
+            epoch in any::<u64>(),
+            raw in prop::collection::vec(
+                (any::<bool>(), any::<bool>(), any::<u32>(), any::<bool>(), any::<u64>()),
+                0..40,
+            ),
+        ) {
+            let answers: Vec<LookupAnswer> = raw
+                .iter()
+                .map(|&(present, has_serial, serial, has_seen, seen)| LookupAnswer {
+                    present,
+                    serial: has_serial.then(|| Serial::new(serial)),
+                    first_seen: has_seen.then(|| SimTime::from_secs(seen)),
+                })
+                .collect();
+            let frame = encode_lookup_response(request_id, epoch, &answers);
+            let decoded = decode_lookup_response(&frame).unwrap();
+            prop_assert_eq!(decoded.request_id, request_id);
+            prop_assert_eq!(decoded.epoch, epoch);
+            prop_assert_eq!(decoded.answers, answers);
+            prop_assert!(decode_lookup_response(&frame[..frame.len() - 1]).is_err());
+        }
+
+        #[test]
+        fn lookup_decoders_never_panic_on_garbage(
+            bytes in prop::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let _ = decode_lookup_request(&bytes);
+            let _ = decode_lookup_response(&bytes);
+        }
+
+        #[test]
+        fn lookup_decoders_never_panic_behind_valid_magics(
+            magic_pick in 0usize..2,
+            bytes in prop::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let magics: [&[u8; 4]; 2] = [LOOKUP_REQUEST_MAGIC, LOOKUP_RESPONSE_MAGIC];
+            let mut framed = magics[magic_pick].to_vec();
+            framed.extend_from_slice(&bytes);
+            let _ = decode_lookup_request(&framed);
+            let _ = decode_lookup_response(&framed);
+        }
+    }
+}

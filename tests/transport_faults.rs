@@ -247,6 +247,7 @@ fn stalled_reader_is_evicted_and_recovers_via_claims() {
         retention: RetentionConfig::new(64, 16),
         subscriber_capacity: 2,
         overflow: OverflowPolicy::Evict,
+        ..BrokerConfig::default()
     };
     let (broker, server, net) = one_tld_rig(config, vec![]);
     let net = net.with_capacity(256);
