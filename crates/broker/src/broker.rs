@@ -732,6 +732,78 @@ impl Broker {
         new_serial: Serial,
         pushed_at: SimTime,
     ) -> Arc<SealedDelta> {
+        self.publish_inner(tld, delta, new_serial, pushed_at, None)
+    }
+
+    /// [`Broker::publish`] with the `RZU1` frame supplied instead of
+    /// encoded: the relay ingest path. A relay broker decodes its
+    /// upstream's delta envelope to maintain its local journal, then
+    /// re-serves the *received* frame bytes verbatim — the root's one
+    /// encode survives every hop, and a leaf can pin byte-identity
+    /// against the root's sealed frame. The frame must be the `RZU1`
+    /// encoding of `delta` (the relay got `delta` by decoding it).
+    ///
+    /// # Panics
+    /// Same contract as [`Broker::publish`].
+    pub fn publish_frame(
+        &self,
+        tld: TldId,
+        delta: ZoneDelta,
+        new_serial: Serial,
+        pushed_at: SimTime,
+        frame: Bytes,
+    ) -> Arc<SealedDelta> {
+        self.publish_inner(tld, delta, new_serial, pushed_at, Some(frame))
+    }
+
+    /// Adopt `snapshot` as the authoritative state of `tld`'s shard: the
+    /// relay bootstrap/resync path, called when this broker's *upstream*
+    /// served a snapshot (so the local journal is no longer contiguous
+    /// with the new head). Registers the shard if this TLD is new;
+    /// otherwise resets it ([`JournalShard::reset_to`]) and fans the
+    /// snapshot out to every live local subscriber as a catch-up
+    /// message (exempt from the live capacity bound, like any
+    /// bootstrap): each downstream consumer resyncs exactly once per
+    /// upstream resync, and never double-applies a delta across the
+    /// reset because nothing older than the snapshot survives in the
+    /// ring.
+    pub fn install_snapshot(&self, tld: TldId, snapshot: ZoneSnapshot) {
+        if !self.has_shard(tld) {
+            self.add_shard(tld, snapshot);
+            return;
+        }
+        let handle = self.handle(tld);
+        let mut st = lock_shard(&handle, true);
+        let ShardShared { shard, subs, counters } = &mut *st;
+        shard.reset_to(snapshot.clone());
+        subs.retain(|entry| {
+            let sub = &entry.shared;
+            if !sub.is_live() {
+                return false;
+            }
+            let mut queue = sub.queue.lock();
+            queue.push_back(QueuedMessage {
+                msg: BrokerMessage::Snapshot { tld, snapshot: snapshot.clone() },
+                catchup: true,
+            });
+            sub.catchup_pending.fetch_add(1, Ordering::Relaxed);
+            counters.deliveries += 1;
+            counters.snapshot_catchups += 1;
+            drop(queue);
+            sub.notify.notify_all();
+            sub.wake();
+            true
+        });
+    }
+
+    fn publish_inner(
+        &self,
+        tld: TldId,
+        delta: ZoneDelta,
+        new_serial: Serial,
+        pushed_at: SimTime,
+        frame: Option<Bytes>,
+    ) -> Arc<SealedDelta> {
         let handle = self.handle(tld);
         let retention = self.inner.config.retention;
         let capacity = self.inner.config.subscriber_capacity;
@@ -747,7 +819,10 @@ impl Broker {
         // second time from the fan-out below.
         let mut st = lock_shard(&handle, true);
         let ShardShared { shard, subs, counters } = &mut *st;
-        let sealed = shard.publish(delta, new_serial, pushed_at, &retention);
+        let sealed = match frame {
+            Some(frame) => shard.publish_with_frame(delta, new_serial, pushed_at, frame, &retention),
+            None => shard.publish(delta, new_serial, pushed_at, &retention),
+        };
         counters.pushes += 1;
         counters.frame_bytes += sealed.frame.len() as u64;
         subs.retain(|entry| {

@@ -49,12 +49,49 @@
 //! Transport frames are `u32`-length-prefixed; payload lengths are
 //! untrusted and bounded before any allocation. Payload kinds (codecs
 //! in `darkdns_dns::wire`): `RZUH` — the client's per-TLD serial
-//! claims; `RZUS` — a checkpoint-snapshot bootstrap; `RZUD` — a TLD tag
-//! plus the shard's refcount-shared `RZU1` frame written verbatim (the
-//! encode-once guarantee crosses the socket boundary intact); `RZUE` —
-//! an explicit eviction notice, after which the server closes and the
-//! client reconnects claiming the serials it verifiably reached; empty
-//! — an idle heartbeat doubling as dead-peer detection.
+//! claims; `RZUS` — a checkpoint-snapshot bootstrap; `RZUC` — a
+//! snapshot *continuation chunk*, the unit the server actually ships a
+//! bootstrap in so a 500k-delegation checkpoint traverses the frame
+//! bound as a resumable chunk train rather than one enormous frame;
+//! `RZUD` — a TLD tag plus the shard's refcount-shared `RZU1` frame
+//! written verbatim (the encode-once guarantee crosses the socket
+//! boundary intact); `RZUE` — an explicit eviction notice, after which
+//! the server closes and the client reconnects claiming the serials it
+//! verifiably reached; empty — an idle heartbeat doubling as dead-peer
+//! detection. A reconnect HELLO may additionally carry per-TLD
+//! *chunk-resume* rows (serial + entries already received), so a
+//! connection cut mid-bootstrap resumes the chunk train at its offset
+//! instead of restarting it.
+//!
+//! # Relay trees: tiered fan-out
+//!
+//! A [`transport::BrokerServer`] can itself subscribe to another broker
+//! ([`transport::BrokerServer::attach_upstream`]), turning the flat
+//! root → subscribers star into a **tree**: root → regional relays →
+//! edge brokers, each tier re-serving the stream to the next. Two
+//! invariants make an N-deep tree behave like one broker (details in
+//! [`transport`]'s relay module):
+//!
+//! * **Verbatim re-serve.** A relay publishes each upstream delta's
+//!   embedded `RZU1` bytes with [`broker::Broker::publish_frame`] — no
+//!   re-encode at any tier, so a leaf at depth N receives frames
+//!   byte-identical to the root's single encoding, and per-link
+//!   bandwidth per delta is flat in depth (`tests/relay_faults.rs`
+//!   pins the bytes; the `relay` bench pins the bandwidth).
+//! * **One resync per fault, at the faulted tier.** A relay redials
+//!   with its local broker's head serials (plus mid-snapshot chunk
+//!   progress), healing as a delta replay; replayed frames that do not
+//!   chain on the local head are skipped, never double-published, and
+//!   downstream connections stay up through the upstream fault.
+//!
+//! The relay runs as a blocking client thread *outside* the reactor
+//! and touches the local broker only through the public
+//! publish/install surface, so the two-level lock hierarchy below is
+//! untouched at every tree depth. The multi-broker consumer side — a
+//! TLD-partitioned, replica-failover fleet client — lives in
+//! `darkdns_core::broker_view` (`EndpointMap`, `RoutedZoneView`) and
+//! `darkdns_edge::RoutedEdgeFeed`; `examples/relay_fleet.rs` runs the
+//! whole tree over loopback TCP with a mid-stream relay kill.
 //!
 //! # Concurrency architecture and lock hierarchy
 //!

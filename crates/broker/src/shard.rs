@@ -155,13 +155,35 @@ impl JournalShard {
         pushed_at: SimTime,
         retention: &RetentionConfig,
     ) -> Arc<SealedDelta> {
+        let frame =
+            encode_delta_push(self.head.origin(), self.head.serial(), new_serial, pushed_at, &delta);
+        self.publish_with_frame(delta, new_serial, pushed_at, frame, retention)
+    }
+
+    /// [`JournalShard::publish`] with the `RZU1` frame supplied by the
+    /// caller instead of encoded here. This is the relay ingest path:
+    /// a downstream broker seals the exact bytes it received from its
+    /// upstream, so one encode at the root survives any number of relay
+    /// hops (the crate's encode-once invariant, tier-deep).
+    ///
+    /// # Panics
+    /// Same contract as [`JournalShard::publish`]; the frame is trusted
+    /// to be the encoding of `delta` (relays decoded it to get `delta`
+    /// in the first place).
+    pub fn publish_with_frame(
+        &mut self,
+        delta: ZoneDelta,
+        new_serial: Serial,
+        pushed_at: SimTime,
+        frame: Bytes,
+        retention: &RetentionConfig,
+    ) -> Arc<SealedDelta> {
         let from_serial = self.head.serial();
         assert!(
             new_serial.is_newer_than(from_serial),
             "shard serials must advance: {from_serial} -> {new_serial}"
         );
         let new_head = delta.apply(&self.head, new_serial, pushed_at);
-        let frame = encode_delta_push(self.head.origin(), from_serial, new_serial, pushed_at, &delta);
         self.head = new_head;
         let sealed = Arc::new(SealedDelta {
             tld: self.tld,
@@ -190,6 +212,22 @@ impl JournalShard {
             self.dropped_deltas += 1;
         }
         sealed
+    }
+
+    /// Replace the shard's entire state with `snapshot`: head and
+    /// checkpoint both become the snapshot and the delta ring is
+    /// cleared. This is the relay bootstrap path — when an upstream
+    /// broker serves a snapshot (because the relay was too far behind
+    /// for delta repair), the relay's local history is no longer
+    /// contiguous with its head, so retaining it would hand downstream
+    /// subscribers deltas that do not chain. Local subscribers are
+    /// resynced by the owning broker (it fans the same snapshot out to
+    /// them).
+    pub fn reset_to(&mut self, snapshot: ZoneSnapshot) {
+        self.checkpoint = snapshot.clone();
+        self.head = snapshot;
+        self.deltas.clear();
+        self.publishes_since_checkpoint = 0;
     }
 
     /// Compute the catch-up plan for a subscriber claiming `from`.

@@ -12,13 +12,16 @@
 //! the paper's rapid-update economics, preserved across faults.
 
 use super::frame::{FrameConn, TransportError};
+use bytes::Bytes;
 use darkdns_dns::wire::{
-    decode_delta_envelope, decode_snapshot_push, decode_stats_report, encode_hello,
-    encode_stats_query, is_evict_notice, DeltaPush, StatsReport, TldClaim, DELTA_ENVELOPE_MAGIC,
-    EVICT_NOTICE_MAGIC, SNAPSHOT_PUSH_MAGIC, WireError,
+    decode_delta_envelope, decode_snapshot_chunk, decode_snapshot_push, decode_stats_report,
+    encode_hello_frame, encode_stats_query, is_evict_notice, DeltaPush, SnapshotChunk,
+    SnapshotResume, StatsReport, TldClaim, DELTA_ENVELOPE_MAGIC, EVICT_NOTICE_MAGIC,
+    SNAPSHOT_CHUNK_MAGIC, SNAPSHOT_PUSH_MAGIC, WireError,
 };
-use darkdns_dns::{Serial, ZoneSnapshot};
+use darkdns_dns::{DomainName, Serial, ZoneSnapshot};
 use darkdns_registry::tld::TldId;
+use darkdns_sim::time::SimTime;
 use std::time::Duration;
 
 /// One decoded step of the subscription stream.
@@ -26,8 +29,12 @@ use std::time::Duration;
 pub enum ClientEvent {
     /// Adopt this snapshot as the shard state (catch-up rule 3).
     Snapshot { tld: TldId, snapshot: ZoneSnapshot },
-    /// Apply one validated delta push.
-    Delta { tld: TldId, push: DeltaPush },
+    /// Apply one validated delta push. `frame` is the embedded `RZU1`
+    /// bytes exactly as the publisher encoded them — a refcount-shared
+    /// slice of the received envelope, so a relay can re-serve the delta
+    /// downstream without re-encoding it (and a leaf can pin
+    /// byte-identity against the root's encoding).
+    Delta { tld: TldId, push: DeltaPush, frame: Bytes },
     /// The server evicted this subscriber for falling behind; reconnect
     /// with [`TransportClient::claimed_serials`].
     Evicted,
@@ -38,25 +45,82 @@ pub enum ClientEvent {
     Closed(TransportError),
 }
 
+/// Accumulated progress of a chunked snapshot bootstrap (`RZUC`
+/// frames). Lives inside [`TransportClient`] while the sequence is in
+/// flight; on disconnect [`TransportClient::take_snapshot_progress`]
+/// extracts it so the reconnect HELLO can carry a [`SnapshotResume`]
+/// claim and the server can resume from the last received chunk
+/// boundary instead of restarting the bootstrap.
+#[derive(Debug, Clone)]
+pub struct SnapshotProgress {
+    tld: TldId,
+    origin: DomainName,
+    serial: Serial,
+    taken_at: SimTime,
+    total: u32,
+    entries: Vec<(DomainName, Vec<DomainName>)>,
+}
+
+impl SnapshotProgress {
+    /// The TLD this partial bootstrap belongs to.
+    pub fn tld(&self) -> TldId {
+        self.tld
+    }
+
+    /// Entries received so far (a chunk boundary by construction).
+    pub fn entries_received(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The HELLO resume claim this progress corresponds to.
+    pub fn resume_claim(&self) -> SnapshotResume {
+        SnapshotResume { serial: self.serial, entries: self.entries.len() as u32 }
+    }
+}
+
 /// A connected transport subscriber.
 pub struct TransportClient {
     conn: Box<dyn FrameConn>,
     claims: Vec<(TldId, Option<Serial>)>,
+    partials: Vec<SnapshotProgress>,
+    chunks_received: u64,
 }
 
 impl TransportClient {
     /// Send the HELLO carrying `claims` (`None` = bootstrap me) over an
     /// established frame connection.
     pub fn connect(
+        conn: impl FrameConn + 'static,
+        claims: &[(TldId, Option<Serial>)],
+    ) -> Result<Self, TransportError> {
+        Self::connect_resuming(conn, claims, Vec::new())
+    }
+
+    /// [`TransportClient::connect`], additionally carrying mid-snapshot
+    /// progress salvaged from a previous connection
+    /// ([`TransportClient::take_snapshot_progress`]). The HELLO then
+    /// asks the server to resume each partial bootstrap at its last
+    /// received chunk boundary; if the server's checkpoint has moved on
+    /// it restarts the sequence at offset 0 and the stale partial is
+    /// discarded on arrival of that first chunk.
+    pub fn connect_resuming(
         mut conn: impl FrameConn + 'static,
         claims: &[(TldId, Option<Serial>)],
+        partials: Vec<SnapshotProgress>,
     ) -> Result<Self, TransportError> {
         let wire: Vec<TldClaim> = claims
             .iter()
             .map(|&(tld, from_serial)| TldClaim { tld: tld.0, from_serial })
             .collect();
-        conn.send_frame(&[&encode_hello(&wire)])?;
-        Ok(TransportClient { conn: Box::new(conn), claims: claims.to_vec() })
+        let resume: Vec<(u16, SnapshotResume)> =
+            partials.iter().map(|p| (p.tld.0, p.resume_claim())).collect();
+        conn.send_frame(&[&encode_hello_frame(&wire, &resume)])?;
+        Ok(TransportClient {
+            conn: Box::new(conn),
+            claims: claims.to_vec(),
+            partials,
+            chunks_received: 0,
+        })
     }
 
     /// Bound how long [`TransportClient::next_event`] blocks before
@@ -71,14 +135,35 @@ impl TransportClient {
         &self.claims
     }
 
+    /// Extract any in-flight chunked-bootstrap progress, for
+    /// transplanting into [`TransportClient::connect_resuming`] on the
+    /// next dial. Leaves this (dead) client with no partial state.
+    pub fn take_snapshot_progress(&mut self) -> Vec<SnapshotProgress> {
+        std::mem::take(&mut self.partials)
+    }
+
+    /// Snapshot continuation chunks decoded on this connection (a
+    /// resumed bootstrap receives only the tail of the sequence — this
+    /// is how tests pin that resumption actually skipped work).
+    pub fn snapshot_chunks_received(&self) -> u64 {
+        self.chunks_received
+    }
+
     /// Block for the next frame and decode it. A heartbeat (empty
     /// frame) reports as [`ClientEvent::Idle`], same as a receive
     /// timeout: both mean "the stream is healthy and has nothing for
     /// you", and returning (rather than waiting for the next real
     /// frame) keeps a pump loop's control inversion honest — the caller
     /// regains control at least once per heartbeat interval.
+    ///
+    /// A non-final snapshot continuation chunk is folded into the
+    /// in-flight [`SnapshotProgress`] and the loop keeps reading: the
+    /// caller only sees the assembled [`ClientEvent::Snapshot`] when the
+    /// final chunk lands (claims advance at that point, never
+    /// mid-sequence). A receive timeout mid-sequence returns `Idle` with
+    /// the partial progress retained.
     pub fn next_event(&mut self) -> ClientEvent {
-        {
+        loop {
             let frame = match self.conn.recv_frame() {
                 Ok(frame) => frame,
                 Err(TransportError::TimedOut) => return ClientEvent::Idle,
@@ -94,8 +179,26 @@ impl TransportClient {
                 magic if magic == SNAPSHOT_PUSH_MAGIC => match decode_snapshot_push(&frame) {
                     Ok((tld, snapshot)) => {
                         let tld = TldId(tld);
+                        // A monolithic snapshot supersedes any partial
+                        // chunked bootstrap for the same shard.
+                        self.partials.retain(|p| p.tld != tld);
                         self.claim_set(tld, snapshot.serial());
                         return ClientEvent::Snapshot { tld, snapshot };
+                    }
+                    Err(e) => return ClientEvent::Closed(e.into()),
+                },
+                magic if magic == SNAPSHOT_CHUNK_MAGIC => match decode_snapshot_chunk(&frame) {
+                    Ok(chunk) => {
+                        self.chunks_received += 1;
+                        let tld = TldId(chunk.tld);
+                        match self.ingest_chunk(tld, chunk) {
+                            Ok(Some(snapshot)) => {
+                                self.claim_set(tld, snapshot.serial());
+                                return ClientEvent::Snapshot { tld, snapshot };
+                            }
+                            Ok(None) => continue, // mid-sequence; keep reading
+                            Err(e) => return ClientEvent::Closed(e),
+                        }
                     }
                     Err(e) => return ClientEvent::Closed(e.into()),
                 },
@@ -103,7 +206,10 @@ impl TransportClient {
                     Ok((tld, push)) => {
                         let tld = TldId(tld);
                         self.claim_advance(tld, &push);
-                        return ClientEvent::Delta { tld, push };
+                        // Skip the 6-byte envelope header: the rest is
+                        // the publisher's RZU1 frame, refcount-shared.
+                        let rzu1 = frame.slice(6..);
+                        return ClientEvent::Delta { tld, push, frame: rzu1 };
                     }
                     Err(e) => return ClientEvent::Closed(e.into()),
                 },
@@ -112,6 +218,71 @@ impl TransportClient {
                 }
                 _ => return ClientEvent::Closed(WireError::BadMagic.into()),
             }
+        }
+    }
+
+    /// Fold one continuation chunk into the per-TLD partial state.
+    /// Returns the assembled snapshot on the final chunk. A chunk at
+    /// offset 0 (re)starts the sequence — that is how the server signals
+    /// it could not honour a resume claim; any other offset must extend
+    /// the existing partial exactly (same serial and totals, offset at
+    /// the current boundary), otherwise the stream is corrupt.
+    fn ingest_chunk(
+        &mut self,
+        tld: TldId,
+        chunk: SnapshotChunk,
+    ) -> Result<Option<ZoneSnapshot>, TransportError> {
+        let bad = || -> TransportError {
+            WireError::BadChunk {
+                offset: chunk.offset,
+                count: chunk.entries.len() as u32,
+                total: chunk.total,
+            }
+            .into()
+        };
+        let idx = match self.partials.iter().position(|p| p.tld == tld) {
+            Some(i) => {
+                let p = &self.partials[i];
+                let extends = chunk.serial == p.serial
+                    && chunk.total == p.total
+                    && chunk.offset as usize == p.entries.len();
+                if !extends {
+                    if chunk.offset != 0 {
+                        return Err(bad());
+                    }
+                    self.partials[i] = SnapshotProgress {
+                        tld,
+                        origin: chunk.origin.clone(),
+                        serial: chunk.serial,
+                        taken_at: chunk.taken_at,
+                        total: chunk.total,
+                        entries: Vec::new(),
+                    };
+                }
+                i
+            }
+            None => {
+                if chunk.offset != 0 {
+                    return Err(bad());
+                }
+                self.partials.push(SnapshotProgress {
+                    tld,
+                    origin: chunk.origin.clone(),
+                    serial: chunk.serial,
+                    taken_at: chunk.taken_at,
+                    total: chunk.total,
+                    entries: Vec::new(),
+                });
+                self.partials.len() - 1
+            }
+        };
+        let p = &mut self.partials[idx];
+        p.entries.extend(chunk.entries);
+        if chunk.last {
+            let p = self.partials.swap_remove(idx);
+            Ok(Some(ZoneSnapshot::from_entries(p.origin, p.serial, p.taken_at, p.entries)))
+        } else {
+            Ok(None)
         }
     }
 

@@ -122,6 +122,32 @@ pub trait FrameConn: Send {
     fn set_send_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError>;
 }
 
+/// Boxed connections are connections too — dial closures that pick a
+/// transport at runtime (TCP vs in-memory pipe, replica failover) all
+/// return `Box<dyn FrameConn>` and hand it straight to
+/// [`super::TransportClient::connect`].
+impl FrameConn for Box<dyn FrameConn> {
+    fn send_frame(&mut self, parts: &[&[u8]]) -> Result<(), TransportError> {
+        (**self).send_frame(parts)
+    }
+
+    fn send_frames(&mut self, frames: &[&[&[u8]]]) -> Result<(), TransportError> {
+        (**self).send_frames(frames)
+    }
+
+    fn recv_frame(&mut self) -> Result<Bytes, TransportError> {
+        (**self).recv_frame()
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        (**self).set_recv_timeout(timeout)
+    }
+
+    fn set_send_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        (**self).set_send_timeout(timeout)
+    }
+}
+
 /// The byte streams [`LengthPrefixed`] can frame: blocking read/write
 /// plus read/write-timeout knobs.
 pub trait ByteIo: Read + Write + Send {

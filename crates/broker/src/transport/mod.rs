@@ -34,8 +34,15 @@
 //!
 //! | magic  | direction        | meaning                                   |
 //! |--------|------------------|-------------------------------------------|
-//! | `RZUH` | client → server  | HELLO: per-TLD serial claims              |
+//! | `RZUH` | client → server  | HELLO: per-TLD serial claims, plus        |
+//! |        |                  | optional chunk-resume rows (serial +      |
+//! |        |                  | entries already received) on reconnect    |
 //! | `RZUS` | server → client  | snapshot bootstrap (catch-up rule 3)      |
+//! | `RZUC` | server → client  | snapshot continuation chunk: servers ship |
+//! |        |                  | every bootstrap as a chunk train so a     |
+//! |        |                  | 500k-entry checkpoint stays under the     |
+//! |        |                  | frame bound and resumes mid-train on      |
+//! |        |                  | reconnect (never restarts from entry 0)   |
 //! | `RZUD` | server → client  | TLD tag + embedded `RZU1` delta frame     |
 //! | `RZUE` | server → client  | evicted: reconnect with your claims       |
 //! | `RZUQ` | both             | stats round trip: bare magic queries, the |
@@ -77,11 +84,14 @@ mod fault;
 mod frame;
 pub mod pipe;
 mod reactor;
+mod relay;
 mod ring;
 mod server;
 
-pub use client::{fetch_stats, ClientEvent, TransportClient};
+pub use client::{fetch_stats, ClientEvent, SnapshotProgress, TransportClient};
+pub use relay::{RelayHandle, RelayStats};
 pub use darkdns_dns::wire::{StatsReport, WireServerStats, WireShardStats, WireSubscriberStats};
+pub use bytes::Bytes;
 pub use fault::{FaultInjectedConn, FaultScript, FrameFault};
 pub use frame::{
     tcp_connect, ByteIo, FrameAssembler, FrameConn, FrameProgress, LengthPrefixed, TcpFrameConn,

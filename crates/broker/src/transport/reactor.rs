@@ -48,8 +48,8 @@ use super::server::{build_stats_report, ConnStatsEntry, ServerInner};
 use crate::broker::{BrokerMessage, BrokerSubscription, SubWaker};
 use bytes::Bytes;
 use darkdns_dns::wire::{
-    decode_hello, delta_envelope_header, encode_evict_notice, encode_snapshot_push,
-    encode_stats_report, is_stats_query, peek_delta_push_serials,
+    decode_hello_frame, delta_envelope_header, encode_evict_notice, encode_snapshot_chunks,
+    encode_stats_report, is_stats_query, peek_delta_push_serials, SnapshotResume,
 };
 use darkdns_dns::Serial;
 use darkdns_registry::tld::TldId;
@@ -189,6 +189,12 @@ struct Conn {
     ring: OutRing,
     stage: Stage,
     script: Option<FaultScript>,
+    /// This connection's frame bound (mirrors the assembler's): no
+    /// composed frame may declare more — the peer would reject it.
+    max_frame: usize,
+    /// Mid-snapshot resume claims from the HELLO, consumed when the
+    /// matching shard's bootstrap snapshot is chunked out.
+    resume: BTreeMap<u16, SnapshotResume>,
     /// Wake-dedup flag shared with this connection's waker/ready hook:
     /// set on signal, cleared when the reactor services the token.
     queued: Arc<AtomicBool>,
@@ -362,12 +368,15 @@ impl Reactor {
 
     fn new_conn(&self, io: ConnIo, max_frame_len: Option<usize>) -> Conn {
         let now = Instant::now();
+        let max_frame = max_frame_len.unwrap_or(self.inner.config.max_frame_len);
         Conn {
             io,
-            assembler: FrameAssembler::new(max_frame_len.unwrap_or(self.inner.config.max_frame_len)),
+            assembler: FrameAssembler::new(max_frame),
             ring: OutRing::new(),
             stage: Stage::Handshaking { deadline: now + self.inner.config.handshake_timeout },
             script: None,
+            max_frame,
+            resume: BTreeMap::new(),
             queued: Arc::new(AtomicBool::new(false)),
             last_io: now,
             last_progress: now,
@@ -467,9 +476,10 @@ impl Reactor {
                 Composed::Staged => None,
             };
         }
-        let Ok(wire_claims) = decode_hello(&frame) else {
+        let Ok(hello) = decode_hello_frame(&frame) else {
             return Some(CloseWhy::RejectedHello);
         };
+        let wire_claims = hello.claims;
         let mut claims = Vec::with_capacity(wire_claims.len());
         for claim in &wire_claims {
             let tld = TldId(claim.tld);
@@ -481,6 +491,14 @@ impl Reactor {
             }
             claims.push((tld, claim.from_serial));
         }
+        // Resume claims are kept only for TLDs the peer actually
+        // claimed (bounding the map by the validated claim set); they
+        // are consumed when the matching bootstrap snapshot is served.
+        conn.resume = hello
+            .resume
+            .into_iter()
+            .filter(|(tld, _)| claims.iter().any(|(t, _)| t.0 == *tld))
+            .collect();
         // Registers under each shard's lock (the connection's one brush
         // with hierarchy level 1): catch-up plan and live registration
         // are atomic per shard, so the stream starts gap-free.
@@ -534,8 +552,38 @@ impl Reactor {
             };
             let composed = match msg {
                 BrokerMessage::Snapshot { tld, snapshot } => {
-                    let payload = encode_snapshot_push(tld.0, &snapshot);
-                    self.compose(conn, None, payload, FrameKind::Snapshot { tld: tld.0 })
+                    // Chunked bootstrap: the snapshot is encoded as a
+                    // sequence of `RZUC` frames, each under the
+                    // connection's frame bound (half the bound as the
+                    // byte target leaves headroom for the one-entry
+                    // overshoot `encode_snapshot_chunks` allows), so a
+                    // checkpoint of any size traverses the bound
+                    // instead of producing an oversized write. A HELLO
+                    // resume claim that still matches the served serial
+                    // starts the sequence at the peer's last received
+                    // chunk boundary. All chunks of one bootstrap stage
+                    // together (the ring's byte cap gates admission of
+                    // *further* messages, same backpressure the single
+                    // monolithic frame produced).
+                    let start = conn
+                        .resume
+                        .remove(&tld.0)
+                        .filter(|r| r.serial == snapshot.serial())
+                        .map(|r| r.entries as usize)
+                        .unwrap_or(0);
+                    let chunk_bytes =
+                        self.inner.config.snapshot_chunk_bytes.min(conn.max_frame / 2).max(512);
+                    let chunks = encode_snapshot_chunks(tld.0, &snapshot, start, chunk_bytes);
+                    let total = chunks.len();
+                    let mut outcome = Composed::Staged;
+                    for (i, chunk) in chunks.into_iter().enumerate() {
+                        let kind = FrameKind::Snapshot { tld: tld.0, last: i + 1 == total };
+                        outcome = self.compose(conn, None, chunk, kind);
+                        if matches!(outcome, Composed::Terminal(_)) {
+                            break;
+                        }
+                    }
+                    outcome
                 }
                 BrokerMessage::Delta { tld, frame } => {
                     // Allocation-free peek: the serial this frame
@@ -573,6 +621,19 @@ impl Reactor {
         kind: FrameKind,
     ) -> Composed {
         let now = Instant::now();
+        // Never stage a frame the peer's assembler is guaranteed to
+        // reject: an oversized write would desynchronize the stream
+        // (the peer reads garbage lengths from the middle of it).
+        // Snapshots are chunked under the bound before they get here,
+        // so this trips only for a single delta larger than the frame
+        // bound — the blocking transport returns `FrameTooLarge` for
+        // the same condition; the reactor's equivalent of that typed
+        // error is a counted disconnect, after which the peer resyncs
+        // via a (chunked, bound-respecting) snapshot.
+        if envelope.map_or(0, |e| e.len()) + payload.len() > conn.max_frame {
+            self.end_streaming(conn);
+            return Composed::Terminal(Some(CloseWhy::Disconnect));
+        }
         let make = |payload: Bytes, counted: bool| match envelope {
             Some(env) => RingFrame::with_envelope(&env, payload, kind, counted),
             None => RingFrame::plain(payload, kind, counted),
@@ -731,9 +792,13 @@ impl Reactor {
             while end < completed.len() && completed[end].write_seq == seq {
                 let frame = completed[end];
                 match frame.kind {
-                    FrameKind::Snapshot { tld } => {
+                    FrameKind::Snapshot { tld, last } => {
                         if frame.counted {
-                            stats.snapshots_sent.fetch_add(1, Ordering::Relaxed);
+                            // Bootstraps are counted per snapshot, not
+                            // per continuation chunk.
+                            if last {
+                                stats.snapshots_sent.fetch_add(1, Ordering::Relaxed);
+                            }
                             if messages > 0 {
                                 ride_along.push(TldId(tld));
                             }

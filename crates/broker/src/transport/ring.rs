@@ -44,8 +44,11 @@ pub const MAX_RING_BYTES: usize = 4 << 20;
 /// and exactly for bytes the kernel (or pipe) actually accepted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
-    /// A snapshot bootstrap for `tld`.
-    Snapshot { tld: u16 },
+    /// One frame of a snapshot bootstrap for `tld` (a monolithic `RZUS`
+    /// push or one `RZUC` continuation chunk). `last` marks the frame
+    /// that completes the bootstrap — the sent-counter counts
+    /// bootstraps, not chunks, so only the final frame increments it.
+    Snapshot { tld: u16, last: bool },
     /// A delta envelope for `tld`; the connection's claim for that TLD
     /// advances to `to_serial` on completion.
     Delta { tld: u16, to_serial: u32 },
@@ -76,7 +79,15 @@ pub struct RingFrame {
 
 impl RingFrame {
     /// A frame whose payload goes out as-is behind its length prefix.
+    ///
+    /// The declared length must fit the `u32` prefix — a silent
+    /// wrap-around here would promise the peer a tiny frame and then
+    /// stream gigabytes of desynchronized bytes after it, so it is a
+    /// hard assertion. (The reactor additionally checks composed frames
+    /// against the connection's configured frame bound before staging;
+    /// this assert is the last line of defence against the cast.)
     pub fn plain(payload: Bytes, kind: FrameKind, counted: bool) -> Self {
+        assert!(payload.len() <= u32::MAX as usize, "frame length exceeds the u32 prefix");
         let mut head = [0u8; 10];
         head[..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
         RingFrame { head, head_len: 4, payload, kind, counted }
@@ -91,6 +102,10 @@ impl RingFrame {
         counted: bool,
     ) -> Self {
         assert!(envelope.len() <= 6, "envelope exceeds the reserved head bytes");
+        assert!(
+            payload.len() <= u32::MAX as usize - envelope.len(),
+            "frame length exceeds the u32 prefix"
+        );
         let mut head = [0u8; 10];
         head[..4].copy_from_slice(&((envelope.len() + payload.len()) as u32).to_be_bytes());
         head[4..4 + envelope.len()].copy_from_slice(envelope);

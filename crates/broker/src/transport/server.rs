@@ -55,6 +55,13 @@ pub struct TransportConfig {
     /// overflow policy) cannot be held hostage forever, and
     /// [`BrokerServer::shutdown`] never waits on it.
     pub write_timeout: Duration,
+    /// Target payload size for one `RZUC` snapshot chunk. Bootstraps
+    /// are always chunked: a checkpoint larger than the peer's frame
+    /// bound crosses the wire as a resumable chunk train instead of one
+    /// oversized (and formerly truncating) `RZUS` frame. The reactor
+    /// clamps this to half the connection's frame bound so a chunk that
+    /// overshoots by one entry still fits.
+    pub snapshot_chunk_bytes: usize,
 }
 
 impl Default for TransportConfig {
@@ -64,6 +71,7 @@ impl Default for TransportConfig {
             writer_tick: Duration::from_millis(50),
             handshake_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(10),
+            snapshot_chunk_bytes: 1 << 20,
         }
     }
 }
@@ -135,7 +143,7 @@ pub(super) struct ServerInner {
     /// Live subscriber connections by subscriber id (sorted, so the
     /// report rows come out in a stable order).
     pub(super) conns: Mutex<BTreeMap<u64, Arc<ConnStatsEntry>>>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    pub(super) threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// A connection ready to hand to the reactor: the server end of a pipe
@@ -175,7 +183,7 @@ impl From<FaultInjectedConn> for ServedConn {
 /// share the reactor, stats and shutdown flag.
 #[derive(Clone)]
 pub struct BrokerServer {
-    inner: Arc<ServerInner>,
+    pub(super) inner: Arc<ServerInner>,
 }
 
 impl BrokerServer {

@@ -30,7 +30,9 @@
 //! publishers stop moving once they are done. Pinned by the threaded
 //! convergence proptest in `tests/proptest_broker.rs`.
 
-use darkdns_broker::transport::{ClientEvent, TransportClient, TransportError};
+use darkdns_broker::transport::{
+    ClientEvent, FrameConn, SnapshotProgress, TransportClient, TransportError,
+};
 use darkdns_broker::{Broker, BrokerMessage, BrokerSubscription};
 use darkdns_dns::hash::NameMap;
 use darkdns_dns::wire::DeltaPush;
@@ -340,7 +342,7 @@ where
                     self.view.ingest_snapshot(tld, snapshot);
                     applied += 1;
                 }
-                ClientEvent::Delta { tld, push } => {
+                ClientEvent::Delta { tld, push, .. } => {
                     if self.view.ingest_delta(tld, &push) {
                         applied += 1;
                     } else {
@@ -417,6 +419,318 @@ where
                 std::thread::yield_now();
             }
         }
+    }
+
+    /// The underlying view.
+    pub fn view(&self) -> &BrokerZoneView {
+        &self.view
+    }
+
+    /// Mutable access (e.g. to take the accumulated zone NRDs).
+    pub fn view_mut(&mut self) -> &mut BrokerZoneView {
+        &mut self.view
+    }
+}
+
+/// One row of an [`EndpointMap`]: the TLDs a broker (group) is
+/// authoritative for, and the replica endpoints serving them in
+/// preference order.
+#[derive(Debug, Clone)]
+pub struct EndpointRoute<E> {
+    /// TLDs this route serves.
+    pub tlds: Vec<TldId>,
+    /// Interchangeable endpoints for those TLDs; a consumer dials the
+    /// first and fails over down the list (wrapping) on faults.
+    pub replicas: Vec<E>,
+}
+
+/// TLD → replica-list routing table for a **partitioned broker fleet**:
+/// the universe is split across several root brokers (each owning a
+/// disjoint TLD subset), each optionally served by multiple replicas
+/// (e.g. regional relay nodes re-serving the same root). `E` is
+/// whatever identifies an endpoint to the dial closure — a
+/// `SocketAddr` in deployments, a pipe index in tests.
+#[derive(Debug, Clone, Default)]
+pub struct EndpointMap<E> {
+    routes: Vec<EndpointRoute<E>>,
+}
+
+impl<E> EndpointMap<E> {
+    pub fn new() -> Self {
+        EndpointMap { routes: Vec::new() }
+    }
+
+    /// Add a route serving `tlds` from `replicas` (preference order).
+    ///
+    /// # Panics
+    /// Panics on an empty replica list or a TLD already routed — a
+    /// TLD's frames must have exactly one authoritative stream.
+    pub fn add_route(&mut self, tlds: Vec<TldId>, replicas: Vec<E>) {
+        assert!(!replicas.is_empty(), "a route needs at least one replica");
+        for tld in &tlds {
+            assert!(
+                self.route_for(*tld).is_none(),
+                "{tld:?} is already routed; one authoritative route per TLD"
+            );
+        }
+        self.routes.push(EndpointRoute { tlds, replicas });
+    }
+
+    pub fn routes(&self) -> &[EndpointRoute<E>] {
+        &self.routes
+    }
+
+    /// Index of the route serving `tld`, if any.
+    pub fn route_for(&self, tld: TldId) -> Option<usize> {
+        self.routes.iter().position(|r| r.tlds.contains(&tld))
+    }
+
+    /// Every routed TLD, in route order.
+    pub fn tlds(&self) -> Vec<TldId> {
+        self.routes.iter().flat_map(|r| r.tlds.iter().copied()).collect()
+    }
+}
+
+/// Per-route connection state of a [`RoutedZoneView`].
+struct RouteConn {
+    /// Which replica the route is (or will next be) dialled at.
+    cursor: usize,
+    client: Option<TransportClient>,
+    /// Mid-snapshot chunk progress salvaged from the dead connection,
+    /// carried into the next HELLO so the bootstrap resumes instead of
+    /// restarting.
+    partials: Vec<SnapshotProgress>,
+    /// Whether the next successful connect heals a fault (and must be
+    /// counted as a resync) or is the initial bootstrap.
+    healing: bool,
+    /// Chunks received on connections this route has already retired.
+    retired_chunks: u64,
+}
+
+/// A [`BrokerZoneView`] spanning a **partitioned, replicated** broker
+/// fleet: one upstream connection per [`EndpointMap`] route, all
+/// feeding one shared view. Faults heal per route — reconnect carries
+/// that route's per-TLD claims (and chunked-bootstrap progress), and a
+/// connect or stream error fails over to the next replica in the
+/// route's list. [`BrokerZoneView::resync_count`] still counts exactly
+/// the successful post-fault reconnects, fleet-wide;
+/// [`RoutedZoneView::failover_count`] counts replica switches.
+pub struct RoutedZoneView<E, D>
+where
+    D: FnMut(&E) -> Result<Box<dyn FrameConn>, TransportError>,
+{
+    view: BrokerZoneView,
+    map: EndpointMap<E>,
+    conns: Vec<RouteConn>,
+    dial: D,
+    failovers: u64,
+}
+
+impl<E, D> RoutedZoneView<E, D>
+where
+    D: FnMut(&E) -> Result<Box<dyn FrameConn>, TransportError>,
+{
+    /// Dial every route's preferred replica (failing over down each
+    /// list) and bootstrap the shared view. Errors only when some route
+    /// has **no** reachable replica.
+    pub fn connect(map: EndpointMap<E>, dial: D) -> Result<Self, TransportError> {
+        let tlds = map.tlds();
+        let conns = map
+            .routes()
+            .iter()
+            .map(|_| RouteConn {
+                cursor: 0,
+                client: None,
+                partials: Vec::new(),
+                healing: false,
+                retired_chunks: 0,
+            })
+            .collect();
+        let mut routed = RoutedZoneView {
+            view: BrokerZoneView::detached(&tlds),
+            map,
+            conns,
+            dial,
+            failovers: 0,
+        };
+        for i in 0..routed.conns.len() {
+            routed.reconnect_route(i)?;
+        }
+        Ok(routed)
+    }
+
+    /// The view's claims restricted to one route's TLDs.
+    fn route_claims(&self, route: usize) -> Vec<(TldId, Option<Serial>)> {
+        self.map.routes()[route]
+            .tlds
+            .iter()
+            .map(|&t| (t, self.view.serial(t)))
+            .collect()
+    }
+
+    /// Dial `route`, starting at its cursor and failing over across the
+    /// replica list (each switch counted). Errs when every replica
+    /// refused — the next pump retries from the same cursor.
+    fn reconnect_route(&mut self, route: usize) -> Result<(), TransportError> {
+        let claims = self.route_claims(route);
+        let replicas = self.map.routes()[route].replicas.len();
+        let mut last_err = TransportError::Closed;
+        for attempt in 0..replicas {
+            let at = (self.conns[route].cursor + attempt) % replicas;
+            if attempt > 0 {
+                self.failovers += 1;
+            }
+            let endpoint = &self.map.routes()[route].replicas[at];
+            let conn = match (self.dial)(endpoint) {
+                Ok(conn) => conn,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            let partials = std::mem::take(&mut self.conns[route].partials);
+            match TransportClient::connect_resuming(conn, &claims, partials) {
+                Ok(client) => {
+                    let rc = &mut self.conns[route];
+                    rc.cursor = at;
+                    rc.client = Some(client);
+                    if rc.healing {
+                        rc.healing = false;
+                        self.view.note_resynced();
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    last_err = e;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Retire `route`'s dead connection: salvage chunk progress and
+    /// arm the resync accounting, and point the cursor at the *next*
+    /// replica so the redial fails over (the current one just died).
+    fn retire_route(&mut self, route: usize) {
+        let replicas = self.map.routes()[route].replicas.len();
+        let rc = &mut self.conns[route];
+        if let Some(mut client) = rc.client.take() {
+            rc.retired_chunks += client.snapshot_chunks_received();
+            rc.partials = client.take_snapshot_progress();
+        }
+        rc.healing = true;
+        if replicas > 1 {
+            rc.cursor = (rc.cursor + 1) % replicas;
+            self.failovers += 1;
+        }
+    }
+
+    /// Pump one route for up to `budget` events. Returns the number
+    /// applied; sets `progressed` when anything happened (so the outer
+    /// loop knows the fleet has gone idle).
+    fn pump_route(&mut self, route: usize, budget: usize, progressed: &mut bool) -> usize {
+        let mut applied = 0;
+        while applied < budget {
+            if self.conns[route].client.is_none() {
+                if self.reconnect_route(route).is_err() {
+                    return applied;
+                }
+                *progressed = true;
+                continue;
+            }
+            let event = self.conns[route].client.as_mut().expect("just checked").next_event();
+            match event {
+                ClientEvent::Idle => break,
+                ClientEvent::Snapshot { tld, snapshot } => {
+                    self.view.ingest_snapshot(tld, snapshot);
+                    applied += 1;
+                    *progressed = true;
+                }
+                ClientEvent::Delta { tld, push, .. } => {
+                    if self.view.ingest_delta(tld, &push) {
+                        applied += 1;
+                        *progressed = true;
+                    } else {
+                        self.retire_route(route);
+                        *progressed = true;
+                    }
+                }
+                ClientEvent::Evicted | ClientEvent::Closed(_) => {
+                    self.retire_route(route);
+                    *progressed = true;
+                }
+            }
+        }
+        applied
+    }
+
+    /// Pull up to `max_events` decoded events into the shared view,
+    /// visiting every route and healing faults per route as they
+    /// surface. Returns the number of events applied.
+    pub fn pump(&mut self, max_events: usize) -> usize {
+        let mut applied = 0;
+        loop {
+            let mut progressed = false;
+            for route in 0..self.conns.len() {
+                applied += self.pump_route(route, max_events - applied, &mut progressed);
+                if applied >= max_events {
+                    return applied;
+                }
+            }
+            if !progressed {
+                return applied;
+            }
+        }
+    }
+
+    /// Pump (healing faults as usual) until the view's serial matches
+    /// `targets` for every listed TLD, or `timeout` elapses.
+    pub fn pump_until_serials(
+        &mut self,
+        targets: &[(TldId, Serial)],
+        timeout: std::time::Duration,
+    ) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if targets.iter().all(|&(tld, serial)| self.view.serial(tld) == Some(serial)) {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            if self.pump(1024) == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Replica switches so far, fleet-wide: every dial attempt that
+    /// moved past a replica (connect refused) and every post-fault
+    /// redial pointed at the next replica.
+    pub fn failover_count(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Snapshot continuation chunks received across every route and
+    /// every connection generation.
+    pub fn snapshot_chunks_received(&self) -> u64 {
+        self.conns
+            .iter()
+            .map(|rc| {
+                rc.retired_chunks
+                    + rc.client.as_ref().map_or(0, |c| c.snapshot_chunks_received())
+            })
+            .sum()
+    }
+
+    /// True while every route has an established connection.
+    pub fn is_connected(&self) -> bool {
+        self.conns.iter().all(|rc| rc.client.is_some())
+    }
+
+    /// The routing table this view was built over.
+    pub fn endpoint_map(&self) -> &EndpointMap<E> {
+        &self.map
     }
 
     /// The underlying view.

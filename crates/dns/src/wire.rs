@@ -41,6 +41,10 @@ pub enum WireError {
     BadMagic,
     /// A lookup answer row carried flag bits outside the defined set.
     BadFlags(u8),
+    /// A snapshot continuation chunk's `(offset, count, total)` bounds
+    /// are inconsistent (out of range, or the last-chunk flag disagrees
+    /// with the arithmetic).
+    BadChunk { offset: u32, count: u32, total: u32 },
 }
 
 impl fmt::Display for WireError {
@@ -60,6 +64,9 @@ impl fmt::Display for WireError {
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             WireError::BadMagic => write!(f, "not an RZU1 delta-push frame"),
             WireError::BadFlags(b) => write!(f, "unknown lookup answer flags {b:#04x}"),
+            WireError::BadChunk { offset, count, total } => {
+                write!(f, "snapshot chunk bounds {offset}+{count} inconsistent with total {total}")
+            }
         }
     }
 }
@@ -789,6 +796,108 @@ pub fn decode_hello(bytes: &[u8]) -> Result<Vec<TldClaim>, WireError> {
     Ok(claims)
 }
 
+/// A subscriber's mid-snapshot progress claim: it holds the first
+/// `entries` entries of the chunked snapshot at `serial` and asks the
+/// server to resume from there if that checkpoint is still being served
+/// (otherwise the server restarts the chunk sequence from offset 0 and
+/// the subscriber discards its partial state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotResume {
+    /// Serial of the partially-received checkpoint snapshot.
+    pub serial: Serial,
+    /// Entries already received (a chunk boundary by construction).
+    pub entries: u32,
+}
+
+/// A decoded HELLO: the per-TLD serial claims plus any mid-snapshot
+/// resume claims appended by a subscriber that was cut during a chunked
+/// bootstrap.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HelloFrame {
+    pub claims: Vec<TldClaim>,
+    pub resume: Vec<(u16, SnapshotResume)>,
+}
+
+/// Encode a HELLO with optional mid-snapshot resume claims.
+///
+/// With `resume` empty this emits byte-for-byte the legacy
+/// [`encode_hello`] layout. Otherwise the claim section is followed by a
+/// `u16` resume count and per row `u16` TLD, `u32` snapshot serial,
+/// `u32` entries-received (10 bytes each).
+pub fn encode_hello_frame(claims: &[TldClaim], resume: &[(u16, SnapshotResume)]) -> Bytes {
+    debug_assert!(claims.len() <= u16::MAX as usize);
+    debug_assert!(resume.len() <= u16::MAX as usize);
+    let mut buf = BytesMut::with_capacity(6 + claims.len() * 7 + 2 + resume.len() * 10);
+    buf.put_slice(HELLO_MAGIC);
+    buf.put_u16(claims.len() as u16);
+    for claim in claims {
+        buf.put_u16(claim.tld);
+        match claim.from_serial {
+            Some(s) => {
+                buf.put_u8(1);
+                buf.put_u32(s.get());
+            }
+            None => {
+                buf.put_u8(0);
+                buf.put_u32(0);
+            }
+        }
+    }
+    if !resume.is_empty() {
+        buf.put_u16(resume.len() as u16);
+        for &(tld, r) in resume {
+            buf.put_u16(tld);
+            buf.put_u32(r.serial.get());
+            buf.put_u32(r.entries);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a HELLO, accepting both the legacy layout (claims only — the
+/// resume section is simply absent) and the extended layout produced by
+/// [`encode_hello_frame`]. Both counts are untrusted and bounded before
+/// any allocation is sized from them; the entire buffer must be
+/// consumed.
+pub fn decode_hello_frame(bytes: &[u8]) -> Result<HelloFrame, WireError> {
+    let mut dec = Decoder { bytes, pos: 0 };
+    if dec.take(4)? != HELLO_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let count = dec.u16()? as usize;
+    if count.checked_mul(7).is_none_or(|need| need > dec.remaining()) {
+        return Err(WireError::Truncated);
+    }
+    let mut claims = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tld = dec.u16()?;
+        let has_serial = dec.u8()?;
+        let serial = dec.u32()?;
+        claims.push(TldClaim {
+            tld,
+            from_serial: (has_serial != 0).then(|| Serial::new(serial)),
+        });
+    }
+    let mut resume = Vec::new();
+    if dec.remaining() > 0 {
+        let rcount = dec.u16()? as usize;
+        if rcount.checked_mul(10).is_none_or(|need| need > dec.remaining()) {
+            return Err(WireError::Truncated);
+        }
+        resume.reserve_exact(rcount);
+        for _ in 0..rcount {
+            let tld = dec.u16()?;
+            let serial = Serial::new(dec.u32()?);
+            let entries = dec.u32()?;
+            resume.push((tld, SnapshotResume { serial, entries }));
+        }
+    }
+    if dec.pos != bytes.len() {
+        return Err(WireError::TrailingBytes(bytes.len() - dec.pos));
+    }
+    Ok(HelloFrame { claims, resume })
+}
+
 /// Encode a shard bootstrap snapshot for the transport.
 ///
 /// Layout: `"RZUS"`, `u16` TLD, origin name, `u32` serial, `u64`
@@ -839,6 +948,141 @@ pub fn decode_snapshot_push(
         return Err(WireError::TrailingBytes(bytes.len() - dec.pos));
     }
     Ok((tld, crate::snapshot::ZoneSnapshot::from_entries(origin, serial, taken_at, entries)))
+}
+
+/// Magic prefix of a snapshot continuation chunk — the chunked form of
+/// `RZUS`, used when a checkpoint snapshot must traverse the transport's
+/// frame bound in pieces.
+pub const SNAPSHOT_CHUNK_MAGIC: &[u8; 4] = b"RZUC";
+
+/// One decoded snapshot continuation chunk: a contiguous `[offset,
+/// offset+entries.len())` slice of a checkpoint's entry sequence, tagged
+/// with enough context (serial, totals, last flag) that a receiver can
+/// assemble the full snapshot incrementally and — after a mid-sequence
+/// cut — resume from its last received chunk boundary via a
+/// [`SnapshotResume`] HELLO claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotChunk {
+    /// Transport-level TLD tag, as in the `RZUS` header.
+    pub tld: u16,
+    /// Zone origin of the snapshot being chunked.
+    pub origin: DomainName,
+    /// Serial of the snapshot every chunk in the sequence belongs to.
+    pub serial: Serial,
+    /// Capture timestamp of the snapshot.
+    pub taken_at: SimTime,
+    /// Total entry count of the full snapshot.
+    pub total: u32,
+    /// Index of this chunk's first entry within the snapshot.
+    pub offset: u32,
+    /// True on the final chunk (`offset + entries.len() == total`).
+    pub last: bool,
+    /// The chunk's entries, in snapshot iteration order.
+    pub entries: Vec<(DomainName, Vec<DomainName>)>,
+}
+
+/// Encode a snapshot as a sequence of `RZUC` continuation chunks,
+/// starting at entry `start_entry` (a resume offset; pass 0 for the full
+/// snapshot).
+///
+/// Each chunk carries the `RZUS`-style header plus `u32` total, `u32`
+/// offset, `u8` flags (bit 0 = last chunk), `u32` entry count, then the
+/// entries. Name compression is scoped per chunk, so every chunk is an
+/// independently decodable frame. Entries are packed greedily: a chunk
+/// is closed once its encoding reaches `chunk_bytes`, so a chunk can
+/// overshoot the target by at most one entry's encoding — callers
+/// deriving `chunk_bytes` from a hard frame bound must leave headroom
+/// for that (one entry is bounded by one 255-byte name plus a `u16`
+/// count of 255-byte NS host names, far below any sane frame bound).
+/// Every snapshot produces at least one chunk; an empty snapshot (or
+/// `start_entry == len`) yields a single zero-entry final chunk.
+pub fn encode_snapshot_chunks(
+    tld: u16,
+    snapshot: &crate::snapshot::ZoneSnapshot,
+    start_entry: usize,
+    chunk_bytes: usize,
+) -> Vec<Bytes> {
+    let total = snapshot.len();
+    let start = start_entry.min(total);
+    let mut iter = snapshot.iter().skip(start).peekable();
+    let mut offset = start;
+    let mut frames = Vec::new();
+    loop {
+        let mut enc = Encoder::new();
+        enc.buf.put_slice(SNAPSHOT_CHUNK_MAGIC);
+        enc.buf.put_u16(tld);
+        enc.name(snapshot.origin());
+        enc.buf.put_u32(snapshot.serial().get());
+        enc.buf.put_u64(snapshot.taken_at().as_secs());
+        enc.buf.put_u32(total as u32);
+        enc.buf.put_u32(offset as u32);
+        let flags_at = enc.buf.len();
+        enc.buf.put_u8(0);
+        let count_at = enc.buf.len();
+        enc.buf.put_u32(0);
+        let mut count: u32 = 0;
+        // At least one entry per chunk guarantees progress even when the
+        // header alone exceeds the byte target.
+        while iter.peek().is_some() && (count == 0 || enc.buf.len() < chunk_bytes) {
+            let (domain, ns) = iter.next().expect("peeked");
+            enc.name(&domain);
+            enc.ns_set(ns);
+            count += 1;
+        }
+        let last = iter.peek().is_none();
+        if last {
+            enc.buf[flags_at] = 1;
+        }
+        enc.buf[count_at..count_at + 4].copy_from_slice(&count.to_be_bytes());
+        offset += count as usize;
+        frames.push(enc.buf.freeze());
+        if last {
+            return frames;
+        }
+    }
+}
+
+/// Decode one frame produced by [`encode_snapshot_chunks`]. The entire
+/// buffer must be consumed; the entry count is untrusted (bounded before
+/// allocation, as in [`decode_snapshot_push`]), and the chunk's
+/// `(offset, count, total, last)` bookkeeping must be arithmetically
+/// consistent — a frame claiming entries past `total`, or a last flag
+/// that disagrees with `offset + count == total`, is a
+/// [`WireError::BadChunk`].
+pub fn decode_snapshot_chunk(bytes: &[u8]) -> Result<SnapshotChunk, WireError> {
+    let mut dec = Decoder { bytes, pos: 0 };
+    if dec.take(4)? != SNAPSHOT_CHUNK_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let tld = dec.u16()?;
+    let origin = dec.name()?;
+    let serial = Serial::new(dec.u32()?);
+    let taken_at = SimTime::from_secs(dec.u64()?);
+    let total = dec.u32()?;
+    let offset = dec.u32()?;
+    let flags = dec.u8()?;
+    if flags & !1 != 0 {
+        return Err(WireError::BadFlags(flags));
+    }
+    let last = flags & 1 != 0;
+    let count = dec.u32()?;
+    if (count as usize).checked_mul(3).is_none_or(|need| need > dec.remaining()) {
+        return Err(WireError::Truncated);
+    }
+    let end = offset as u64 + count as u64;
+    if end > total as u64 || last != (end == total as u64) {
+        return Err(WireError::BadChunk { offset, count, total });
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let domain = dec.name()?;
+        let ns = dec.ns_set()?;
+        entries.push((domain, ns.as_slice().to_vec()));
+    }
+    if dec.pos != bytes.len() {
+        return Err(WireError::TrailingBytes(bytes.len() - dec.pos));
+    }
+    Ok(SnapshotChunk { tld, origin, serial, taken_at, total, offset, last, entries })
 }
 
 /// The fixed 6-byte header of a delta envelope: magic plus the TLD tag.
@@ -1677,6 +1921,159 @@ mod tests {
         let mut padded = encode_hello(&[TldClaim { tld: 1, from_serial: None }]).to_vec();
         padded.push(9);
         assert_eq!(decode_hello(&padded), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hello_frame_round_trips_resume_claims_and_stays_legacy_compatible() {
+        let claims = vec![
+            TldClaim { tld: 2, from_serial: Some(Serial::new(9)) },
+            TldClaim { tld: 5, from_serial: None },
+        ];
+        // No resume section: byte-identical to the legacy encoder, and
+        // both decoders accept it.
+        assert_eq!(encode_hello_frame(&claims, &[]), encode_hello(&claims));
+        let legacy = decode_hello_frame(&encode_hello(&claims)).unwrap();
+        assert_eq!(legacy.claims, claims);
+        assert!(legacy.resume.is_empty());
+
+        let resume = vec![
+            (5u16, SnapshotResume { serial: Serial::new(40), entries: 128 }),
+            (2u16, SnapshotResume { serial: Serial::new(u32::MAX), entries: 0 }),
+        ];
+        let frame = encode_hello_frame(&claims, &resume);
+        let decoded = decode_hello_frame(&frame).unwrap();
+        assert_eq!(decoded.claims, claims);
+        assert_eq!(decoded.resume, resume);
+        // The strict legacy decoder refuses the extended section rather
+        // than silently dropping it.
+        assert!(matches!(decode_hello(&frame), Err(WireError::TrailingBytes(_))));
+    }
+
+    #[test]
+    fn hello_frame_rejects_oversized_resume_count_and_trailing() {
+        let mut frame =
+            encode_hello_frame(&[], &[(1, SnapshotResume { serial: Serial::new(1), entries: 1 })])
+                .to_vec();
+        frame.push(0);
+        assert_eq!(decode_hello_frame(&frame), Err(WireError::TrailingBytes(1)));
+        let mut oversized = encode_hello(&[]).to_vec();
+        oversized.extend_from_slice(&u16::MAX.to_be_bytes()); // resume count
+        assert_eq!(decode_hello_frame(&oversized), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn snapshot_chunks_round_trip_and_reassemble() {
+        let entries: Vec<_> = (0..64)
+            .map(|i| {
+                (
+                    name(&format!("domain-{i:03}.com")),
+                    vec![name("ns1.cloudflare.com"), name("ns2.cloudflare.com")],
+                )
+            })
+            .collect();
+        let snap = crate::snapshot::ZoneSnapshot::from_entries(
+            name("com"),
+            Serial::new(33),
+            SimTime::from_secs(120),
+            entries,
+        );
+        // A tiny byte target forces many chunks; the sequence must tile
+        // the snapshot exactly and reassemble to an equal snapshot.
+        let frames = encode_snapshot_chunks(7, &snap, 0, 256);
+        assert!(frames.len() > 1, "byte target must force splitting");
+        let mut rebuilt = Vec::new();
+        let mut expected_offset = 0u32;
+        for (i, frame) in frames.iter().enumerate() {
+            assert!(frame.len() <= 256 + 1024, "chunk overshoot is bounded by one entry");
+            let chunk = decode_snapshot_chunk(frame).unwrap();
+            assert_eq!(chunk.tld, 7);
+            assert_eq!(chunk.serial, Serial::new(33));
+            assert_eq!(chunk.total as usize, snap.len());
+            assert_eq!(chunk.offset, expected_offset);
+            assert_eq!(chunk.last, i == frames.len() - 1);
+            expected_offset += chunk.entries.len() as u32;
+            rebuilt.extend(chunk.entries);
+        }
+        assert_eq!(expected_offset as usize, snap.len());
+        let reassembled = crate::snapshot::ZoneSnapshot::from_entries(
+            name("com"),
+            Serial::new(33),
+            SimTime::from_secs(120),
+            rebuilt,
+        );
+        assert_eq!(reassembled, snap);
+
+        // A resume offset mid-snapshot starts the sequence there.
+        let resumed = encode_snapshot_chunks(7, &snap, 40, 256);
+        let first = decode_snapshot_chunk(&resumed[0]).unwrap();
+        assert_eq!(first.offset, 40);
+        let total: usize = resumed
+            .iter()
+            .map(|f| decode_snapshot_chunk(f).unwrap().entries.len())
+            .sum();
+        assert_eq!(total, snap.len() - 40);
+
+        // Empty snapshots (and exhausted resume offsets) still produce
+        // one final zero-entry chunk so the receiver sees completion.
+        let empty = crate::snapshot::ZoneSnapshot::from_entries(
+            name("com"),
+            Serial::new(1),
+            SimTime::ZERO,
+            vec![],
+        );
+        let frames = encode_snapshot_chunks(7, &empty, 0, 256);
+        assert_eq!(frames.len(), 1);
+        let chunk = decode_snapshot_chunk(&frames[0]).unwrap();
+        assert!(chunk.last && chunk.entries.is_empty() && chunk.total == 0);
+    }
+
+    #[test]
+    fn snapshot_chunk_rejects_inconsistent_bookkeeping() {
+        let snap = crate::snapshot::ZoneSnapshot::from_entries(
+            name("com"),
+            Serial::new(2),
+            SimTime::ZERO,
+            vec![(name("a.com"), vec![name("ns1.x.net")])],
+        );
+        let good = encode_snapshot_chunks(1, &snap, 0, 4096).remove(0);
+        assert!(decode_snapshot_chunk(&good).unwrap().last);
+
+        // Oversized untrusted count: rejected before allocation.
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(SNAPSHOT_CHUNK_MAGIC);
+        oversized.extend_from_slice(&0u16.to_be_bytes()); // tld
+        oversized.push(0); // root origin
+        oversized.extend_from_slice(&1u32.to_be_bytes()); // serial
+        oversized.extend_from_slice(&0u64.to_be_bytes()); // taken_at
+        oversized.extend_from_slice(&u32::MAX.to_be_bytes()); // total
+        oversized.extend_from_slice(&0u32.to_be_bytes()); // offset
+        oversized.push(0); // flags
+        oversized.extend_from_slice(&u32::MAX.to_be_bytes()); // count
+        assert_eq!(decode_snapshot_chunk(&oversized), Err(WireError::Truncated));
+
+        // Unknown flag bits are refused.
+        let mut bad_flags = good.to_vec();
+        let flags_at = good.len() - 4 - 1 - snapshot_chunk_entry_bytes(&good);
+        bad_flags[flags_at] |= 0x80;
+        assert_eq!(decode_snapshot_chunk(&bad_flags), Err(WireError::BadFlags(0x81)));
+
+        // A last flag that disagrees with offset+count == total.
+        let mut not_last = good.to_vec();
+        not_last[flags_at] = 0;
+        assert!(matches!(
+            decode_snapshot_chunk(&not_last),
+            Err(WireError::BadChunk { offset: 0, count: 1, total: 1 })
+        ));
+    }
+
+    /// Byte length of the entry section of the single-entry chunk frame
+    /// built above (everything after flags + count), used to locate the
+    /// flags byte from the tail.
+    fn snapshot_chunk_entry_bytes(frame: &[u8]) -> usize {
+        // "a.com" compresses against the origin ("a" label + pointer,
+        // 4 bytes) + u16 ns count + uncompressed "ns1.x.net" (11 bytes).
+        let _ = frame;
+        4 + 2 + 11
     }
 
     #[test]

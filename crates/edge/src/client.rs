@@ -7,28 +7,63 @@
 //! resync logic. Batching is the client's lever: one `RZUL` frame
 //! carries up to [`MAX_LOOKUP_BATCH`] names and one `RZUR` answers them
 //! all from a single index epoch.
+//!
+//! In a tiered deployment the same answers are served by several edge
+//! nodes (replicas of one index, or siblings fed by different relays of
+//! the same root), so the client can hold a **replica list** instead of
+//! one endpoint ([`EdgeClient::connect_replicas`]): a connect or stream
+//! error rotates to the next replica with doubling bounded backoff, and
+//! the lookup is retried there — at most one full cycle through the
+//! list per call. [`EdgeClient::failover_count`] counts the switches.
 
 use darkdns_broker::transport::{tcp_connect, FrameConn, TransportError};
+use darkdns_dns::wire::WireError;
 use darkdns_dns::wire::{
     decode_lookup_response, encode_lookup_request, LookupQuery, LookupResponse,
     LOOKUP_RESPONSE_MAGIC,
 };
-use darkdns_dns::wire::WireError;
+use std::time::Duration;
 
 /// Cap on names per `RZUL` batch — far below the `u16` wire bound, so a
 /// batch always fits the frame limit even with incompressible names.
 pub const MAX_LOOKUP_BATCH: usize = 4096;
 
+/// Redial backoff bounds: doubling from the floor to the ceiling within
+/// one failover cycle.
+const BACKOFF_FLOOR: Duration = Duration::from_millis(2);
+const BACKOFF_CEIL: Duration = Duration::from_millis(100);
+
+/// How the client obtains a connection to replica `i`.
+type ReplicaDial = Box<dyn FnMut(usize) -> Result<Box<dyn FrameConn>, TransportError> + Send>;
+
 /// A connected edge thin client.
 pub struct EdgeClient {
-    conn: Box<dyn FrameConn>,
+    conn: Option<Box<dyn FrameConn>>,
     next_id: u64,
+    /// Replica redial machinery; `None` for single-connection clients
+    /// ([`EdgeClient::new`]), which surface errors instead of failing
+    /// over.
+    dial: Option<ReplicaDial>,
+    replica_count: usize,
+    /// The replica the current (or next) connection points at.
+    cursor: usize,
+    failovers: u64,
+    recv_timeout: Option<Duration>,
 }
 
 impl EdgeClient {
     /// Wrap an established frame connection (TCP or an in-memory pipe).
+    /// No failover: any connection error is the caller's to handle.
     pub fn new(conn: impl FrameConn + 'static) -> Self {
-        EdgeClient { conn: Box::new(conn), next_id: 1 }
+        EdgeClient {
+            conn: Some(Box::new(conn)),
+            next_id: 1,
+            dial: None,
+            replica_count: 1,
+            cursor: 0,
+            failovers: 0,
+            recv_timeout: None,
+        }
     }
 
     /// Dial an edge server over TCP.
@@ -36,12 +71,83 @@ impl EdgeClient {
         Ok(Self::new(tcp_connect(addr)?))
     }
 
-    /// Bound how long a lookup waits for its reply.
+    /// Build a failover client over `replica_count` interchangeable
+    /// endpoints: `dial(i)` establishes a connection to replica `i`.
+    /// Replica 0 is preferred; each connect or stream error advances to
+    /// the next (wrapping) with doubling bounded backoff. Errors only
+    /// when no replica is reachable at construction time.
+    pub fn connect_replicas(
+        replica_count: usize,
+        dial: impl FnMut(usize) -> Result<Box<dyn FrameConn>, TransportError> + Send + 'static,
+    ) -> Result<Self, TransportError> {
+        assert!(replica_count >= 1, "need at least one replica");
+        let mut client = EdgeClient {
+            conn: None,
+            next_id: 1,
+            dial: Some(Box::new(dial)),
+            replica_count,
+            cursor: 0,
+            failovers: 0,
+            recv_timeout: None,
+        };
+        client.redial()?;
+        Ok(client)
+    }
+
+    /// [`EdgeClient::connect_replicas`] over TCP endpoints.
+    pub fn connect_tcp_replicas(
+        addrs: Vec<std::net::SocketAddr>,
+    ) -> Result<Self, TransportError> {
+        Self::connect_replicas(addrs.len(), move |i| {
+            Ok(Box::new(tcp_connect(addrs[i]).map_err(TransportError::Io)?))
+        })
+    }
+
+    /// Bound how long a lookup waits for its reply. Survives failover:
+    /// a redialled connection inherits the bound.
     pub fn set_recv_timeout(
         &mut self,
         timeout: Option<std::time::Duration>,
     ) -> Result<(), TransportError> {
-        self.conn.set_recv_timeout(timeout)
+        self.recv_timeout = timeout;
+        match self.conn.as_mut() {
+            Some(conn) => conn.set_recv_timeout(timeout),
+            None => Ok(()),
+        }
+    }
+
+    /// Replica switches so far: every time a connect or stream error
+    /// moved this client to the next endpoint in its list.
+    pub fn failover_count(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Dial the replica under the cursor, rotating (and counting a
+    /// failover) past unreachable ones — at most one full cycle.
+    fn redial(&mut self) -> Result<(), TransportError> {
+        let Some(dial) = self.dial.as_mut() else {
+            return Err(TransportError::Closed);
+        };
+        let mut backoff = BACKOFF_FLOOR;
+        let mut last_err = TransportError::Closed;
+        for attempt in 0..self.replica_count {
+            let at = (self.cursor + attempt) % self.replica_count;
+            if attempt > 0 {
+                self.failovers += 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_CEIL);
+            }
+            match dial(at) {
+                Ok(mut conn) => {
+                    conn.set_recv_timeout(self.recv_timeout)?;
+                    self.cursor = at;
+                    self.conn = Some(conn);
+                    return Ok(());
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
     }
 
     /// Answer a batch of membership queries: one request frame, one
@@ -49,13 +155,44 @@ impl EdgeClient {
     /// frames) and replies to requests this client has already given up
     /// on (stale ids) are skipped; a reply with the wrong answer count
     /// or an id from the future closes the book on the connection.
+    ///
+    /// A replica-list client ([`EdgeClient::connect_replicas`]) heals
+    /// connection errors by failing over to the next endpoint and
+    /// retrying there — at most one full cycle through the list, with
+    /// bounded backoff between switches. Timeouts are returned to the
+    /// caller unchanged (the reply may still be in flight; switching
+    /// replicas would not make a slow index faster).
     pub fn lookup(&mut self, queries: &[LookupQuery]) -> Result<LookupResponse, TransportError> {
         assert!(queries.len() <= MAX_LOOKUP_BATCH, "batch exceeds MAX_LOOKUP_BATCH");
+        let mut switches = 0;
+        loop {
+            if self.conn.is_none() {
+                self.redial()?;
+            }
+            match self.lookup_once(queries) {
+                Ok(response) => return Ok(response),
+                Err(TransportError::TimedOut) => return Err(TransportError::TimedOut),
+                Err(e) => {
+                    self.conn = None;
+                    switches += 1;
+                    if self.dial.is_none() || switches >= self.replica_count {
+                        return Err(e);
+                    }
+                    self.cursor = (self.cursor + 1) % self.replica_count;
+                    self.failovers += 1;
+                }
+            }
+        }
+    }
+
+    /// One request/reply round trip on the current connection.
+    fn lookup_once(&mut self, queries: &[LookupQuery]) -> Result<LookupResponse, TransportError> {
+        let conn = self.conn.as_mut().ok_or(TransportError::Closed)?;
         let request_id = self.next_id;
         self.next_id += 1;
-        self.conn.send_frame(&[&encode_lookup_request(request_id, queries)])?;
+        conn.send_frame(&[&encode_lookup_request(request_id, queries)])?;
         loop {
-            let frame = self.conn.recv_frame()?;
+            let frame = conn.recv_frame()?;
             if frame.is_empty() {
                 continue; // server heartbeat
             }

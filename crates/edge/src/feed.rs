@@ -22,9 +22,11 @@
 //! its broker.
 
 use crate::index::EdgeIndex;
-use darkdns_broker::transport::{ClientEvent, TransportClient, TransportError};
+use darkdns_broker::transport::{
+    ClientEvent, FrameConn, SnapshotProgress, TransportClient, TransportError,
+};
 use darkdns_broker::{Broker, BrokerMessage, BrokerSubscription};
-use darkdns_core::broker_view::BrokerZoneView;
+use darkdns_core::broker_view::{BrokerZoneView, EndpointMap};
 use darkdns_dns::decode_delta_push;
 use darkdns_dns::{DomainName, Serial};
 use darkdns_registry::tld::TldId;
@@ -173,7 +175,7 @@ where
                     self.index.adopt_snapshot(tld, snapshot);
                     applied += 1;
                 }
-                ClientEvent::Delta { tld, push } => {
+                ClientEvent::Delta { tld, push, .. } => {
                     if self.view.ingest_delta(tld, &push) {
                         let state =
                             self.view.snapshot(tld).expect("delta chained onto a state").clone();
@@ -232,6 +234,236 @@ where
 
     pub fn is_connected(&self) -> bool {
         self.client.is_some()
+    }
+
+    pub fn view(&self) -> &BrokerZoneView {
+        &self.view
+    }
+
+    pub fn index(&self) -> &Arc<EdgeIndex> {
+        &self.index
+    }
+}
+
+/// One route's connection state inside a [`RoutedEdgeFeed`].
+struct FeedRoute {
+    cursor: usize,
+    client: Option<TransportClient>,
+    partials: Vec<SnapshotProgress>,
+    healing: bool,
+    retired_chunks: u64,
+}
+
+/// An edge feed spanning a **partitioned, replicated** broker fleet:
+/// one upstream connection per [`EndpointMap`] route, all mirroring
+/// into one shared view + index pair — the multi-broker sibling of
+/// [`RemoteEdgeFeed`], with the same per-route replica failover and
+/// resume-with-claims recovery as
+/// [`darkdns_core::broker_view::RoutedZoneView`].
+pub struct RoutedEdgeFeed<E, D>
+where
+    D: FnMut(&E) -> Result<Box<dyn FrameConn>, TransportError>,
+{
+    view: BrokerZoneView,
+    map: EndpointMap<E>,
+    conns: Vec<FeedRoute>,
+    dial: D,
+    failovers: u64,
+    index: Arc<EdgeIndex>,
+}
+
+impl<E, D> RoutedEdgeFeed<E, D>
+where
+    D: FnMut(&E) -> Result<Box<dyn FrameConn>, TransportError>,
+{
+    /// Dial every route's preferred replica (failing over down each
+    /// list) and bootstrap the shared view + index. Errors only when
+    /// some route has no reachable replica.
+    pub fn connect(
+        map: EndpointMap<E>,
+        dial: D,
+        index: Arc<EdgeIndex>,
+    ) -> Result<Self, TransportError> {
+        let tlds = map.tlds();
+        let conns = map
+            .routes()
+            .iter()
+            .map(|_| FeedRoute {
+                cursor: 0,
+                client: None,
+                partials: Vec::new(),
+                healing: false,
+                retired_chunks: 0,
+            })
+            .collect();
+        let mut feed = RoutedEdgeFeed {
+            view: BrokerZoneView::detached(&tlds),
+            map,
+            conns,
+            dial,
+            failovers: 0,
+            index,
+        };
+        for i in 0..feed.conns.len() {
+            feed.reconnect_route(i)?;
+        }
+        Ok(feed)
+    }
+
+    fn reconnect_route(&mut self, route: usize) -> Result<(), TransportError> {
+        let claims: Vec<(TldId, Option<Serial>)> = self.map.routes()[route]
+            .tlds
+            .iter()
+            .map(|&t| (t, self.view.serial(t)))
+            .collect();
+        let replicas = self.map.routes()[route].replicas.len();
+        let mut last_err = TransportError::Closed;
+        for attempt in 0..replicas {
+            let at = (self.conns[route].cursor + attempt) % replicas;
+            if attempt > 0 {
+                self.failovers += 1;
+            }
+            let endpoint = &self.map.routes()[route].replicas[at];
+            let conn = match (self.dial)(endpoint) {
+                Ok(conn) => conn,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            let partials = std::mem::take(&mut self.conns[route].partials);
+            match TransportClient::connect_resuming(conn, &claims, partials) {
+                Ok(client) => {
+                    let rc = &mut self.conns[route];
+                    rc.cursor = at;
+                    rc.client = Some(client);
+                    if rc.healing {
+                        rc.healing = false;
+                        self.view.note_resynced();
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    last_err = e;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn retire_route(&mut self, route: usize) {
+        let replicas = self.map.routes()[route].replicas.len();
+        let rc = &mut self.conns[route];
+        if let Some(mut client) = rc.client.take() {
+            rc.retired_chunks += client.snapshot_chunks_received();
+            rc.partials = client.take_snapshot_progress();
+        }
+        rc.healing = true;
+        if replicas > 1 {
+            rc.cursor = (rc.cursor + 1) % replicas;
+            self.failovers += 1;
+        }
+    }
+
+    fn pump_route(&mut self, route: usize, budget: usize, progressed: &mut bool) -> usize {
+        let mut applied = 0;
+        while applied < budget {
+            if self.conns[route].client.is_none() {
+                if self.reconnect_route(route).is_err() {
+                    return applied;
+                }
+                *progressed = true;
+                continue;
+            }
+            let event = self.conns[route].client.as_mut().expect("just checked").next_event();
+            match event {
+                ClientEvent::Idle => break,
+                ClientEvent::Snapshot { tld, snapshot } => {
+                    self.view.ingest_snapshot(tld, snapshot.clone());
+                    self.index.adopt_snapshot(tld, snapshot);
+                    applied += 1;
+                    *progressed = true;
+                }
+                ClientEvent::Delta { tld, push, .. } => {
+                    if self.view.ingest_delta(tld, &push) {
+                        let state =
+                            self.view.snapshot(tld).expect("delta chained onto a state").clone();
+                        self.index.apply_delta(tld, state, &push);
+                        applied += 1;
+                        *progressed = true;
+                    } else {
+                        self.retire_route(route);
+                        *progressed = true;
+                    }
+                }
+                ClientEvent::Evicted | ClientEvent::Closed(_) => {
+                    self.retire_route(route);
+                    *progressed = true;
+                }
+            }
+        }
+        applied
+    }
+
+    /// Pull up to `max_events` decoded events into the view and index,
+    /// visiting every route and healing faults per route.
+    pub fn pump(&mut self, max_events: usize) -> usize {
+        let mut applied = 0;
+        loop {
+            let mut progressed = false;
+            for route in 0..self.conns.len() {
+                applied += self.pump_route(route, max_events - applied, &mut progressed);
+                if applied >= max_events {
+                    return applied;
+                }
+            }
+            if !progressed {
+                return applied;
+            }
+        }
+    }
+
+    /// Pump until the index's serial matches `targets` or `timeout`
+    /// elapses.
+    pub fn pump_until_serials(
+        &mut self,
+        targets: &[(TldId, Serial)],
+        timeout: std::time::Duration,
+    ) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if targets.iter().all(|&(tld, serial)| self.view.serial(tld) == Some(serial)) {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            if self.pump(1024) == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Replica switches so far, fleet-wide.
+    pub fn failover_count(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Snapshot continuation chunks received across every route and
+    /// connection generation.
+    pub fn snapshot_chunks_received(&self) -> u64 {
+        self.conns
+            .iter()
+            .map(|rc| {
+                rc.retired_chunks
+                    + rc.client.as_ref().map_or(0, |c| c.snapshot_chunks_received())
+            })
+            .sum()
+    }
+
+    /// True while every route has an established connection.
+    pub fn is_connected(&self) -> bool {
+        self.conns.iter().all(|rc| rc.client.is_some())
     }
 
     pub fn view(&self) -> &BrokerZoneView {

@@ -45,6 +45,6 @@ pub mod index;
 pub mod server;
 
 pub use client::{EdgeClient, MAX_LOOKUP_BATCH};
-pub use feed::{EdgeFeed, RemoteEdgeFeed};
+pub use feed::{EdgeFeed, RemoteEdgeFeed, RoutedEdgeFeed};
 pub use index::{EdgeEpoch, EdgeIndex, EdgeIndexConfig};
 pub use server::{EdgeConfig, EdgeServer, EdgeServerStats};

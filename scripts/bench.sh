@@ -25,6 +25,7 @@ DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench zone_diff
 DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench pipeline
 DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench broker
 DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench edge
+DARKDNS_BENCH_JSON="$RAW" cargo bench -p darkdns-bench --bench relay
 
 python3 - "$RAW" "$OUT" <<'PY'
 import json
@@ -95,6 +96,26 @@ DERIVED_PAIRS = {
         "broker/detect-latency/tcp",
         "broker/detect-latency/inproc",
     ),
+    # PR 8: relay-tree depth cost — publish→leaf latency through a
+    # loopback-TCP chain of 2 (resp. 3) tiers relative to a direct
+    # depth-1 subscription. Each tier re-serves the root's RZU1 bytes
+    # verbatim, so the ratio is pure hop cost, never re-encode cost.
+    "relay_publish_to_leaf_depth2_vs_depth1": (
+        "relay/publish-to-leaf/depth2",
+        "relay/publish-to-leaf/depth1",
+    ),
+    "relay_publish_to_leaf_depth3_vs_depth1": (
+        "relay/publish-to-leaf/depth3",
+        "relay/publish-to-leaf/depth1",
+    ),
+    # PR 8: decoding a 500k-delegation checkpoint as the RZUC chunk
+    # train the transport actually ships vs one monolithic RZUS frame.
+    # ~1.0 means chunking (which keeps every frame under the bound and
+    # makes catch-up resumable) costs no decode throughput.
+    "relay_catchup_chunked_vs_monolithic": (
+        "relay/catchup-500k/chunked-codec",
+        "relay/catchup-500k/monolithic-codec",
+    ),
 }
 derived = {
     name: round(current[slow]["median_ns"] / current[fast]["median_ns"], 2)
@@ -117,6 +138,16 @@ GAUGES = {
     # is peak throughput at full fan-in.
     "queries_per_sec_p50": "edge/qps/queries_per_sec_p50",
     "queries_per_sec_p99": "edge/qps/queries_per_sec_p99",
+    # PR 8: relay-tree bandwidth — mean wire bytes per delta per
+    # inter-tier link at each chain depth (flat across depths by the
+    # verbatim-re-serve invariant; the bench asserts the depth-3 links
+    # agree), plus the 500k-checkpoint chunk-train shape.
+    "relay_bytes_per_delta_per_link_depth1": "relay/bytes/per_delta_per_link_depth1",
+    "relay_bytes_per_delta_per_link_depth2": "relay/bytes/per_delta_per_link_depth2",
+    "relay_bytes_per_delta_per_link_depth3": "relay/bytes/per_delta_per_link_depth3",
+    "relay_catchup_chunks": "relay/catchup-500k/chunks",
+    "relay_catchup_monolithic_frame_bytes": "relay/catchup-500k/monolithic_frame_bytes",
+    "relay_catchup_chunked_entries_per_sec": "relay/catchup-500k/chunked_entries_per_sec",
 }
 gauges = {
     field: current.pop(rec_id)["median_ns"]

@@ -32,6 +32,14 @@ cargo test -q --release -p darkdns-broker
 cargo test -q --release --test proptest_broker --test broker_fleet --test transport_faults \
     --test membership_equivalence
 
+# The relay fault suite again in release: the relay thread races the
+# root's writer, the leaf's pump and the fault scripts, and its
+# byte-identity pin (depth-2/3 leaves see the root's exact RZU1 bytes)
+# plus the chunked-snapshot resume accounting are exactly the kind of
+# invariants that only break under optimised timing.
+echo "==> cargo test -q --release (relay fault suite)"
+cargo test -q --release --test relay_faults
+
 # The edge suite again in release too, for the same reason: the epoch
 # Arc-swap cell, the feed-vs-query concurrency test and the server's
 # reactor loop are all timing-sensitive, and the edge-equivalence pin

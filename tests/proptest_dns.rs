@@ -236,6 +236,132 @@ proptest! {
     }
 }
 
+// The chunked-snapshot codecs (`RZUC` continuation chunks and the
+// extended HELLO with resume claims): the frames a 500k-delegation
+// checkpoint rides across the frame bound, and the claims that make a
+// mid-train cut resumable. Same adversarial discipline as every other
+// transport decoder — plus the chunk codec's arithmetic consistency
+// (offsets contiguous, last flag iff the train completes, reassembly
+// exact from any resume offset).
+mod chunk_codecs {
+    use super::*;
+    use darkdns::dns::wire::{
+        decode_hello_frame, decode_snapshot_chunk, encode_hello_frame, encode_snapshot_chunks,
+        SnapshotResume, SNAPSHOT_CHUNK_MAGIC,
+    };
+
+    proptest! {
+        #[test]
+        fn snapshot_chunks_reassemble_exactly_from_any_resume_offset(
+            tld in any::<u16>(),
+            origin in name_strategy(),
+            serial in any::<u32>(),
+            entries in prop::collection::vec(
+                (name_strategy(), prop::collection::vec(name_strategy(), 1..3)),
+                0..60,
+            ),
+            start_frac in 0.0f64..1.0,
+            chunk_bytes in 64usize..2048,
+        ) {
+            let snap = ZoneSnapshot::from_entries(
+                origin,
+                Serial::new(serial),
+                SimTime::from_secs(u64::from(serial)),
+                entries,
+            );
+            let start = (start_frac * snap.len() as f64) as usize;
+            let frames = encode_snapshot_chunks(tld, &snap, start, chunk_bytes);
+            prop_assert!(!frames.is_empty(), "every snapshot yields at least one chunk");
+            let mut offset = start;
+            let mut reassembled = Vec::new();
+            for (i, frame) in frames.iter().enumerate() {
+                let chunk = decode_snapshot_chunk(frame).unwrap();
+                prop_assert_eq!(chunk.tld, tld);
+                prop_assert_eq!(&chunk.origin, snap.origin());
+                prop_assert_eq!(chunk.serial, snap.serial());
+                prop_assert_eq!(chunk.taken_at, snap.taken_at());
+                prop_assert_eq!(chunk.total as usize, snap.len());
+                prop_assert_eq!(chunk.offset as usize, offset, "chunks must be contiguous");
+                prop_assert_eq!(
+                    chunk.last,
+                    i == frames.len() - 1,
+                    "last flag exactly on the final chunk"
+                );
+                offset += chunk.entries.len();
+                reassembled.extend(chunk.entries);
+            }
+            prop_assert_eq!(offset, snap.len(), "the train must cover the tail exactly");
+            let expected: Vec<_> = snap
+                .iter()
+                .skip(start)
+                .map(|(d, ns)| (d, ns.as_slice().to_vec()))
+                .collect();
+            prop_assert_eq!(reassembled, expected);
+            // A strict prefix of any chunk frame is rejected: one whole
+            // chunk per frame, no silent truncation.
+            for frame in &frames {
+                prop_assert!(decode_snapshot_chunk(&frame[..frame.len() - 1]).is_err());
+            }
+        }
+
+        #[test]
+        fn chunk_decoder_never_panics_on_garbage(
+            bytes in prop::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let _ = decode_snapshot_chunk(&bytes);
+        }
+
+        #[test]
+        fn chunk_decoder_never_panics_behind_valid_magic(
+            bytes in prop::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let mut framed = SNAPSHOT_CHUNK_MAGIC.to_vec();
+            framed.extend_from_slice(&bytes);
+            let _ = decode_snapshot_chunk(&framed);
+        }
+
+        #[test]
+        fn hello_frame_round_trips_with_resume_claims(
+            raw_claims in prop::collection::vec((any::<u16>(), any::<bool>(), any::<u32>()), 0..40),
+            raw_resume in prop::collection::vec((any::<u16>(), any::<u32>(), any::<u32>()), 0..20),
+        ) {
+            let claims: Vec<TldClaim> = raw_claims
+                .iter()
+                .map(|&(tld, has, s)| TldClaim { tld, from_serial: has.then(|| Serial::new(s)) })
+                .collect();
+            let resume: Vec<(u16, SnapshotResume)> = raw_resume
+                .iter()
+                .map(|&(tld, s, entries)| {
+                    (tld, SnapshotResume { serial: Serial::new(s), entries })
+                })
+                .collect();
+            let frame = encode_hello_frame(&claims, &resume);
+            let decoded = decode_hello_frame(&frame).unwrap();
+            prop_assert_eq!(&decoded.claims, &claims);
+            prop_assert_eq!(&decoded.resume, &resume);
+            // Backward compatibility both ways: with no resume claims
+            // the extended frame IS the legacy frame, and the legacy
+            // decoder still reads the claims of any legacy frame.
+            if resume.is_empty() {
+                prop_assert_eq!(&*frame, &*encode_hello(&claims));
+            }
+            prop_assert_eq!(decode_hello_frame(&encode_hello(&claims)).unwrap().claims, claims);
+            // One whole message per frame.
+            prop_assert!(decode_hello_frame(&frame[..frame.len() - 1]).is_err());
+        }
+
+        #[test]
+        fn hello_frame_decoder_never_panics_behind_valid_magic(
+            bytes in prop::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let mut framed = HELLO_MAGIC.to_vec();
+            framed.extend_from_slice(&bytes);
+            let _ = decode_hello_frame(&framed);
+            let _ = decode_hello_frame(&bytes);
+        }
+    }
+}
+
 // The edge lookup codecs (`RZUL`/`RZUR`): same adversarial discipline
 // as the transport decoders above — arbitrary garbage is an error,
 // never a panic or an unbounded allocation, and every valid message

@@ -560,6 +560,57 @@ fn stats_query_round_trips_and_counts_itself() {
 }
 
 #[test]
+fn frame_bound_is_exact_and_never_silently_truncates() {
+    // The frame-bound contract at the boundary itself: a frame of
+    // exactly `max` bytes passes whole, one byte more is a typed
+    // `FrameTooLarge` error — never a panic, never a partial write —
+    // and the connection stays usable afterwards.
+    const MAX: usize = 64;
+    let (a, b) = duplex(1 << 12);
+    let mut tx = LengthPrefixed::with_max(a, MAX);
+    let mut rx = LengthPrefixed::with_max(b, MAX);
+    let exact = vec![0xA5u8; MAX];
+    tx.send_frame(&[&exact]).expect("a frame at the exact bound must pass");
+    assert_eq!(&*rx.recv_frame().unwrap(), &exact[..]);
+
+    let over = vec![0x5Au8; MAX + 1];
+    match tx.send_frame(&[&over]) {
+        Err(TransportError::FrameTooLarge { declared, max }) => {
+            assert_eq!(declared, MAX + 1);
+            assert_eq!(max, MAX);
+        }
+        other => panic!("one past the bound must be FrameTooLarge, got {other:?}"),
+    }
+    // A composed frame (envelope + payload) is bounded by its total,
+    // not its largest part.
+    match tx.send_frame(&[&exact[..32], &exact[..33]]) {
+        Err(TransportError::FrameTooLarge { declared, max }) => {
+            assert_eq!(declared, MAX + 1);
+            assert_eq!(max, MAX);
+        }
+        other => panic!("composed overflow must be FrameTooLarge, got {other:?}"),
+    }
+    // Nothing partial hit the wire: the next exact-bound frame is
+    // delivered intact.
+    tx.send_frame(&[&exact[..32], &exact[..32]]).expect("still usable after the refusal");
+    assert_eq!(&*rx.recv_frame().unwrap(), &exact[..]);
+
+    // The receive side enforces the same bound on a hostile peer's
+    // declared length, refusing before sizing any allocation from it.
+    let (c, d) = duplex(1 << 12);
+    let mut wide_tx = LengthPrefixed::with_max(c, MAX * 4);
+    let mut narrow_rx = LengthPrefixed::with_max(d, MAX);
+    wide_tx.send_frame(&[&over]).expect("the wide side may send it");
+    match narrow_rx.recv_frame() {
+        Err(TransportError::FrameTooLarge { declared, max }) => {
+            assert_eq!(declared, MAX + 1);
+            assert_eq!(max, MAX);
+        }
+        other => panic!("oversized declared length must be refused, got {other:?}"),
+    }
+}
+
+#[test]
 fn tcp_reconnect_storm_converges_on_one_reactor_thread() {
     // A CI-sized fleet (200 subscribers by default; `DARKDNS_STORM_SUBS`
     // scales it) over loopback TCP. Half the fleet is killed at once and

@@ -3,36 +3,66 @@
 //! byte slices, and a cheaply-clonable shared [`Bytes`] handle for
 //! encode-once / fan-out-to-many distribution paths.
 
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// An immutable, reference-counted byte buffer. Cloning bumps a refcount;
-/// the underlying storage is shared between all clones.
+/// the underlying storage is shared between all clones. A handle is a
+/// view (`offset`, `len`) into that shared storage, so [`Bytes::slice`]
+/// is zero-copy too.
 #[derive(Clone)]
 pub struct Bytes {
     inner: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
     pub fn new() -> Self {
-        Bytes { inner: Arc::from([]) }
+        Bytes { inner: Arc::from([]), offset: 0, len: 0 }
     }
 
     pub fn copy_from_slice(src: &[u8]) -> Self {
-        Bytes { inner: Arc::from(src) }
+        Bytes { inner: Arc::from(src), offset: 0, len: src.len() }
     }
 
     pub fn len(&self) -> usize {
-        self.inner.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
+        self.len == 0
     }
 
-    /// True when both handles share the same storage (O(1) witness that a
-    /// clone did not copy).
+    /// A sub-view of this buffer sharing the same storage (no copy).
+    /// The range is relative to this view. Panics when it is out of
+    /// bounds, matching the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice {start}..{end} out of bounds of {}", self.len);
+        Bytes { inner: Arc::clone(&self.inner), offset: self.offset + start, len: end - start }
+    }
+
+    /// True when both handles are the same view of the same storage
+    /// (O(1) witness that a clone or slice did not copy).
     pub fn ptr_eq(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+            && self.offset == other.offset
+            && self.len == other.len
+    }
+
+    /// True when both handles share the same backing storage, whatever
+    /// their view ranges (O(1) witness that a slice did not copy).
+    pub fn shares_storage(&self, other: &Bytes) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
@@ -47,19 +77,20 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.inner
+        &self.inner[self.offset..self.offset + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.inner
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { inner: v.into() }
+        let len = v.len();
+        Bytes { inner: v.into(), offset: 0, len }
     }
 }
 
@@ -71,7 +102,7 @@ impl From<&[u8]> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.ptr_eq(other) || self.inner == other.inner
+        self.ptr_eq(other) || **self == **other
     }
 }
 
@@ -262,6 +293,20 @@ mod tests {
         assert!(frozen.ptr_eq(&clone));
         assert_eq!(&clone[..], b"hello");
         assert_eq!(frozen, Bytes::from(b"hello".as_slice()));
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_view() {
+        let b = Bytes::copy_from_slice(b"0123456789");
+        let mid = b.slice(2..7);
+        assert_eq!(&mid[..], b"23456");
+        assert!(mid.shares_storage(&b));
+        assert!(!mid.ptr_eq(&b));
+        let tail = mid.slice(3..);
+        assert_eq!(&tail[..], b"56");
+        assert!(tail.shares_storage(&b));
+        assert_eq!(tail, Bytes::copy_from_slice(b"56"));
+        assert!(b.slice(..).ptr_eq(&b));
     }
 
     #[test]
