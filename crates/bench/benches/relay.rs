@@ -15,6 +15,16 @@
 //!   per delta per link, counted by a wrapper around every inter-tier
 //!   connection. Verbatim re-serve makes this flat across depths (the
 //!   bench asserts the depth-3 links agree with each other).
+//! * `relay/filtered/*` — gauges: total upstream-link bytes carried by
+//!   a **shard-filtered** relay subscribing to 1 of 10 TLDs vs a full
+//!   mirror of the same root under the same published workload. The
+//!   scoped HELLO turns the claim set into a wire-level shard filter,
+//!   so the subset link's share tracks its shard share (~10%).
+//! * `relay/drain/handoff_ns_p50` — gauge: median latency of a planned
+//!   replica drain through `RoutedZoneView::apply_endpoint_update`,
+//!   measured from the generation-bumped map landing to a sentinel
+//!   publish arriving through the successor replica (handoff plus
+//!   claim-carrying catch-up, no resync).
 //! * `relay/catchup-500k/{monolithic,chunked}-codec` — the cold
 //!   catch-up comparison: decoding one monolithic 500k-delegation
 //!   `RZUS` frame vs decoding the same checkpoint as a train of 1 MiB
@@ -28,7 +38,7 @@ use darkdns_broker::transport::{
     tcp_connect, Bytes, FrameConn, TransportClient, TransportError,
 };
 use darkdns_broker::{Broker, BrokerConfig, BrokerServer, TransportConfig};
-use darkdns_core::broker_view::RemoteZoneView;
+use darkdns_core::broker_view::{EndpointMap, RemoteZoneView, RoutedZoneView};
 use darkdns_dns::wire::{
     decode_snapshot_chunk, decode_snapshot_push, encode_snapshot_chunks, encode_snapshot_push,
 };
@@ -348,7 +358,151 @@ fn bench_chunked_catchup(c: &mut Criterion) {
     emit_metric("relay/catchup-500k/chunked_entries_per_sec", entries as f64 / secs);
 }
 
-criterion_group!(benches, bench_depth_latency, bench_chunked_catchup);
+/// Per-link bandwidth of a shard-filtered relay vs a full mirror.
+///
+/// One root carries `FILTER_FLEET` equal-churn TLD shards; a filtered
+/// relay attaches upstream claiming exactly one shard (a 10% subset)
+/// while a mirror relay claims all of them. Both upstream links count
+/// their received bytes across the same published workload, so the
+/// subset link's share is a direct wire-level measurement of what the
+/// claims-as-shard-filter saves — no timing, pure accounting.
+fn bench_filtered_links(_c: &mut Criterion) {
+    const FILTER_FLEET: usize = 10;
+    const ROUNDS: u32 = 50;
+    let tlds: Vec<TldId> = (0..FILTER_FLEET).map(|t| TldId(t as u16)).collect();
+    let root = Broker::new(BrokerConfig::default());
+    for &tld in &tlds {
+        let snap = ZoneSnapshot::from_entries(
+            name("com"),
+            Serial::new(0),
+            SimTime::ZERO,
+            (0..1000)
+                .map(|i| (name(&format!("seed-{}-{i:06}.com", tld.0)), vec![name("ns1.seed.net")]))
+                .collect(),
+        );
+        root.add_shard(tld, snap);
+    }
+    let root_server = server_over(&root);
+    let root_addr = root_server.listen_tcp("127.0.0.1:0").expect("bind root");
+
+    let attach = |subset: Vec<TldId>| {
+        let rx = Arc::new(AtomicU64::new(0));
+        let link = Arc::clone(&rx);
+        let server = server_over(&Broker::new(BrokerConfig::default()));
+        let expect = subset.len() as u64;
+        let relay = server.attach_upstream(subset, move || {
+            let conn = tcp_connect(root_addr).map_err(TransportError::Io)?;
+            Ok(Box::new(CountingConn { inner: conn, rx: Arc::clone(&link) }) as _)
+        });
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while relay.stats().snapshots_installed < expect {
+            assert!(Instant::now() < deadline, "relay never bootstrapped");
+            std::thread::yield_now();
+        }
+        (server, relay, rx)
+    };
+    let (mirror_server, mirror, rx_mirror) = attach(tlds.clone());
+    let (subset_server, subset, rx_subset) = attach(vec![TldId(0)]);
+
+    // Count only the delta stream: both relays have bootstrapped, so
+    // from here each push crosses the mirror link once and the subset
+    // link only when it belongs to the subscribed shard.
+    let mirror_start = rx_mirror.load(Ordering::Relaxed);
+    let subset_start = rx_subset.load(Ordering::Relaxed);
+    let ns = NsSet::new(vec![name("ns1.rotated.net")]);
+    for round in 1..=ROUNDS {
+        for &tld in &tlds {
+            let mut delta = ZoneDelta::default();
+            for i in 0..BLOCK {
+                delta.added.push((name(&format!("nrd-{}-{round}-{i:04}.com", tld.0)), ns.clone()));
+            }
+            root.publish(tld, delta, Serial::new(round), SimTime::ZERO);
+        }
+    }
+    let pushes = u64::from(ROUNDS) * FILTER_FLEET as u64;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while mirror.stats().frames_relayed < pushes
+        || subset.stats().frames_relayed < u64::from(ROUNDS)
+    {
+        assert!(Instant::now() < deadline, "relays never absorbed the churn");
+        std::thread::yield_now();
+    }
+    let mirror_bytes = rx_mirror.load(Ordering::Relaxed) - mirror_start;
+    let subset_bytes = rx_subset.load(Ordering::Relaxed) - subset_start;
+    let share = subset_bytes as f64 / mirror_bytes as f64;
+    // The wire-level point of the shard filter: the subset link's bytes
+    // track its shard share (10%), with slack for heartbeat noise.
+    assert!(share < 0.2, "a 10% shard subset carried {share:.2} of the mirror link");
+    emit_metric("relay/filtered/full_mirror_link_bytes", mirror_bytes as f64);
+    emit_metric("relay/filtered/subset10_link_bytes", subset_bytes as f64);
+    emit_metric("relay/filtered/subset_share", share);
+    subset_server.shutdown();
+    mirror_server.shutdown();
+    root_server.shutdown();
+}
+
+/// Median planned-drain handoff latency through a routed view.
+///
+/// Two loopback-TCP replicas serve one root; each round drains the
+/// replica the route is connected to with a generation-bumped
+/// [`EndpointMap`] and measures how long until a sentinel publish lands
+/// through the successor — the full claim-carrying handoff, which by
+/// the drain contract involves no resync and no re-bootstrap. The next
+/// round adds the drained replica back and drains the other.
+fn bench_drain_latency(_c: &mut Criterion) {
+    const SAMPLES: usize = 21;
+    let root = Broker::new(BrokerConfig::default());
+    root.add_shard(TLD, shard_snapshot(1000));
+    let servers = [server_over(&root), server_over(&root)];
+    let addrs: Vec<SocketAddr> =
+        servers.iter().map(|s| s.listen_tcp("127.0.0.1:0").expect("bind replica")).collect();
+    let mut map: EndpointMap<SocketAddr> = EndpointMap::new();
+    map.add_route(vec![TLD], addrs.clone());
+    let mut view = RoutedZoneView::connect(map.clone(), |addr: &SocketAddr| {
+        let mut conn = tcp_connect(*addr).map_err(TransportError::Io)?;
+        conn.set_recv_timeout(Some(Duration::from_millis(1)))?;
+        Ok(Box::new(conn) as _)
+    })
+    .expect("routed connect");
+    assert!(view.pump_until_serials(&[(TLD, Serial::new(0))], Duration::from_secs(30)));
+
+    let mut serial = 0u32;
+    let mut samples_ns: Vec<u64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        // The route reconnects to the drain's survivor (replica 0) and
+        // an added replica never disturbs the live connection, so the
+        // connected replica is index 0 every round: drain it.
+        let drained = map.remove_replica(0, 0);
+        let start = Instant::now();
+        assert!(view.apply_endpoint_update(map.clone()), "generation must advance");
+        serial += 1;
+        let mut delta = ZoneDelta::default();
+        delta.added.push((name(&format!("drain-sentinel-{serial:04}.com")), NsSet::new(vec![name("ns1.rotated.net")])));
+        root.publish(TLD, delta, Serial::new(serial), SimTime::ZERO);
+        assert!(
+            view.pump_until_serials(&[(TLD, Serial::new(serial))], Duration::from_secs(30)),
+            "sentinel never arrived through the successor"
+        );
+        samples_ns.push(start.elapsed().as_nanos() as u64);
+        map.add_replica(0, drained);
+        assert!(view.apply_endpoint_update(map.clone()));
+    }
+    assert_eq!(view.drains_completed(), SAMPLES as u64, "every round was a clean drain");
+    assert_eq!(view.view().resync_count(), 0, "a planned drain never resyncs");
+    samples_ns.sort_unstable();
+    emit_metric("relay/drain/handoff_ns_p50", samples_ns[samples_ns.len() / 2] as f64);
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_depth_latency,
+    bench_filtered_links,
+    bench_drain_latency,
+    bench_chunked_catchup
+);
 
 fn main() {
     benches();

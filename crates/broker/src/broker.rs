@@ -507,6 +507,19 @@ pub fn shard_locks_held_by_current_thread() -> usize {
     }
 }
 
+/// Catch-up scope of a subscription (see [`Broker::subscribe_scoped`]):
+/// the full snapshot-vs-delta contract, or a delta-only partial
+/// subscription that never receives a bootstrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SubscribeMode {
+    /// The complete catch-up decision rule — snapshots when needed.
+    #[default]
+    Full,
+    /// Live deltas and ring-covered replay only; a claim beyond delta
+    /// repair starts at the live head instead of bootstrapping.
+    DeltaOnly,
+}
+
 /// The sharded RZU distribution broker. Cheap to clone (`Arc`-shared);
 /// clones publish into and subscribe from the same state. `Send + Sync`:
 /// publishers of disjoint TLDs run fully in parallel (see
@@ -642,6 +655,31 @@ impl Broker {
     /// # Panics
     /// Panics if any TLD has no shard.
     pub fn subscribe_with(&self, claims: &[(TldId, Option<Serial>)]) -> BrokerSubscription {
+        self.subscribe_scoped(claims, SubscribeMode::Full)
+    }
+
+    /// [`Broker::subscribe_with`] with an explicit catch-up scope.
+    ///
+    /// [`SubscribeMode::Full`] is the default contract: the complete
+    /// snapshot-vs-delta decision rule applies. With
+    /// [`SubscribeMode::DeltaOnly`] a claim the retained delta ring can
+    /// cover is still replayed as deltas — but a claim beyond delta
+    /// repair (or no claim at all) starts the stream at the live head
+    /// instead of enqueuing a checkpoint bootstrap. The subscriber
+    /// trades state completeness for a bounded join cost: right for tap
+    /// consumers that only care about churn going forward (the
+    /// wire-level partial-subscription mode the transport's scoped
+    /// HELLO selects), wrong for anything that must reconstruct
+    /// membership — a delta-only relay with no prior state would gap
+    /// forever.
+    ///
+    /// # Panics
+    /// Panics if any TLD has no shard.
+    pub fn subscribe_scoped(
+        &self,
+        claims: &[(TldId, Option<Serial>)],
+        mode: SubscribeMode,
+    ) -> BrokerSubscription {
         let shared = Arc::new(SubShared {
             id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
             queue: Mutex::new(VecDeque::new()),
@@ -667,7 +705,15 @@ impl Broker {
             // on this shard cannot slip a push between the plan and the
             // registration.
             let mut st = lock_shard(handle, false);
-            let plan = st.shard.catch_up(claim);
+            let mut plan = st.shard.catch_up(claim);
+            if mode == SubscribeMode::DeltaOnly
+                && matches!(plan, CatchUp::SnapshotThenDeltas { .. })
+            {
+                // Beyond delta repair, a delta-only subscriber starts at
+                // the live head rather than bootstrapping: no snapshot,
+                // no replay, stream begins with the next publish.
+                plan = CatchUp::UpToDate;
+            }
             let backlog = plan.message_count() as u64;
             // Enqueue under the queue lock, which an eviction (on an
             // already-registered shard's publish path) also holds while

@@ -63,6 +63,20 @@
 //! connection cut mid-bootstrap resumes the chunk train at its offset
 //! instead of restarting it.
 //!
+//! A HELLO may end with one optional **subscription-scope** byte
+//! (`darkdns_dns::wire::HelloScope`), strictly additive to the legacy
+//! layout: absent (or `0`, which is never emitted alone — a Full-scope
+//! frame is byte-identical to the legacy encoding) means *Full*, the
+//! bootstrap-then-deltas contract above; `1` means *DeltaOnly* — the
+//! server downgrades any snapshot-bootstrap plan to "start at the live
+//! head", so a tap that only wants future churn never pays for (or
+//! receives) a checkpoint. Scope composes with claims: the claimed
+//! TLD set is the **shard filter** — frames for unclaimed shards never
+//! enter the connection's queue, which is what lets a relay subscribe
+//! to a TLD subset and pay upstream bandwidth only for that subset.
+//! Unknown scope values are a handshake rejection, not a silent
+//! default.
+//!
 //! # Relay trees: tiered fan-out
 //!
 //! A [`transport::BrokerServer`] can itself subscribe to another broker
@@ -84,6 +98,12 @@
 //!   chain on the local head are skipped, never double-published, and
 //!   downstream connections stay up through the upstream fault.
 //!
+//! A relay subscribes **shard-filtered**: its HELLO claims exactly its
+//! subscribed TLD set, so the upstream's queue filter keeps every
+//! other shard's frames off the link — a relay carrying 10% of the
+//! universe costs 10% of the mirror bandwidth, and a fault heals by
+//! replaying (and re-serving) only the subscribed subset.
+//!
 //! The relay runs as a blocking client thread *outside* the reactor
 //! and touches the local broker only through the public
 //! publish/install surface, so the two-level lock hierarchy below is
@@ -92,6 +112,43 @@
 //! `darkdns_core::broker_view` (`EndpointMap`, `RoutedZoneView`) and
 //! `darkdns_edge::RoutedEdgeFeed`; `examples/relay_fleet.rs` runs the
 //! whole tree over loopback TCP with a mid-stream relay kill.
+//!
+//! # Live topology: endpoint updates, drains, health routing
+//!
+//! The routed consumer's `EndpointMap` carries a **generation
+//! counter**; `RoutedZoneView::apply_endpoint_update` (and the thin
+//! client's `EdgeClient::apply_endpoint_update`) accept a replacement
+//! map only at a strictly newer generation, so duplicated or reordered
+//! control-plane updates can never roll a fleet back. Per route the
+//! update is a small state machine:
+//!
+//! * **replica added** — the live connection is untouched; the new
+//!   endpoint becomes a failover/probe candidate immediately;
+//! * **connected replica drained** — the route enters a *draining*
+//!   state: it keeps pumping the old connection until no snapshot
+//!   chunk train is in flight, then releases it cleanly and redials a
+//!   successor carrying its claims. A drain is a planned handoff — it
+//!   counts in `drains_completed`, never as a resync, and the serial
+//!   stream stays gapless across it;
+//! * **draining connection dies** — the drain degrades to the normal
+//!   fault path: salvage chunk progress, reconnect-with-claims, at
+//!   most one resync.
+//!
+//! Replica *selection* is health-based: when a route has more than one
+//! live candidate, each is probed with an `RZUQ` stats round trip
+//! (tight deadline) and candidates are ranked by the head serials of
+//! the route's own TLDs — failover lands on the freshest replica, not
+//! the next in rotation; ties keep rotation order. Endpoints whose
+//! dial, handshake, or probe fails are sidelined with doubling bounded
+//! backoff, as are replicas whose bootstrap answer is refused as stale
+//! (their next answer would be the same checkpoint — redialling buys
+//! nothing until their head advances). Ordinary stream faults are
+//! *not* sidelined — a cut connection redials immediately to resume
+//! its chunk train — so a dead endpoint costs a bounded dial rate
+//! instead of one dial per pump while a mid-train cut still heals at
+//! full speed.
+//! `tests/routing_faults.rs` is the fault matrix pinning all of the
+//! above.
 //!
 //! # Concurrency architecture and lock hierarchy
 //!
@@ -178,7 +235,7 @@ pub mod transport;
 
 pub use broker::{
     shard_locks_held_by_current_thread, Broker, BrokerConfig, BrokerMessage, BrokerStats,
-    BrokerSubscription, OverflowPolicy, ShardStats, SubWait,
+    BrokerSubscription, OverflowPolicy, ShardStats, SubWait, SubscribeMode,
 };
 pub use feed::UniverseFeed;
 pub use pool::{PublishItem, PublishPool};

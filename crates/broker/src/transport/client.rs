@@ -15,9 +15,9 @@ use super::frame::{FrameConn, TransportError};
 use bytes::Bytes;
 use darkdns_dns::wire::{
     decode_delta_envelope, decode_snapshot_chunk, decode_snapshot_push, decode_stats_report,
-    encode_hello_frame, encode_stats_query, is_evict_notice, DeltaPush, SnapshotChunk,
-    SnapshotResume, StatsReport, TldClaim, DELTA_ENVELOPE_MAGIC, EVICT_NOTICE_MAGIC,
-    SNAPSHOT_CHUNK_MAGIC, SNAPSHOT_PUSH_MAGIC, WireError,
+    encode_hello_scoped, encode_stats_query, is_evict_notice, DeltaPush, HelloScope,
+    SnapshotChunk, SnapshotResume, StatsReport, TldClaim, DELTA_ENVELOPE_MAGIC,
+    EVICT_NOTICE_MAGIC, SNAPSHOT_CHUNK_MAGIC, SNAPSHOT_PUSH_MAGIC, WireError,
 };
 use darkdns_dns::{DomainName, Serial, ZoneSnapshot};
 use darkdns_registry::tld::TldId;
@@ -104,9 +104,23 @@ impl TransportClient {
     /// it restarts the sequence at offset 0 and the stale partial is
     /// discarded on arrival of that first chunk.
     pub fn connect_resuming(
+        conn: impl FrameConn + 'static,
+        claims: &[(TldId, Option<Serial>)],
+        partials: Vec<SnapshotProgress>,
+    ) -> Result<Self, TransportError> {
+        Self::connect_scoped(conn, claims, partials, HelloScope::Full)
+    }
+
+    /// [`TransportClient::connect_resuming`] with an explicit
+    /// subscription scope. [`HelloScope::DeltaOnly`] asks the server for
+    /// a partial subscription: live deltas and ring-covered replay only,
+    /// never a snapshot bootstrap — a claim beyond delta repair starts
+    /// the stream at the server's live head.
+    pub fn connect_scoped(
         mut conn: impl FrameConn + 'static,
         claims: &[(TldId, Option<Serial>)],
         partials: Vec<SnapshotProgress>,
+        scope: HelloScope,
     ) -> Result<Self, TransportError> {
         let wire: Vec<TldClaim> = claims
             .iter()
@@ -114,7 +128,7 @@ impl TransportClient {
             .collect();
         let resume: Vec<(u16, SnapshotResume)> =
             partials.iter().map(|p| (p.tld.0, p.resume_claim())).collect();
-        conn.send_frame(&[&encode_hello_frame(&wire, &resume)])?;
+        conn.send_frame(&[&encode_hello_scoped(&wire, &resume, scope)])?;
         Ok(TransportClient {
             conn: Box::new(conn),
             claims: claims.to_vec(),
@@ -140,6 +154,15 @@ impl TransportClient {
     /// next dial. Leaves this (dead) client with no partial state.
     pub fn take_snapshot_progress(&mut self) -> Vec<SnapshotProgress> {
         std::mem::take(&mut self.partials)
+    }
+
+    /// True while a chunked snapshot bootstrap is in flight on this
+    /// connection — the signal a *drain* waits on: a replica being
+    /// removed from an endpoint map keeps pumping until its chunk train
+    /// completes, so the successor inherits a whole-snapshot claim
+    /// instead of restarting the bootstrap from entry 0.
+    pub fn has_snapshot_in_flight(&self) -> bool {
+        !self.partials.is_empty()
     }
 
     /// Snapshot continuation chunks decoded on this connection (a
@@ -321,9 +344,22 @@ const FETCH_STATS_DEADLINE: Duration = Duration::from_secs(30);
 /// until an overall 30 s deadline, so the subscriber dial pattern —
 /// which configures millisecond receive timeouts — works unchanged for
 /// scraping.
-pub fn fetch_stats(mut conn: impl FrameConn) -> Result<StatsReport, TransportError> {
+pub fn fetch_stats(conn: impl FrameConn) -> Result<StatsReport, TransportError> {
+    fetch_stats_deadline(conn, FETCH_STATS_DEADLINE)
+}
+
+/// [`fetch_stats`] with an explicit overall deadline. Health probes use
+/// this with a tight bound: a replica picker comparing head freshness
+/// across candidates must not hang the failover path for 30 s on one
+/// wedged endpoint — a probe that misses its deadline reports
+/// [`TransportError::TimedOut`] and the picker treats the replica as
+/// unscorable.
+pub fn fetch_stats_deadline(
+    mut conn: impl FrameConn,
+    deadline: Duration,
+) -> Result<StatsReport, TransportError> {
     conn.send_frame(&[&encode_stats_query()])?;
-    let deadline = std::time::Instant::now() + FETCH_STATS_DEADLINE;
+    let deadline = std::time::Instant::now() + deadline;
     loop {
         let frame = match conn.recv_frame() {
             Ok(frame) => frame,

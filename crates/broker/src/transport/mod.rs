@@ -34,9 +34,15 @@
 //!
 //! | magic  | direction        | meaning                                   |
 //! |--------|------------------|-------------------------------------------|
-//! | `RZUH` | client → server  | HELLO: per-TLD serial claims, plus        |
+//! | `RZUH` | client → server  | HELLO: per-TLD serial claims (the claimed |
+//! |        |                  | set doubles as the shard filter), plus    |
 //! |        |                  | optional chunk-resume rows (serial +      |
-//! |        |                  | entries already received) on reconnect    |
+//! |        |                  | entries already received) on reconnect,   |
+//! |        |                  | plus an optional trailing subscription-   |
+//! |        |                  | scope byte (`HelloScope`): Full = legacy  |
+//! |        |                  | bootstrap-then-deltas (byte-identical to  |
+//! |        |                  | the scope-less frame), DeltaOnly = join   |
+//! |        |                  | at the live head, never bootstrap         |
 //! | `RZUS` | server → client  | snapshot bootstrap (catch-up rule 3)      |
 //! | `RZUC` | server → client  | snapshot continuation chunk: servers ship |
 //! |        |                  | every bootstrap as a chunk train so a     |
@@ -88,7 +94,7 @@ mod relay;
 mod ring;
 mod server;
 
-pub use client::{fetch_stats, ClientEvent, SnapshotProgress, TransportClient};
+pub use client::{fetch_stats, fetch_stats_deadline, ClientEvent, SnapshotProgress, TransportClient};
 pub use relay::{RelayHandle, RelayStats};
 pub use darkdns_dns::wire::{StatsReport, WireServerStats, WireShardStats, WireSubscriberStats};
 pub use bytes::Bytes;

@@ -45,11 +45,11 @@ use super::frame::{FrameAssembler, FrameProgress};
 use super::pipe::PipeEnd;
 use super::ring::{CompletedFrame, FlushStatus, FrameKind, OutRing, RingFrame};
 use super::server::{build_stats_report, ConnStatsEntry, ServerInner};
-use crate::broker::{BrokerMessage, BrokerSubscription, SubWaker};
+use crate::broker::{BrokerMessage, BrokerSubscription, SubWaker, SubscribeMode};
 use bytes::Bytes;
 use darkdns_dns::wire::{
     decode_hello_frame, delta_envelope_header, encode_evict_notice, encode_snapshot_chunks,
-    encode_stats_report, is_stats_query, peek_delta_push_serials, SnapshotResume,
+    encode_stats_report, is_stats_query, peek_delta_push_serials, HelloScope, SnapshotResume,
 };
 use darkdns_dns::Serial;
 use darkdns_registry::tld::TldId;
@@ -501,8 +501,15 @@ impl Reactor {
             .collect();
         // Registers under each shard's lock (the connection's one brush
         // with hierarchy level 1): catch-up plan and live registration
-        // are atomic per shard, so the stream starts gap-free.
-        let sub = self.inner.broker.subscribe_with(&claims);
+        // are atomic per shard, so the stream starts gap-free. The
+        // HELLO's scope picks the catch-up contract: a delta-only
+        // partial subscription never gets a checkpoint bootstrap — a
+        // claim beyond delta repair starts at the live head.
+        let mode = match hello.scope {
+            HelloScope::Full => SubscribeMode::Full,
+            HelloScope::DeltaOnly => SubscribeMode::DeltaOnly,
+        };
+        let sub = self.inner.broker.subscribe_scoped(&claims, mode);
         self.inner.stats.handshakes.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(ConnStatsEntry {
             probe: sub.probe(),

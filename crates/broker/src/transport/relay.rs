@@ -33,6 +33,28 @@
 //! local broker only through the public publish/install surface — the
 //! documented lock hierarchy (shard → subscriber queue, reactor below)
 //! is untouched at every tree depth.
+//!
+//! # Shard-filtered relays
+//!
+//! The `tlds` argument of [`BrokerServer::attach_upstream`] is a real
+//! wire-level filter, not a local convenience: the relay's HELLO claims
+//! exactly those shards, the upstream registers the subscription on
+//! those shard queues *only*, and its reactor therefore never composes
+//! a non-matching shard's frame toward this connection. A regional
+//! relay subscribing to 10% of the root's TLDs costs 10% of the
+//! per-link bytes (the `relay/filtered` bench gauges this), and the
+//! verbatim re-serve invariant holds unchanged for the subscribed
+//! subset — leaves below a filtered relay still see the root's exact
+//! `RZU1` bytes for every TLD the relay carries. A fault on a filtered
+//! link heals with claims for the subscribed subset alone: the resync
+//! never touches shards the relay does not carry.
+//!
+//! Relays always subscribe with the full catch-up scope. The wire's
+//! delta-only partial subscription
+//! ([`darkdns_dns::wire::HelloScope::DeltaOnly`]) is for stateless
+//! *tap* consumers (an NRD watcher that only cares about churn going
+//! forward): a relay must be able to re-serve bootstraps, and a
+//! delta-only relay with no local state would gap forever.
 
 use super::frame::{FrameConn, TransportError};
 use super::server::BrokerServer;
@@ -70,6 +92,15 @@ pub struct RelayStats {
     /// Snapshot continuation chunks received from upstream (pins that
     /// a resumed bootstrap skipped the chunks it already had).
     pub snapshot_chunks: u64,
+    /// Dial attempts that failed outright (connection refused, dead
+    /// endpoint) — the "why" behind a slow resync: many dial failures
+    /// with few resyncs means the upstream was unreachable, not that
+    /// the stream was faulty.
+    pub dial_failures: u64,
+    /// Established streams that died (peer closed, eviction, corrupt
+    /// frame, or a gap that forced a redial) — each precedes at most
+    /// one resync.
+    pub stream_faults: u64,
 }
 
 #[derive(Default)]
@@ -80,6 +111,8 @@ struct RelayShared {
     frames_skipped: AtomicU64,
     snapshots_installed: AtomicU64,
     snapshot_chunks: AtomicU64,
+    dial_failures: AtomicU64,
+    stream_faults: AtomicU64,
     connected: AtomicBool,
 }
 
@@ -102,6 +135,8 @@ impl RelayHandle {
             frames_skipped: s.frames_skipped.load(Ordering::Relaxed),
             snapshots_installed: s.snapshots_installed.load(Ordering::Relaxed),
             snapshot_chunks: s.snapshot_chunks.load(Ordering::Relaxed),
+            dial_failures: s.dial_failures.load(Ordering::Relaxed),
+            stream_faults: s.stream_faults.load(Ordering::Relaxed),
         }
     }
 
@@ -152,6 +187,7 @@ impl BrokerServer {
                 let conn = match dial() {
                     Ok(conn) => conn,
                     Err(_) => {
+                        shared.dial_failures.fetch_add(1, Ordering::Relaxed);
                         std::thread::sleep(backoff);
                         backoff = (backoff * 2).min(BACKOFF_CEIL);
                         continue;
@@ -161,6 +197,7 @@ impl BrokerServer {
                     match TransportClient::connect_resuming(conn, &claims, std::mem::take(&mut partials)) {
                         Ok(client) => client,
                         Err(_) => {
+                            shared.dial_failures.fetch_add(1, Ordering::Relaxed);
                             std::thread::sleep(backoff);
                             backoff = (backoff * 2).min(BACKOFF_CEIL);
                             continue;
@@ -206,6 +243,11 @@ impl BrokerServer {
                 let chunks = client.snapshot_chunks_received();
                 shared.snapshot_chunks.fetch_add(chunks - last_chunks, Ordering::Relaxed);
                 healing = !reactor.stop.load(Ordering::Relaxed);
+                if healing {
+                    // The established stream died (as opposed to a dial
+                    // that never connected): record the failover reason.
+                    shared.stream_faults.fetch_add(1, Ordering::Relaxed);
+                }
             }
         });
         self.inner.threads.lock().push(thread);

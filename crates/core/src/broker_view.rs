@@ -30,8 +30,10 @@
 //! publishers stop moving once they are done. Pinned by the threaded
 //! convergence proptest in `tests/proptest_broker.rs`.
 
+use std::time::{Duration, Instant};
+
 use darkdns_broker::transport::{
-    ClientEvent, FrameConn, SnapshotProgress, TransportClient, TransportError,
+    fetch_stats_deadline, ClientEvent, FrameConn, SnapshotProgress, TransportClient, TransportError,
 };
 use darkdns_broker::{Broker, BrokerMessage, BrokerSubscription};
 use darkdns_dns::hash::NameMap;
@@ -450,14 +452,21 @@ pub struct EndpointRoute<E> {
 /// (e.g. regional relay nodes re-serving the same root). `E` is
 /// whatever identifies an endpoint to the dial closure — a
 /// `SocketAddr` in deployments, a pipe index in tests.
+///
+/// The map carries a **generation counter**: every mutation bumps it,
+/// and a consumer ([`RoutedZoneView::apply_endpoint_update`]) applies a
+/// replacement map only when its generation is strictly newer — a
+/// reordered or duplicated control-plane update can never roll a fleet
+/// back to an older topology.
 #[derive(Debug, Clone, Default)]
 pub struct EndpointMap<E> {
     routes: Vec<EndpointRoute<E>>,
+    generation: u64,
 }
 
 impl<E> EndpointMap<E> {
     pub fn new() -> Self {
-        EndpointMap { routes: Vec::new() }
+        EndpointMap { routes: Vec::new(), generation: 0 }
     }
 
     /// Add a route serving `tlds` from `replicas` (preference order).
@@ -474,6 +483,43 @@ impl<E> EndpointMap<E> {
             );
         }
         self.routes.push(EndpointRoute { tlds, replicas });
+        self.generation += 1;
+    }
+
+    /// Append a replica to `route`'s list (it becomes the
+    /// least-preferred candidate until health probes say otherwise).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range route index.
+    pub fn add_replica(&mut self, route: usize, endpoint: E) {
+        self.routes[route].replicas.push(endpoint);
+        self.generation += 1;
+    }
+
+    /// Remove (drain) `route`'s replica at `index`, returning it. A
+    /// consumer applying the updated map finishes the drained replica's
+    /// in-flight work before switching — see
+    /// [`RoutedZoneView::apply_endpoint_update`].
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index, or when the replica is the
+    /// route's last — a route must always have at least one endpoint.
+    pub fn remove_replica(&mut self, route: usize, index: usize) -> E {
+        assert!(
+            self.routes[route].replicas.len() > 1,
+            "cannot drain a route's last replica"
+        );
+        let endpoint = self.routes[route].replicas.remove(index);
+        self.generation += 1;
+        endpoint
+    }
+
+    /// The map's mutation generation: 0 for an empty map, bumped by
+    /// every [`EndpointMap::add_route`] / [`EndpointMap::add_replica`] /
+    /// [`EndpointMap::remove_replica`]. Strictly monotone over any
+    /// update sequence.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     pub fn routes(&self) -> &[EndpointRoute<E>] {
@@ -491,6 +537,90 @@ impl<E> EndpointMap<E> {
     }
 }
 
+/// Observer hook for [`RoutedZoneView::pump_with`]: called with every
+/// message the shared view *accepts*, immediately after it is applied.
+/// Rejected messages (non-chaining deltas, stale snapshots) never reach
+/// the sink, so a sink mirrors exactly the view's applied history. The
+/// edge tier uses this to mirror the routed stream into its epoch-swap
+/// query index without duplicating any routing machinery; the plain
+/// [`RoutedZoneView::pump`] uses the no-op impl on `()`.
+pub trait RouteSink {
+    /// The view just adopted `snapshot` as `tld`'s state.
+    fn on_snapshot(&mut self, tld: TldId, snapshot: &ZoneSnapshot) {
+        let _ = (tld, snapshot);
+    }
+    /// The view just applied `push` to `tld`; `state` is the post-apply
+    /// zone state.
+    fn on_delta(&mut self, tld: TldId, state: &ZoneSnapshot, push: &DeltaPush) {
+        let _ = (tld, state, push);
+    }
+}
+
+impl RouteSink for () {}
+
+/// How long a health probe waits for the RZUQ stats round-trip before
+/// writing the replica off as unscorable this round.
+const PROBE_DEADLINE: Duration = Duration::from_millis(400);
+/// Dead-replica backoff bounds: the `n`-th consecutive dial/handshake/
+/// probe failure sidelines the replica for `floor << (n-1)`, capped at
+/// the ceiling. Backoff bounds dial *frequency* toward a dead endpoint
+/// — a route whose every replica is down waits for the earliest window
+/// to expire instead of dialling each pump — and the windows are
+/// time-bounded, so the route is never forfeited.
+const DEAD_BACKOFF_FLOOR: Duration = Duration::from_millis(50);
+const DEAD_BACKOFF_CEIL: Duration = Duration::from_secs(2);
+
+/// Per-replica health state of one route.
+#[derive(Debug, Clone, Default)]
+struct ReplicaHealth {
+    /// Consecutive dial/handshake/probe failures; cleared by any
+    /// success against this replica.
+    fail_streak: u32,
+    /// Dead-with-backoff: skip this replica in candidate selection
+    /// until the instant passes.
+    down_until: Option<Instant>,
+    /// Most recent probe score (summed head serials over the route's
+    /// TLDs); `None` until probed, or after any failure.
+    score: Option<u64>,
+}
+
+impl ReplicaHealth {
+    fn is_down(&self, now: Instant) -> bool {
+        self.down_until.is_some_and(|until| now < until)
+    }
+
+    fn note_failure(&mut self, now: Instant) {
+        self.fail_streak = self.fail_streak.saturating_add(1);
+        let shift = (self.fail_streak - 1).min(8);
+        let backoff = DEAD_BACKOFF_FLOOR.saturating_mul(1u32 << shift).min(DEAD_BACKOFF_CEIL);
+        self.down_until = Some(now + backoff);
+        self.score = None;
+    }
+
+    fn note_success(&mut self) {
+        self.fail_streak = 0;
+        self.down_until = None;
+    }
+}
+
+/// One route's health and rotation state, as reported by
+/// [`RoutedZoneView::route_status`] — the staleness / failover-reason
+/// surface fleet dashboards (and the RZUQ aggregation walker) read.
+#[derive(Debug, Clone)]
+pub struct RouteStatus {
+    /// Replica index the route is (or will next be) dialled at.
+    pub cursor: usize,
+    pub connected: bool,
+    /// A newer endpoint map drained the connected replica; the route is
+    /// finishing in-flight work before switching.
+    pub draining: bool,
+    /// Last health-probe score per replica (summed head serials over
+    /// the route's TLDs); `None` = never probed, or failed since.
+    pub probe_scores: Vec<Option<u64>>,
+    /// Replicas currently sitting out a dead-with-backoff window.
+    pub dead: Vec<bool>,
+}
+
 /// Per-route connection state of a [`RoutedZoneView`].
 struct RouteConn {
     /// Which replica the route is (or will next be) dialled at.
@@ -505,16 +635,35 @@ struct RouteConn {
     healing: bool,
     /// Chunks received on connections this route has already retired.
     retired_chunks: u64,
+    /// Set when an endpoint update drained the connected replica: keep
+    /// pumping until no chunk train is in flight, then switch cleanly.
+    draining: bool,
+    /// Health state, index-aligned with the route's replica list.
+    health: Vec<ReplicaHealth>,
 }
 
 /// A [`BrokerZoneView`] spanning a **partitioned, replicated** broker
 /// fleet: one upstream connection per [`EndpointMap`] route, all
 /// feeding one shared view. Faults heal per route — reconnect carries
 /// that route's per-TLD claims (and chunked-bootstrap progress), and a
-/// connect or stream error fails over to the next replica in the
-/// route's list. [`BrokerZoneView::resync_count`] still counts exactly
-/// the successful post-fault reconnects, fleet-wide;
+/// connect or stream error fails over across the route's replica list.
+/// [`BrokerZoneView::resync_count`] still counts exactly the successful
+/// post-fault reconnects, fleet-wide;
 /// [`RoutedZoneView::failover_count`] counts replica switches.
+///
+/// Replica selection is **health-based**, not blind rotation: whenever
+/// a route with more than one live candidate must (re)connect, each
+/// candidate is probed over the transport's RZUQ stats dialect and the
+/// dial order becomes freshest-head-first (ties keep rotation order).
+/// Replicas that refuse a dial, handshake, or probe — or that answer
+/// with a checkpoint older than the view (a still-catching-up replica
+/// whose next answer would be the same stale bytes) — are sidelined
+/// dead-with-backoff so a permanently dead endpoint costs a bounded
+/// dial rate, not one dial per rotation. Topology changes arrive as
+/// whole replacement maps through
+/// [`RoutedZoneView::apply_endpoint_update`] — generation-gated, with
+/// graceful per-route drains — so a running fleet consumer never
+/// restarts to track them.
 pub struct RoutedZoneView<E, D>
 where
     D: FnMut(&E) -> Result<Box<dyn FrameConn>, TransportError>,
@@ -524,6 +673,17 @@ where
     conns: Vec<RouteConn>,
     dial: D,
     failovers: u64,
+    /// Failed dial attempts (refused connections), including probe
+    /// dials — the "replica unreachable" failover reason.
+    dial_failures: u64,
+    /// Established streams retired by a fault (eviction, cut, bad
+    /// delta, stale snapshot) — the "stream fault" failover reason.
+    stream_faults: u64,
+    /// Planned drain handoffs completed without a resync.
+    drains: u64,
+    /// Checkpoint snapshots refused for being older than the fleet
+    /// view — the stale-replica guard.
+    stale_snapshots: u64,
 }
 
 impl<E, D> RoutedZoneView<E, D>
@@ -538,12 +698,14 @@ where
         let conns = map
             .routes()
             .iter()
-            .map(|_| RouteConn {
+            .map(|r| RouteConn {
                 cursor: 0,
                 client: None,
                 partials: Vec::new(),
                 healing: false,
                 retired_chunks: 0,
+                draining: false,
+                health: vec![ReplicaHealth::default(); r.replicas.len()],
             })
             .collect();
         let mut routed = RoutedZoneView {
@@ -552,6 +714,10 @@ where
             conns,
             dial,
             failovers: 0,
+            dial_failures: 0,
+            stream_faults: 0,
+            drains: 0,
+            stale_snapshots: 0,
         };
         for i in 0..routed.conns.len() {
             routed.reconnect_route(i)?;
@@ -568,15 +734,86 @@ where
             .collect()
     }
 
-    /// Dial `route`, starting at its cursor and failing over across the
-    /// replica list (each switch counted). Errs when every replica
-    /// refused — the next pump retries from the same cursor.
+    /// RZUQ-probe `route`'s replica `at` and score it: the sum of the
+    /// reported head serials over the route's TLDs (shards the replica
+    /// does not serve contribute 0, so a filtered or lagging relay
+    /// scores below a full mirror). Any failure marks the replica
+    /// dead-with-backoff and returns `None`.
+    fn probe_replica(&mut self, route: usize, at: usize) -> Option<u64> {
+        let endpoint = &self.map.routes()[route].replicas[at];
+        let conn = match (self.dial)(endpoint) {
+            Ok(conn) => conn,
+            Err(_) => {
+                self.dial_failures += 1;
+                self.conns[route].health[at].note_failure(Instant::now());
+                return None;
+            }
+        };
+        let report = match fetch_stats_deadline(conn, PROBE_DEADLINE) {
+            Ok(report) => report,
+            Err(_) => {
+                self.conns[route].health[at].note_failure(Instant::now());
+                return None;
+            }
+        };
+        let score = self.map.routes()[route]
+            .tlds
+            .iter()
+            .map(|tld| {
+                report
+                    .shards
+                    .iter()
+                    .find(|s| s.tld == tld.0)
+                    .map_or(0, |s| u64::from(s.head_serial.0))
+            })
+            .sum();
+        let health = &mut self.conns[route].health[at];
+        health.score = Some(score);
+        health.note_success();
+        Some(score)
+    }
+
+    /// Build `route`'s dial order. Rotation from the cursor is the base
+    /// order; replicas inside a dead-with-backoff window are skipped.
+    /// With more than one live candidate, each is health-probed and the
+    /// order becomes score-descending — freshest head first — with a
+    /// **stable** sort, so equal-score replicas keep rotation order and
+    /// the cursor's replica wins ties. A lone live candidate is
+    /// returned un-probed (no extra dial on the single-replica path),
+    /// and with zero live candidates the order is empty: the route sits
+    /// out the reconnect until the earliest backoff window expires, so
+    /// a fully-dead replica set costs a bounded dial rate (the backoff
+    /// ceiling), never one dial per pump. Backoff windows are
+    /// time-bounded, so the route is never forfeited.
+    fn candidate_order(&mut self, route: usize) -> Vec<usize> {
+        let replicas = self.map.routes()[route].replicas.len();
+        let cursor = self.conns[route].cursor % replicas;
+        let rotation: Vec<usize> = (0..replicas).map(|i| (cursor + i) % replicas).collect();
+        let now = Instant::now();
+        let alive: Vec<usize> = rotation
+            .into_iter()
+            .filter(|&at| !self.conns[route].health[at].is_down(now))
+            .collect();
+        if alive.len() == 1 {
+            return alive;
+        }
+        let mut scored: Vec<(usize, u64)> = alive
+            .into_iter()
+            .filter_map(|at| self.probe_replica(route, at).map(|score| (at, score)))
+            .collect();
+        scored.sort_by(|a, b| b.1.cmp(&a.1));
+        scored.into_iter().map(|(at, _)| at).collect()
+    }
+
+    /// Dial `route` along its health-ordered candidate list (see
+    /// [`RoutedZoneView::candidate_order`]), counting every candidate
+    /// moved past as a failover. Errs when no candidate accepted — the
+    /// next pump retries, rate-limited by each replica's backoff.
     fn reconnect_route(&mut self, route: usize) -> Result<(), TransportError> {
         let claims = self.route_claims(route);
-        let replicas = self.map.routes()[route].replicas.len();
+        let order = self.candidate_order(route);
         let mut last_err = TransportError::Closed;
-        for attempt in 0..replicas {
-            let at = (self.conns[route].cursor + attempt) % replicas;
+        for (attempt, at) in order.into_iter().enumerate() {
             if attempt > 0 {
                 self.failovers += 1;
             }
@@ -584,6 +821,8 @@ where
             let conn = match (self.dial)(endpoint) {
                 Ok(conn) => conn,
                 Err(e) => {
+                    self.dial_failures += 1;
+                    self.conns[route].health[at].note_failure(Instant::now());
                     last_err = e;
                     continue;
                 }
@@ -592,6 +831,7 @@ where
             match TransportClient::connect_resuming(conn, &claims, partials) {
                 Ok(client) => {
                     let rc = &mut self.conns[route];
+                    rc.health[at].note_success();
                     rc.cursor = at;
                     rc.client = Some(client);
                     if rc.healing {
@@ -601,6 +841,7 @@ where
                     return Ok(());
                 }
                 Err(e) => {
+                    self.conns[route].health[at].note_failure(Instant::now());
                     last_err = e;
                 }
             }
@@ -617,20 +858,55 @@ where
         if let Some(mut client) = rc.client.take() {
             rc.retired_chunks += client.snapshot_chunks_received();
             rc.partials = client.take_snapshot_progress();
+            self.stream_faults += 1;
         }
         rc.healing = true;
+        rc.draining = false;
         if replicas > 1 {
             rc.cursor = (rc.cursor + 1) % replicas;
             self.failovers += 1;
         }
     }
 
+    /// Finish a planned drain if the route is ready: once no snapshot
+    /// chunk train is in flight, the old connection is released cleanly
+    /// (nothing to salvage, nothing to heal — **not** a resync) and the
+    /// route redials, which lands on the healthiest successor carrying
+    /// the view's claims. Returns whether the handoff happened.
+    fn try_finish_drain(&mut self, route: usize) -> bool {
+        let rc = &mut self.conns[route];
+        if !rc.draining {
+            return false;
+        }
+        let mid_train =
+            rc.client.as_ref().is_some_and(|client| client.has_snapshot_in_flight());
+        if mid_train {
+            return false;
+        }
+        if let Some(client) = rc.client.take() {
+            rc.retired_chunks += client.snapshot_chunks_received();
+        }
+        rc.draining = false;
+        self.drains += 1;
+        true
+    }
+
     /// Pump one route for up to `budget` events. Returns the number
     /// applied; sets `progressed` when anything happened (so the outer
     /// loop knows the fleet has gone idle).
-    fn pump_route(&mut self, route: usize, budget: usize, progressed: &mut bool) -> usize {
+    fn pump_route(
+        &mut self,
+        route: usize,
+        budget: usize,
+        progressed: &mut bool,
+        sink: &mut impl RouteSink,
+    ) -> usize {
         let mut applied = 0;
         while applied < budget {
+            if self.try_finish_drain(route) {
+                *progressed = true;
+                continue;
+            }
             if self.conns[route].client.is_none() {
                 if self.reconnect_route(route).is_err() {
                     return applied;
@@ -642,12 +918,44 @@ where
             match event {
                 ClientEvent::Idle => break,
                 ClientEvent::Snapshot { tld, snapshot } => {
-                    self.view.ingest_snapshot(tld, snapshot);
+                    // A replica answering with a checkpoint older than
+                    // what the fleet already applied is stale (e.g. a
+                    // just-added, still-catching-up relay): adopting it
+                    // would time-travel the shared view. Refuse it and
+                    // retire the route; the health-ordered redial finds
+                    // a fresher replica, or the same one once its head
+                    // catches up. Unlike an ordinary stream fault, the
+                    // replica is also sidelined dead-with-backoff: it
+                    // answered in good health with a checkpoint it
+                    // *cannot* better until its own feed advances, so
+                    // an immediate redial is guaranteed to fetch the
+                    // same stale bytes again — without the backoff a
+                    // route whose only live replica lags the view spins
+                    // a reconnect-refuse hot loop instead of idling.
+                    if self
+                        .view
+                        .serial(tld)
+                        .is_some_and(|have| have.is_newer_than(snapshot.serial()))
+                    {
+                        self.stale_snapshots += 1;
+                        let at = self.conns[route].cursor;
+                        self.conns[route].health[at].note_failure(Instant::now());
+                        self.retire_route(route);
+                        *progressed = true;
+                        continue;
+                    }
+                    // The snapshot is Arc-shared columnar state; the
+                    // clone is two pointer copies.
+                    self.view.ingest_snapshot(tld, snapshot.clone());
+                    sink.on_snapshot(tld, &snapshot);
                     applied += 1;
                     *progressed = true;
                 }
                 ClientEvent::Delta { tld, push, .. } => {
                     if self.view.ingest_delta(tld, &push) {
+                        let state =
+                            self.view.snapshot(tld).expect("delta only chains on a bootstrap");
+                        sink.on_delta(tld, state, &push);
                         applied += 1;
                         *progressed = true;
                     } else {
@@ -668,11 +976,19 @@ where
     /// visiting every route and healing faults per route as they
     /// surface. Returns the number of events applied.
     pub fn pump(&mut self, max_events: usize) -> usize {
+        self.pump_with(max_events, &mut ())
+    }
+
+    /// [`RoutedZoneView::pump`] with an observer: `sink` sees every
+    /// message the shared view accepts, immediately post-apply. The
+    /// edge tier mirrors the routed stream into its epoch-swap index
+    /// through this — one routing implementation, two consumers.
+    pub fn pump_with(&mut self, max_events: usize, sink: &mut impl RouteSink) -> usize {
         let mut applied = 0;
         loop {
             let mut progressed = false;
             for route in 0..self.conns.len() {
-                applied += self.pump_route(route, max_events - applied, &mut progressed);
+                applied += self.pump_route(route, max_events - applied, &mut progressed, sink);
                 if applied >= max_events {
                     return applied;
                 }
@@ -704,11 +1020,119 @@ where
         }
     }
 
+    /// Swap in a newer [`EndpointMap`] **without restarting consumers**.
+    ///
+    /// Returns `false` (a no-op) unless `new`'s generation is strictly
+    /// newer than the current map's — duplicated or reordered control-
+    /// plane updates can never roll the fleet back. The update may add
+    /// replicas to a route or drain (remove) them; the TLD partition
+    /// itself must stay identical, because the shared view's TLD
+    /// universe is fixed at [`RoutedZoneView::connect`] time.
+    ///
+    /// Per route:
+    /// * the connected replica is still listed → the connection is
+    ///   kept; only the cursor moves to the replica's new index;
+    /// * the connected replica was drained → the route keeps pumping
+    ///   until no snapshot chunk train is in flight, then hands off to
+    ///   a successor carrying its claims. A drain is a planned handoff,
+    ///   not a fault: it counts under
+    ///   [`RoutedZoneView::drains_completed`], never as a resync. (A
+    ///   connection that *dies* mid-drain takes the normal fault path —
+    ///   salvaged chunk progress, at most one resync.)
+    ///
+    /// Health state is reset for the new replica lists; a previously
+    /// dead replica gets one fresh dial before backoff re-arms.
+    ///
+    /// # Panics
+    /// Panics when `new` repartitions TLDs across routes.
+    pub fn apply_endpoint_update(&mut self, new: EndpointMap<E>) -> bool
+    where
+        E: PartialEq,
+    {
+        if new.generation() <= self.map.generation() {
+            return false;
+        }
+        assert_eq!(
+            new.routes().len(),
+            self.map.routes().len(),
+            "an endpoint update may change replicas, not the route partition"
+        );
+        for (old_route, new_route) in self.map.routes().iter().zip(new.routes()) {
+            assert_eq!(
+                old_route.tlds, new_route.tlds,
+                "an endpoint update may change replicas, not the TLD partition"
+            );
+        }
+        let old = std::mem::replace(&mut self.map, new);
+        for (route, rc) in self.conns.iter_mut().enumerate() {
+            let new_replicas = &self.map.routes[route].replicas;
+            rc.health = vec![ReplicaHealth::default(); new_replicas.len()];
+            if rc.client.is_some() {
+                let current = &old.routes[route].replicas[rc.cursor];
+                match new_replicas.iter().position(|e| e == current) {
+                    Some(at) => {
+                        rc.cursor = at;
+                        rc.draining = false;
+                    }
+                    None => {
+                        rc.cursor = 0;
+                        rc.draining = true;
+                    }
+                }
+            } else {
+                rc.cursor = rc.cursor.min(new_replicas.len() - 1);
+                rc.draining = false;
+            }
+        }
+        true
+    }
+
+    /// Per-route health and rotation status — the staleness/failover
+    /// surface fleet dashboards read alongside the RZUQ shard stats.
+    pub fn route_status(&self) -> Vec<RouteStatus> {
+        self.conns
+            .iter()
+            .map(|rc| RouteStatus {
+                cursor: rc.cursor,
+                connected: rc.client.is_some(),
+                draining: rc.draining,
+                probe_scores: rc.health.iter().map(|h| h.score).collect(),
+                dead: {
+                    let now = Instant::now();
+                    rc.health.iter().map(|h| h.is_down(now)).collect()
+                },
+            })
+            .collect()
+    }
+
     /// Replica switches so far, fleet-wide: every dial attempt that
     /// moved past a replica (connect refused) and every post-fault
     /// redial pointed at the next replica.
     pub fn failover_count(&self) -> u64 {
         self.failovers
+    }
+
+    /// Failed dial attempts fleet-wide, probes included — the
+    /// "replica unreachable" failover reason.
+    pub fn dial_failures(&self) -> u64 {
+        self.dial_failures
+    }
+
+    /// Established streams retired by a fault (eviction, cut, bad
+    /// delta, stale snapshot) — the "stream fault" failover reason.
+    pub fn stream_faults(&self) -> u64 {
+        self.stream_faults
+    }
+
+    /// Planned drain handoffs completed cleanly (no resync).
+    pub fn drains_completed(&self) -> u64 {
+        self.drains
+    }
+
+    /// Checkpoint snapshots refused for being older than the fleet
+    /// view — how often the stale-replica guard fired.
+    pub fn stale_snapshots_refused(&self) -> u64 {
+        self.stale_snapshots
     }
 
     /// Snapshot continuation chunks received across every route and

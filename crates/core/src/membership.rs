@@ -18,7 +18,8 @@
 //! | [`UniverseZoneView`] | RZU push cadence | in-process borrow | ground-truth reference runs; the direct backend of the cross-backend equivalence tests |
 //! | [`BrokerZoneView`] | RZU push cadence | same process as the broker | single-host streaming deployments; zero serialization on the snapshot path |
 //! | [`RemoteZoneView`] | RZU push cadence + socket latency | anywhere a TCP dial reaches | fleet consumers; reconnect-with-claims fault recovery built in |
-//! | [`RoutedZoneView`](crate::broker_view::RoutedZoneView) | RZU push cadence + socket latency | anywhere a TCP dial reaches; one conn per [`EndpointMap`](crate::broker_view::EndpointMap) route | TLD universes partitioned across several brokers (or relay trees); per-route replica failover, claims preserved across failover |
+//! | [`RoutedZoneView`](crate::broker_view::RoutedZoneView) | RZU push cadence + socket latency | anywhere a TCP dial reaches; one conn per [`EndpointMap`](crate::broker_view::EndpointMap) route | TLD universes partitioned across several brokers (or relay trees); health-scored replica failover (`RZUQ` probes prefer the freshest head, dead endpoints dial at a backed-off rate), generation-gated live endpoint updates (replicas added or drained without restarting the view), claims preserved across every switch |
+//! | filtered relay (`BrokerServer::attach_upstream`) | RZU push cadence + one relay hop per tier | the relay re-serves in its own process | narrowing a universe down a fan-out tree: a relay's scoped `RZUH` subscribes only its TLD subset, so non-subset shards never cross its upstream link, and subset frames re-serve byte-identical |
 //! | `darkdns_edge::EdgeClient` | RZU push cadence + one edge feed hop | anywhere a TCP dial reaches; no local replica, O(1) memory | query-only thin clients; batched lookups answered from one shared `EdgeIndex` whose read path takes no shard publish locks; replica-list endpoint failover with bounded backoff built in |
 //!
 //! All push-cadence backends answer identically for the same feed at

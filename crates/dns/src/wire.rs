@@ -809,13 +809,53 @@ pub struct SnapshotResume {
     pub entries: u32,
 }
 
+/// A subscriber's catch-up scope, carried in the HELLO's optional scope
+/// section. The scope answers one question per connection: what may the
+/// server send to bring the subscriber's claimed shards to the head?
+///
+/// * [`HelloScope::Full`] — the legacy (and default) contract: the
+///   server applies the complete snapshot-vs-delta decision rule, so a
+///   claim beyond delta repair triggers a checkpoint bootstrap.
+/// * [`HelloScope::DeltaOnly`] — a *partial subscription* in the
+///   MoQ-relay sense: the subscriber wants the live delta stream and
+///   ring-covered replay only, never a snapshot. A claim the ring cannot
+///   cover starts at the live head instead of bootstrapping — the right
+///   contract for tap consumers (an NRD detector watching for new
+///   delegations) that carry no full-zone state and must not pay a
+///   500k-entry bootstrap to start listening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HelloScope {
+    #[default]
+    Full,
+    DeltaOnly,
+}
+
+impl HelloScope {
+    fn to_wire(self) -> u8 {
+        match self {
+            HelloScope::Full => 0,
+            HelloScope::DeltaOnly => 1,
+        }
+    }
+
+    fn from_wire(byte: u8) -> Result<Self, WireError> {
+        match byte {
+            0 => Ok(HelloScope::Full),
+            1 => Ok(HelloScope::DeltaOnly),
+            _ => Err(WireError::BadMagic),
+        }
+    }
+}
+
 /// A decoded HELLO: the per-TLD serial claims plus any mid-snapshot
 /// resume claims appended by a subscriber that was cut during a chunked
-/// bootstrap.
+/// bootstrap, plus the subscription scope (absent on legacy frames,
+/// defaulting to [`HelloScope::Full`]).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HelloFrame {
     pub claims: Vec<TldClaim>,
     pub resume: Vec<(u16, SnapshotResume)>,
+    pub scope: HelloScope,
 }
 
 /// Encode a HELLO with optional mid-snapshot resume claims.
@@ -825,9 +865,26 @@ pub struct HelloFrame {
 /// `u16` resume count and per row `u16` TLD, `u32` snapshot serial,
 /// `u32` entries-received (10 bytes each).
 pub fn encode_hello_frame(claims: &[TldClaim], resume: &[(u16, SnapshotResume)]) -> Bytes {
+    encode_hello_scoped(claims, resume, HelloScope::Full)
+}
+
+/// Encode a HELLO with resume claims and an explicit subscription scope.
+///
+/// With the default [`HelloScope::Full`] scope the scope section is
+/// omitted entirely, so the output is byte-identical to
+/// [`encode_hello_frame`] (and, with `resume` also empty, to the legacy
+/// [`encode_hello`] layout). A non-default scope appends the resume
+/// section unconditionally (count 0 if empty) followed by one scope
+/// byte — old decoders reject the frame rather than silently serving a
+/// full bootstrap to a delta-only subscriber.
+pub fn encode_hello_scoped(
+    claims: &[TldClaim],
+    resume: &[(u16, SnapshotResume)],
+    scope: HelloScope,
+) -> Bytes {
     debug_assert!(claims.len() <= u16::MAX as usize);
     debug_assert!(resume.len() <= u16::MAX as usize);
-    let mut buf = BytesMut::with_capacity(6 + claims.len() * 7 + 2 + resume.len() * 10);
+    let mut buf = BytesMut::with_capacity(6 + claims.len() * 7 + 2 + resume.len() * 10 + 1);
     buf.put_slice(HELLO_MAGIC);
     buf.put_u16(claims.len() as u16);
     for claim in claims {
@@ -843,7 +900,7 @@ pub fn encode_hello_frame(claims: &[TldClaim], resume: &[(u16, SnapshotResume)])
             }
         }
     }
-    if !resume.is_empty() {
+    if !resume.is_empty() || scope != HelloScope::Full {
         buf.put_u16(resume.len() as u16);
         for &(tld, r) in resume {
             buf.put_u16(tld);
@@ -851,14 +908,18 @@ pub fn encode_hello_frame(claims: &[TldClaim], resume: &[(u16, SnapshotResume)])
             buf.put_u32(r.entries);
         }
     }
+    if scope != HelloScope::Full {
+        buf.put_u8(scope.to_wire());
+    }
     buf.freeze()
 }
 
-/// Decode a HELLO, accepting both the legacy layout (claims only — the
-/// resume section is simply absent) and the extended layout produced by
-/// [`encode_hello_frame`]. Both counts are untrusted and bounded before
-/// any allocation is sized from them; the entire buffer must be
-/// consumed.
+/// Decode a HELLO, accepting the legacy layout (claims only — the
+/// resume and scope sections are simply absent), the resume-extended
+/// layout of [`encode_hello_frame`], and the scoped layout of
+/// [`encode_hello_scoped`]. All counts are untrusted and bounded before
+/// any allocation is sized from them; an unknown scope byte is
+/// rejected, and the entire buffer must be consumed.
 pub fn decode_hello_frame(bytes: &[u8]) -> Result<HelloFrame, WireError> {
     let mut dec = Decoder { bytes, pos: 0 };
     if dec.take(4)? != HELLO_MAGIC {
@@ -879,6 +940,7 @@ pub fn decode_hello_frame(bytes: &[u8]) -> Result<HelloFrame, WireError> {
         });
     }
     let mut resume = Vec::new();
+    let mut scope = HelloScope::Full;
     if dec.remaining() > 0 {
         let rcount = dec.u16()? as usize;
         if rcount.checked_mul(10).is_none_or(|need| need > dec.remaining()) {
@@ -891,11 +953,14 @@ pub fn decode_hello_frame(bytes: &[u8]) -> Result<HelloFrame, WireError> {
             let entries = dec.u32()?;
             resume.push((tld, SnapshotResume { serial, entries }));
         }
+        if dec.remaining() > 0 {
+            scope = HelloScope::from_wire(dec.u8()?)?;
+        }
     }
     if dec.pos != bytes.len() {
         return Err(WireError::TrailingBytes(bytes.len() - dec.pos));
     }
-    Ok(HelloFrame { claims, resume })
+    Ok(HelloFrame { claims, resume, scope })
 }
 
 /// Encode a shard bootstrap snapshot for the transport.
@@ -1954,11 +2019,47 @@ mod tests {
         let mut frame =
             encode_hello_frame(&[], &[(1, SnapshotResume { serial: Serial::new(1), entries: 1 })])
                 .to_vec();
+        // One trailing byte after the resume rows is a scope byte — an
+        // unknown scope value is rejected outright.
+        frame.push(9);
+        assert_eq!(decode_hello_frame(&frame), Err(WireError::BadMagic));
+        // Bytes *after* a valid scope byte are trailing garbage.
+        frame.pop();
+        frame.push(0);
         frame.push(0);
         assert_eq!(decode_hello_frame(&frame), Err(WireError::TrailingBytes(1)));
         let mut oversized = encode_hello(&[]).to_vec();
         oversized.extend_from_slice(&u16::MAX.to_be_bytes()); // resume count
         assert_eq!(decode_hello_frame(&oversized), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn hello_scope_round_trips_and_full_scope_stays_legacy_identical() {
+        let claims = vec![TldClaim { tld: 3, from_serial: Some(Serial::new(7)) }];
+        // Full scope emits no scope section: byte-identical to the
+        // unscoped encoder at every resume arity.
+        assert_eq!(
+            encode_hello_scoped(&claims, &[], HelloScope::Full),
+            encode_hello_frame(&claims, &[])
+        );
+        let resume = vec![(3u16, SnapshotResume { serial: Serial::new(7), entries: 64 })];
+        assert_eq!(
+            encode_hello_scoped(&claims, &resume, HelloScope::Full),
+            encode_hello_frame(&claims, &resume)
+        );
+
+        // Delta-only round-trips with and without resume rows; the
+        // resume section is forced (count 0) so the scope byte is
+        // unambiguous.
+        for resume in [&[][..], &resume[..]] {
+            let frame = encode_hello_scoped(&claims, resume, HelloScope::DeltaOnly);
+            let decoded = decode_hello_frame(&frame).unwrap();
+            assert_eq!(decoded.claims, claims);
+            assert_eq!(decoded.resume, resume);
+            assert_eq!(decoded.scope, HelloScope::DeltaOnly);
+        }
+        // Legacy frames decode with the default Full scope.
+        assert_eq!(decode_hello_frame(&encode_hello(&claims)).unwrap().scope, HelloScope::Full);
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub struct EdgeClient {
     cursor: usize,
     failovers: u64,
     recv_timeout: Option<Duration>,
+    /// Generation of the last applied replica-set update
+    /// ([`EdgeClient::apply_endpoint_update`]); stale updates are
+    /// no-ops.
+    map_generation: u64,
 }
 
 impl EdgeClient {
@@ -63,6 +67,7 @@ impl EdgeClient {
             cursor: 0,
             failovers: 0,
             recv_timeout: None,
+            map_generation: 0,
         }
     }
 
@@ -89,6 +94,7 @@ impl EdgeClient {
             cursor: 0,
             failovers: 0,
             recv_timeout: None,
+            map_generation: 0,
         };
         client.redial()?;
         Ok(client)
@@ -120,6 +126,31 @@ impl EdgeClient {
     /// moved this client to the next endpoint in its list.
     pub fn failover_count(&self) -> u64 {
         self.failovers
+    }
+
+    /// Live replica-set update for a failover client, without
+    /// restarting it: `generation` gates the update (only strictly
+    /// newer generations apply — duplicated or reordered control-plane
+    /// updates are no-ops, returning `false`) and `replica_count`
+    /// becomes the index range the dial closure is asked for. The
+    /// current connection is kept when its replica index is still in
+    /// range; a connection to a drained (now out-of-range) replica is
+    /// dropped, and the next lookup redials inside the new set — the
+    /// thin client holds no stream state, so its drain *is* a redial.
+    /// Single-connection clients ([`EdgeClient::new`]) have no dial
+    /// closure and ignore updates.
+    pub fn apply_endpoint_update(&mut self, generation: u64, replica_count: usize) -> bool {
+        assert!(replica_count >= 1, "need at least one replica");
+        if self.dial.is_none() || generation <= self.map_generation {
+            return false;
+        }
+        self.map_generation = generation;
+        self.replica_count = replica_count;
+        if self.cursor >= replica_count {
+            self.cursor = 0;
+            self.conn = None;
+        }
+        true
     }
 
     /// Dial the replica under the cursor, rotating (and counting a

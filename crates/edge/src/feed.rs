@@ -22,13 +22,13 @@
 //! its broker.
 
 use crate::index::EdgeIndex;
-use darkdns_broker::transport::{
-    ClientEvent, FrameConn, SnapshotProgress, TransportClient, TransportError,
-};
+use darkdns_broker::transport::{ClientEvent, FrameConn, TransportClient, TransportError};
 use darkdns_broker::{Broker, BrokerMessage, BrokerSubscription};
-use darkdns_core::broker_view::{BrokerZoneView, EndpointMap};
-use darkdns_dns::decode_delta_push;
-use darkdns_dns::{DomainName, Serial};
+use darkdns_core::broker_view::{
+    BrokerZoneView, EndpointMap, RouteSink, RouteStatus, RoutedZoneView,
+};
+use darkdns_dns::wire::DeltaPush;
+use darkdns_dns::{decode_delta_push, DomainName, Serial, ZoneSnapshot};
 use darkdns_registry::tld::TldId;
 use std::sync::Arc;
 
@@ -245,30 +245,39 @@ where
     }
 }
 
-/// One route's connection state inside a [`RoutedEdgeFeed`].
-struct FeedRoute {
-    cursor: usize,
-    client: Option<TransportClient>,
-    partials: Vec<SnapshotProgress>,
-    healing: bool,
-    retired_chunks: u64,
+/// The index-mirroring [`RouteSink`]: forwards every message the
+/// routed view accepts into the epoch-swap index, post-apply, so the
+/// edge answers from byte-identical state to the view (the snapshots
+/// are `Arc`-shared column sets — the clones are pointer copies).
+struct IndexSink {
+    index: Arc<EdgeIndex>,
+}
+
+impl RouteSink for IndexSink {
+    fn on_snapshot(&mut self, tld: TldId, snapshot: &ZoneSnapshot) {
+        self.index.adopt_snapshot(tld, snapshot.clone());
+    }
+
+    fn on_delta(&mut self, tld: TldId, state: &ZoneSnapshot, push: &DeltaPush) {
+        self.index.apply_delta(tld, state.clone(), push);
+    }
 }
 
 /// An edge feed spanning a **partitioned, replicated** broker fleet:
 /// one upstream connection per [`EndpointMap`] route, all mirroring
 /// into one shared view + index pair — the multi-broker sibling of
-/// [`RemoteEdgeFeed`], with the same per-route replica failover and
-/// resume-with-claims recovery as
-/// [`darkdns_core::broker_view::RoutedZoneView`].
+/// [`RemoteEdgeFeed`]. All routing behaviour (per-route replica
+/// failover, resume-with-claims recovery, health-based replica
+/// selection, dead-with-backoff, live endpoint-map updates with
+/// graceful drains) comes from wrapping
+/// [`darkdns_core::broker_view::RoutedZoneView`] and mirroring its
+/// applied stream through a [`RouteSink`] — the edge adds no routing
+/// logic of its own.
 pub struct RoutedEdgeFeed<E, D>
 where
     D: FnMut(&E) -> Result<Box<dyn FrameConn>, TransportError>,
 {
-    view: BrokerZoneView,
-    map: EndpointMap<E>,
-    conns: Vec<FeedRoute>,
-    dial: D,
-    failovers: u64,
+    routed: RoutedZoneView<E, D>,
     index: Arc<EdgeIndex>,
 }
 
@@ -284,143 +293,15 @@ where
         dial: D,
         index: Arc<EdgeIndex>,
     ) -> Result<Self, TransportError> {
-        let tlds = map.tlds();
-        let conns = map
-            .routes()
-            .iter()
-            .map(|_| FeedRoute {
-                cursor: 0,
-                client: None,
-                partials: Vec::new(),
-                healing: false,
-                retired_chunks: 0,
-            })
-            .collect();
-        let mut feed = RoutedEdgeFeed {
-            view: BrokerZoneView::detached(&tlds),
-            map,
-            conns,
-            dial,
-            failovers: 0,
-            index,
-        };
-        for i in 0..feed.conns.len() {
-            feed.reconnect_route(i)?;
-        }
-        Ok(feed)
-    }
-
-    fn reconnect_route(&mut self, route: usize) -> Result<(), TransportError> {
-        let claims: Vec<(TldId, Option<Serial>)> = self.map.routes()[route]
-            .tlds
-            .iter()
-            .map(|&t| (t, self.view.serial(t)))
-            .collect();
-        let replicas = self.map.routes()[route].replicas.len();
-        let mut last_err = TransportError::Closed;
-        for attempt in 0..replicas {
-            let at = (self.conns[route].cursor + attempt) % replicas;
-            if attempt > 0 {
-                self.failovers += 1;
-            }
-            let endpoint = &self.map.routes()[route].replicas[at];
-            let conn = match (self.dial)(endpoint) {
-                Ok(conn) => conn,
-                Err(e) => {
-                    last_err = e;
-                    continue;
-                }
-            };
-            let partials = std::mem::take(&mut self.conns[route].partials);
-            match TransportClient::connect_resuming(conn, &claims, partials) {
-                Ok(client) => {
-                    let rc = &mut self.conns[route];
-                    rc.cursor = at;
-                    rc.client = Some(client);
-                    if rc.healing {
-                        rc.healing = false;
-                        self.view.note_resynced();
-                    }
-                    return Ok(());
-                }
-                Err(e) => {
-                    last_err = e;
-                }
-            }
-        }
-        Err(last_err)
-    }
-
-    fn retire_route(&mut self, route: usize) {
-        let replicas = self.map.routes()[route].replicas.len();
-        let rc = &mut self.conns[route];
-        if let Some(mut client) = rc.client.take() {
-            rc.retired_chunks += client.snapshot_chunks_received();
-            rc.partials = client.take_snapshot_progress();
-        }
-        rc.healing = true;
-        if replicas > 1 {
-            rc.cursor = (rc.cursor + 1) % replicas;
-            self.failovers += 1;
-        }
-    }
-
-    fn pump_route(&mut self, route: usize, budget: usize, progressed: &mut bool) -> usize {
-        let mut applied = 0;
-        while applied < budget {
-            if self.conns[route].client.is_none() {
-                if self.reconnect_route(route).is_err() {
-                    return applied;
-                }
-                *progressed = true;
-                continue;
-            }
-            let event = self.conns[route].client.as_mut().expect("just checked").next_event();
-            match event {
-                ClientEvent::Idle => break,
-                ClientEvent::Snapshot { tld, snapshot } => {
-                    self.view.ingest_snapshot(tld, snapshot.clone());
-                    self.index.adopt_snapshot(tld, snapshot);
-                    applied += 1;
-                    *progressed = true;
-                }
-                ClientEvent::Delta { tld, push, .. } => {
-                    if self.view.ingest_delta(tld, &push) {
-                        let state =
-                            self.view.snapshot(tld).expect("delta chained onto a state").clone();
-                        self.index.apply_delta(tld, state, &push);
-                        applied += 1;
-                        *progressed = true;
-                    } else {
-                        self.retire_route(route);
-                        *progressed = true;
-                    }
-                }
-                ClientEvent::Evicted | ClientEvent::Closed(_) => {
-                    self.retire_route(route);
-                    *progressed = true;
-                }
-            }
-        }
-        applied
+        let routed = RoutedZoneView::connect(map, dial)?;
+        Ok(RoutedEdgeFeed { routed, index })
     }
 
     /// Pull up to `max_events` decoded events into the view and index,
     /// visiting every route and healing faults per route.
     pub fn pump(&mut self, max_events: usize) -> usize {
-        let mut applied = 0;
-        loop {
-            let mut progressed = false;
-            for route in 0..self.conns.len() {
-                applied += self.pump_route(route, max_events - applied, &mut progressed);
-                if applied >= max_events {
-                    return applied;
-                }
-            }
-            if !progressed {
-                return applied;
-            }
-        }
+        let mut sink = IndexSink { index: Arc::clone(&self.index) };
+        self.routed.pump_with(max_events, &mut sink)
     }
 
     /// Pump until the index's serial matches `targets` or `timeout`
@@ -432,7 +313,10 @@ where
     ) -> bool {
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            if targets.iter().all(|&(tld, serial)| self.view.serial(tld) == Some(serial)) {
+            if targets
+                .iter()
+                .all(|&(tld, serial)| self.routed.view().serial(tld) == Some(serial))
+            {
                 return true;
             }
             if std::time::Instant::now() >= deadline {
@@ -444,30 +328,45 @@ where
         }
     }
 
+    /// Swap in a newer [`EndpointMap`] without restarting the feed —
+    /// see [`RoutedZoneView::apply_endpoint_update`] for the
+    /// generation gating and graceful-drain semantics.
+    pub fn apply_endpoint_update(&mut self, new: EndpointMap<E>) -> bool
+    where
+        E: PartialEq,
+    {
+        self.routed.apply_endpoint_update(new)
+    }
+
     /// Replica switches so far, fleet-wide.
     pub fn failover_count(&self) -> u64 {
-        self.failovers
+        self.routed.failover_count()
     }
 
     /// Snapshot continuation chunks received across every route and
     /// connection generation.
     pub fn snapshot_chunks_received(&self) -> u64 {
-        self.conns
-            .iter()
-            .map(|rc| {
-                rc.retired_chunks
-                    + rc.client.as_ref().map_or(0, |c| c.snapshot_chunks_received())
-            })
-            .sum()
+        self.routed.snapshot_chunks_received()
+    }
+
+    /// Planned drain handoffs completed cleanly (no resync).
+    pub fn drains_completed(&self) -> u64 {
+        self.routed.drains_completed()
+    }
+
+    /// Per-route health/rotation status (see
+    /// [`darkdns_core::broker_view::RouteStatus`]).
+    pub fn route_status(&self) -> Vec<RouteStatus> {
+        self.routed.route_status()
     }
 
     /// True while every route has an established connection.
     pub fn is_connected(&self) -> bool {
-        self.conns.iter().all(|rc| rc.client.is_some())
+        self.routed.is_connected()
     }
 
     pub fn view(&self) -> &BrokerZoneView {
-        &self.view
+        self.routed.view()
     }
 
     pub fn index(&self) -> &Arc<EdgeIndex> {

@@ -145,6 +145,17 @@ GAUGES = {
     "relay_bytes_per_delta_per_link_depth1": "relay/bytes/per_delta_per_link_depth1",
     "relay_bytes_per_delta_per_link_depth2": "relay/bytes/per_delta_per_link_depth2",
     "relay_bytes_per_delta_per_link_depth3": "relay/bytes/per_delta_per_link_depth3",
+    # PR 9: the shard-filter bandwidth gauges — total upstream-link
+    # bytes for a relay mirroring all 10 TLD shards vs one claiming a
+    # single shard (10% subset) over the same published workload, plus
+    # their ratio (~0.1 by the claims-as-shard-filter contract) — and
+    # the median planned-drain handoff latency through a routed view
+    # (generation-bumped map → sentinel publish through the successor,
+    # no resync).
+    "relay_filtered_full_mirror_link_bytes": "relay/filtered/full_mirror_link_bytes",
+    "relay_filtered_subset10_link_bytes": "relay/filtered/subset10_link_bytes",
+    "relay_filtered_subset_share": "relay/filtered/subset_share",
+    "relay_drain_handoff_ns_p50": "relay/drain/handoff_ns_p50",
     "relay_catchup_chunks": "relay/catchup-500k/chunks",
     "relay_catchup_monolithic_frame_bytes": "relay/catchup-500k/monolithic_frame_bytes",
     "relay_catchup_chunked_entries_per_sec": "relay/catchup-500k/chunked_entries_per_sec",

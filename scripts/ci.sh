@@ -40,6 +40,14 @@ cargo test -q --release --test proptest_broker --test broker_fleet --test transp
 echo "==> cargo test -q --release (relay fault suite)"
 cargo test -q --release --test relay_faults
 
+# The routing fault matrix again in release: live endpoint-map drains
+# race the chunk train they must not interrupt, health probes race the
+# failover path they steer, and the dead-endpoint backoff pin is a
+# dial-rate bound — all timing-shaped invariants that need the
+# optimised interleavings too.
+echo "==> cargo test -q --release (routing fault matrix)"
+cargo test -q --release --test routing_faults
+
 # The edge suite again in release too, for the same reason: the epoch
 # Arc-swap cell, the feed-vs-query concurrency test and the server's
 # reactor loop are all timing-sensitive, and the edge-equivalence pin

@@ -429,3 +429,143 @@ proptest! {
         server.shutdown();
     }
 }
+
+/// One control-plane mutation against an [`EndpointMap`], index-picked
+/// so arbitrary sequences stay valid against the map's panics (never
+/// drain a last replica, never re-route a routed TLD).
+#[derive(Debug, Clone)]
+enum MapOp {
+    AddReplica { route_pick: usize, endpoint: u32 },
+    RemoveReplica { route_pick: usize, index_pick: usize },
+}
+
+fn map_ops_strategy() -> impl Strategy<Value = Vec<MapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..64, 1000u32..2000).prop_map(|(route_pick, endpoint)| MapOp::AddReplica {
+                route_pick,
+                endpoint
+            }),
+            (0usize..64, 0usize..64).prop_map(|(route_pick, index_pick)| {
+                MapOp::RemoveReplica { route_pick, index_pick }
+            }),
+        ],
+        0..40,
+    )
+}
+
+/// Build a fleet map from generated route shapes: `shape[k]` is the
+/// (TLD count, replica count) of route `k`; TLDs are assigned
+/// sequentially so routes are disjoint by construction.
+fn build_map(shapes: &[(usize, usize)]) -> darkdns::core::broker_view::EndpointMap<u32> {
+    let mut map = darkdns::core::broker_view::EndpointMap::new();
+    let mut next_tld = 0u16;
+    let mut next_endpoint = 0u32;
+    for &(tld_count, replica_count) in shapes {
+        let tlds: Vec<TldId> = (0..tld_count as u16).map(|i| TldId(next_tld + i)).collect();
+        next_tld += tld_count as u16;
+        let replicas: Vec<u32> =
+            (0..replica_count as u32).map(|i| next_endpoint + i).collect();
+        next_endpoint += replica_count as u32;
+        map.add_route(tlds, replicas);
+    }
+    map
+}
+
+/// Apply `op` if the map's current shape admits it; returns whether it
+/// was applied.
+fn apply_op(map: &mut darkdns::core::broker_view::EndpointMap<u32>, op: &MapOp) -> bool {
+    if map.routes().is_empty() {
+        return false;
+    }
+    match *op {
+        MapOp::AddReplica { route_pick, endpoint } => {
+            let route = route_pick % map.routes().len();
+            map.add_replica(route, endpoint);
+            true
+        }
+        MapOp::RemoveReplica { route_pick, index_pick } => {
+            let route = route_pick % map.routes().len();
+            let replicas = map.routes()[route].replicas.len();
+            if replicas < 2 {
+                return false; // the last replica can never be drained
+            }
+            map.remove_replica(route, index_pick % replicas);
+            true
+        }
+    }
+}
+
+proptest! {
+    // Across arbitrary add/drain sequences: every TLD stays routed by
+    // exactly one route (the partition is an invariant of the map, not
+    // of any update), every route keeps at least one replica, and the
+    // generation counter is strictly monotone — one bump per applied
+    // mutation, so no two distinct topologies ever share a generation.
+    #[test]
+    fn endpoint_map_partition_and_generation_invariants(
+        shapes in prop::collection::vec((1usize..4, 1usize..4), 1..6),
+        ops in map_ops_strategy(),
+    ) {
+        let mut map = build_map(&shapes);
+        let universe = map.tlds();
+        let baseline_gen = map.generation();
+        prop_assert_eq!(baseline_gen, shapes.len() as u64, "one bump per add_route");
+
+        let mut last_gen = baseline_gen;
+        for op in &ops {
+            let applied = apply_op(&mut map, op);
+            let gen = map.generation();
+            if applied {
+                prop_assert_eq!(gen, last_gen + 1, "exactly one bump per mutation");
+            } else {
+                prop_assert_eq!(gen, last_gen, "a rejected op must not bump");
+            }
+            last_gen = gen;
+
+            // The TLD partition never moves: same universe, and every
+            // TLD resolves to exactly one route.
+            prop_assert_eq!(&map.tlds(), &universe);
+            for &tld in &universe {
+                let owners = map
+                    .routes()
+                    .iter()
+                    .filter(|r| r.tlds.contains(&tld))
+                    .count();
+                prop_assert_eq!(owners, 1, "a TLD must have exactly one authoritative route");
+            }
+            for route in map.routes() {
+                prop_assert!(!route.replicas.is_empty(), "a route can never lose its last replica");
+            }
+        }
+    }
+
+    // Drain + re-add round trip: removing any (non-last) replica and
+    // appending the same endpoint back restores the route's replica
+    // *set* — while the generation strictly advances, so a consumer
+    // still sees both steps as fresh updates, in order.
+    #[test]
+    fn endpoint_map_drain_then_add_restores_the_replica_set(
+        shapes in prop::collection::vec((1usize..4, 2usize..5), 1..5),
+        route_pick in 0usize..64,
+        index_pick in 0usize..64,
+    ) {
+        let mut map = build_map(&shapes);
+        let route = route_pick % map.routes().len();
+        let index = index_pick % map.routes()[route].replicas.len();
+        let before: std::collections::BTreeSet<u32> =
+            map.routes()[route].replicas.iter().copied().collect();
+        let gen_before = map.generation();
+
+        let drained = map.remove_replica(route, index);
+        prop_assert!(!map.routes()[route].replicas.contains(&drained));
+        prop_assert_eq!(map.generation(), gen_before + 1);
+
+        map.add_replica(route, drained);
+        let after: std::collections::BTreeSet<u32> =
+            map.routes()[route].replicas.iter().copied().collect();
+        prop_assert_eq!(before, after, "drain + re-add must restore the partition");
+        prop_assert_eq!(map.generation(), gen_before + 2, "the round trip is two fresh updates");
+        prop_assert_eq!(map.tlds(), build_map(&shapes).tlds());
+    }
+}

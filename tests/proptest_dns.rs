@@ -438,3 +438,99 @@ mod lookup_codecs {
         }
     }
 }
+
+// The scoped HELLO (`RZUH` + trailing subscription-scope byte): the
+// frame a shard-filtered or delta-only subscriber opens with. The scope
+// byte is strictly additive — a Full-scope frame must stay
+// byte-identical to the legacy encoding (relays and old subscribers
+// keep their handshake bytes), and a legacy frame must decode as Full —
+// while non-Full scopes survive arbitrary claim/resume shapes and the
+// decoder holds the no-panic line on adversarial bytes.
+mod scoped_hello {
+    use super::*;
+    use darkdns::dns::wire::{
+        decode_hello_frame, encode_hello_frame, encode_hello_scoped, HelloScope, SnapshotResume,
+    };
+
+    fn scope_strategy() -> impl Strategy<Value = HelloScope> {
+        prop_oneof![Just(HelloScope::Full), Just(HelloScope::DeltaOnly)]
+    }
+
+    proptest! {
+        #[test]
+        fn scoped_hello_round_trips_and_full_scope_is_legacy_identical(
+            raw_claims in prop::collection::vec((any::<u16>(), any::<bool>(), any::<u32>()), 0..40),
+            raw_resume in prop::collection::vec((any::<u16>(), any::<u32>(), any::<u32>()), 0..20),
+            scope in scope_strategy(),
+        ) {
+            let claims: Vec<TldClaim> = raw_claims
+                .iter()
+                .map(|&(tld, has, s)| TldClaim { tld, from_serial: has.then(|| Serial::new(s)) })
+                .collect();
+            let resume: Vec<(u16, SnapshotResume)> = raw_resume
+                .iter()
+                .map(|&(tld, s, entries)| {
+                    (tld, SnapshotResume { serial: Serial::new(s), entries })
+                })
+                .collect();
+            let frame = encode_hello_scoped(&claims, &resume, scope);
+            let decoded = decode_hello_frame(&frame).unwrap();
+            prop_assert_eq!(&decoded.claims, &claims);
+            prop_assert_eq!(&decoded.resume, &resume);
+            prop_assert_eq!(decoded.scope, scope);
+
+            // The scope byte is pay-for-what-you-use: a Full-scope
+            // frame is byte-identical to the scope-less encoding, so
+            // every existing subscriber's handshake bytes are
+            // unchanged; and every legacy frame decodes as Full.
+            if scope == HelloScope::Full {
+                prop_assert_eq!(&*frame, &*encode_hello_frame(&claims, &resume));
+            }
+            prop_assert_eq!(
+                decode_hello_frame(&encode_hello_frame(&claims, &resume)).unwrap().scope,
+                HelloScope::Full
+            );
+            if resume.is_empty() && scope == HelloScope::Full {
+                prop_assert_eq!(&*frame, &*encode_hello(&claims));
+            }
+            prop_assert_eq!(decode_hello_frame(&encode_hello(&claims)).unwrap().scope,
+                HelloScope::Full);
+            // Truncation: a Full frame loses real payload, so a cut
+            // byte is an error; a non-Full frame's last byte IS the
+            // scope, so cutting it re-reads as the legacy Full frame —
+            // same claims, same resume, default scope.
+            if scope == HelloScope::Full {
+                prop_assert!(decode_hello_frame(&frame[..frame.len() - 1]).is_err());
+            } else {
+                let trimmed = decode_hello_frame(&frame[..frame.len() - 1]).unwrap();
+                prop_assert_eq!(trimmed.scope, HelloScope::Full);
+                prop_assert_eq!(&trimmed.claims, &claims);
+                prop_assert_eq!(&trimmed.resume, &resume);
+            }
+        }
+
+        #[test]
+        fn scoped_hello_decoder_never_panics_on_garbage_tails(
+            raw_claims in prop::collection::vec((any::<u16>(), any::<bool>(), any::<u32>()), 0..10),
+            tail in prop::collection::vec(any::<u8>(), 0..64),
+        ) {
+            // A structurally valid claims section followed by arbitrary
+            // trailing bytes: the decoder must reject or accept without
+            // panicking, and must never misread garbage as a scope —
+            // only the defined scope encodings decode.
+            let claims: Vec<TldClaim> = raw_claims
+                .iter()
+                .map(|&(tld, has, s)| TldClaim { tld, from_serial: has.then(|| Serial::new(s)) })
+                .collect();
+            let mut framed = encode_hello(&claims).to_vec();
+            framed.extend_from_slice(&tail);
+            if let Ok(decoded) = decode_hello_frame(&framed) {
+                prop_assert!(
+                    matches!(decoded.scope, HelloScope::Full | HelloScope::DeltaOnly),
+                    "garbage decoded to an undefined scope"
+                );
+            }
+            let _ = decode_hello_frame(&tail);
+        }
+    }
+}
