@@ -18,13 +18,14 @@
 //! can never slip a push between the plan and the registration: per
 //! shard, the subscriber misses nothing and double-sees nothing.
 
+use crate::lockdep::{self, TrackedMutex, TrackedRwLock};
 use crate::shard::{CatchUp, JournalShard, RetentionConfig, SealedDelta};
 use bytes::Bytes;
 use darkdns_dns::hash::NameMap;
 use darkdns_dns::{Serial, ZoneDelta, ZoneSnapshot};
 use darkdns_registry::tld::TldId;
 use darkdns_sim::time::SimTime;
-use parking_lot::{Mutex, MutexGuard, RwLock};
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -192,7 +193,8 @@ pub type SubWaker = Arc<dyn Fn() + Send + Sync>;
 /// Queue state shared between the broker and one subscription handle.
 struct SubShared {
     id: u64,
-    queue: Mutex<VecDeque<QueuedMessage>>,
+    // lock-level: 30
+    queue: TrackedMutex<VecDeque<QueuedMessage>>,
     /// Wakeup for blocked consumers ([`BrokerSubscription::next_wait`]):
     /// signalled on every enqueue and on eviction, paired with the
     /// `queue` mutex (the vendored `parking_lot` guards *are* std
@@ -204,7 +206,8 @@ struct SubShared {
     /// callback runs under the subscriber queue lock and must only touch
     /// leaf state (the reactor's pending list and wakeup fd) — see the
     /// crate-level lock hierarchy.
-    waker: Mutex<Option<SubWaker>>,
+    // lock-level: 40
+    waker: TrackedMutex<Option<SubWaker>>,
     /// Catch-up messages still queued; their depth is bounded by the
     /// retention ring, so they are exempt from the live-push capacity
     /// bound.
@@ -217,7 +220,8 @@ struct SubShared {
     /// the documented hierarchy, touched only on the publish path under
     /// the shard + queue locks — and only when the SLO is configured,
     /// so the default broker never pays for it.
-    lagging_since: Mutex<Option<Instant>>,
+    // lock-level: 42
+    lagging_since: TrackedMutex<Option<Instant>>,
     evicted: AtomicBool,
     closed: AtomicBool,
 }
@@ -315,11 +319,7 @@ impl BrokerSubscription {
             else {
                 return SubWait::TimedOut;
             };
-            let (guard, _timed_out) = self
-                .shared
-                .notify
-                .wait_timeout(queue, remaining)
-                .unwrap_or_else(|poison| poison.into_inner());
+            let (guard, _timed_out) = queue.wait_timeout(&self.shared.notify, remaining);
             queue = guard;
         }
     }
@@ -419,6 +419,8 @@ struct ShardShared {
 /// threads — which sit strictly below the shard locks in the hierarchy
 /// — can report batching without ever acquiring a shard lock.
 struct ShardHandle {
+    // lock-level: 20 (acquired via `lock_shard`, which registers the
+    // acquisition with `lockdep::SHARD`)
     state: Mutex<ShardShared>,
     contended: AtomicU64,
     coalesced: AtomicU64,
@@ -430,17 +432,14 @@ struct ShardHandle {
 /// lock held.
 type ShardDirectory = NameMap<TldId, Arc<ShardHandle>>;
 
-#[cfg(debug_assertions)]
-thread_local! {
-    /// Shard locks held by this thread — the lock-hierarchy guard rail.
-    static SHARD_LOCKS_HELD: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
-}
-
-/// RAII guard for a shard lock. In debug builds it enforces the crate's
-/// documented lock hierarchy: a thread holds at most one shard lock at a
-/// time (shard → subscriber queue, never shard → shard).
+/// RAII guard for a shard lock. In debug builds the carried lockdep
+/// token enforces the crate's documented lock hierarchy: a thread holds
+/// at most one shard lock at a time (shard → subscriber queue, never
+/// shard → shard), and any lock-order cycle through the shard class is
+/// reported with both acquisition sites (see [`crate::lockdep`]).
 struct ShardGuard<'a> {
     guard: MutexGuard<'a, ShardShared>,
+    _held: lockdep::Held,
 }
 
 impl Deref for ShardGuard<'_> {
@@ -456,29 +455,17 @@ impl DerefMut for ShardGuard<'_> {
     }
 }
 
-impl Drop for ShardGuard<'_> {
-    fn drop(&mut self) {
-        #[cfg(debug_assertions)]
-        SHARD_LOCKS_HELD.with(|held| held.set(held.get() - 1));
-    }
-}
-
-/// Acquire a shard lock, (in debug builds) asserting the lock
-/// hierarchy. `count_contention` is set only on the publish path, so
-/// `ShardStats::lock_contentions` measures exactly the acceptance
-/// property — publishers contending on a shard — and is never polluted
-/// by monitor reads or subscribe traffic taking a busy shard's lock.
+/// Acquire a shard lock, (in debug builds) registering the acquisition
+/// with [`crate::lockdep`] — which enforces that shard locks never nest
+/// (shard → subscriber queue only, never shard → shard) and that no
+/// lower-level lock is already held. `count_contention` is set only on
+/// the publish path, so `ShardStats::lock_contentions` measures exactly
+/// the acceptance property — publishers contending on a shard — and is
+/// never polluted by monitor reads or subscribe traffic taking a busy
+/// shard's lock.
+#[track_caller]
 fn lock_shard(handle: &ShardHandle, count_contention: bool) -> ShardGuard<'_> {
-    #[cfg(debug_assertions)]
-    SHARD_LOCKS_HELD.with(|held| {
-        assert_eq!(
-            held.get(),
-            0,
-            "lock hierarchy violation: shard locks never nest \
-             (shard -> subscriber queue only, never shard -> shard)"
-        );
-        held.set(1);
-    });
+    let held = lockdep::acquire(&lockdep::SHARD);
     let guard = match handle.state.try_lock() {
         Some(guard) => guard,
         None => {
@@ -488,23 +475,16 @@ fn lock_shard(handle: &ShardHandle, count_contention: bool) -> ShardGuard<'_> {
             handle.state.lock()
         }
     };
-    ShardGuard { guard }
+    ShardGuard { guard, _held: held }
 }
 
 /// Shard publish locks held by the calling thread. Always `0` in
-/// release builds, where the debug guard rail compiles out. Exposed so
-/// code that promises a publish-lock-free read path — the edge index's
-/// epoch-swap query answering — can debug-assert the promise at every
-/// lookup instead of relying on review.
+/// release builds, where the debug-only lockdep tracking compiles out.
+/// Exposed so code that promises a publish-lock-free read path — the
+/// edge index's epoch-swap query answering — can debug-assert the
+/// promise at every lookup instead of relying on review.
 pub fn shard_locks_held_by_current_thread() -> usize {
-    #[cfg(debug_assertions)]
-    {
-        SHARD_LOCKS_HELD.with(|held| held.get())
-    }
-    #[cfg(not(debug_assertions))]
-    {
-        0
-    }
+    lockdep::held_count(&lockdep::SHARD)
 }
 
 /// Catch-up scope of a subscription (see [`Broker::subscribe_scoped`]):
@@ -531,7 +511,8 @@ pub struct Broker {
 
 struct BrokerInner {
     config: BrokerConfig,
-    directory: RwLock<Arc<ShardDirectory>>,
+    // lock-level: 10
+    directory: TrackedRwLock<Arc<ShardDirectory>>,
     next_id: AtomicU64,
 }
 
@@ -540,7 +521,7 @@ impl Broker {
         Broker {
             inner: Arc::new(BrokerInner {
                 config,
-                directory: RwLock::new(Arc::new(ShardDirectory::default())),
+                directory: TrackedRwLock::new(&lockdep::DIRECTORY, Arc::new(ShardDirectory::default())),
                 next_id: AtomicU64::new(0),
             }),
         }
@@ -682,12 +663,12 @@ impl Broker {
     ) -> BrokerSubscription {
         let shared = Arc::new(SubShared {
             id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
-            queue: Mutex::new(VecDeque::new()),
+            queue: TrackedMutex::new(&lockdep::SUB_QUEUE, VecDeque::new()),
             notify: Condvar::new(),
-            waker: Mutex::new(None),
+            waker: TrackedMutex::new(&lockdep::SUB_WAKER, None),
             catchup_pending: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
-            lagging_since: Mutex::new(None),
+            lagging_since: TrackedMutex::new(&lockdep::SUB_LAG, None),
             evicted: AtomicBool::new(false),
             closed: AtomicBool::new(false),
         });

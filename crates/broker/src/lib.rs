@@ -175,9 +175,16 @@
 //! thread hold two shard locks at once — cross-shard operations
 //! (aggregate stats, subscriber counting, multi-TLD subscription) visit
 //! shards one at a time — and never is a shard lock acquired while a
-//! queue lock is held. Debug builds enforce the no-two-shard-locks rule
-//! with a thread-local assertion in the shard-lock guard; release builds
-//! pay nothing for it.
+//! queue lock is held. Debug builds enforce the whole hierarchy — not
+//! just the no-two-shard-locks rule — through the [`lockdep`] runtime:
+//! every tracked acquisition checks its class's level against the
+//! thread's held set and feeds a global acquisition-order graph with
+//! cycle detection, so an inversion anywhere in the workspace panics
+//! with both acquisition sites. Release builds pay nothing for it. The
+//! full level catalogue (including the transport, edge and core
+//! classes) lives in `docs/INVARIANTS.md`, and `darkdns-lint` checks
+//! the same hierarchy statically from the `// lock-level: N`
+//! annotations on every lock declaration.
 //!
 //! The **transport reactor sits entirely at level 2**: one thread for
 //! *all* subscriber connections, which services a connection by
@@ -202,10 +209,10 @@
 //! level** — an edge feed (an ordinary level-2 consumer) builds each
 //! index generation off to the side and swaps an `Arc`, so thin-client
 //! queries resolve against immutable epochs and publish-side contention
-//! cannot reach them. The thread-local
-//! [`shard_locks_held_by_current_thread`] counter that backs the
-//! no-two-shard-locks assertion is exported precisely so the edge crate
-//! can debug-assert that epoch-swap invariant on every query.
+//! cannot reach them. The [`shard_locks_held_by_current_thread`]
+//! counter (backed by [`lockdep`]'s per-thread held set) is exported
+//! precisely so the edge crate can debug-assert that epoch-swap
+//! invariant on every query.
 //!
 //! # The snapshot-vs-delta catch-up decision rule
 //!
@@ -229,6 +236,7 @@
 
 pub mod broker;
 pub mod feed;
+pub mod lockdep;
 pub mod pool;
 pub mod shard;
 pub mod transport;

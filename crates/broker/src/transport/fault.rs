@@ -42,6 +42,8 @@ pub enum FrameFault {
 /// an exhausted script delivers everything untouched.
 #[derive(Clone, Default)]
 pub struct FaultScript {
+    // lock-level: 75 (leaf: consulted per composed frame with no other
+    // tracked lock held; test harness only, not runtime-registered)
     plan: Arc<Mutex<VecDeque<FrameFault>>>,
 }
 

@@ -31,6 +31,7 @@
 //! hoping it got there.
 
 use super::frame::ByteIo;
+use crate::lockdep;
 use std::collections::VecDeque;
 use std::io::{self, ErrorKind, Read, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -73,12 +74,25 @@ impl HalfState {
 }
 
 struct Half {
+    // lock-level: 46 (acquired via `lock_half`, which registers the
+    // acquisition with `lockdep::PIPE_HALF`)
     state: Mutex<HalfState>,
     cond: Condvar,
     /// Threads currently parked in `read` on this half.
     read_waiters: AtomicUsize,
     /// Threads currently parked in `write` on this half.
     write_waiters: AtomicUsize,
+}
+
+/// Lock one half's state, registering the acquisition with the
+/// broker's lockdep runtime (`transport.pipe_half`). Ready hooks run
+/// under this lock and may stage reactor work, which is why the pipe
+/// half sits *below* the reactor's pending mailbox in the documented
+/// hierarchy (46 < 50).
+#[track_caller]
+fn lock_half(half: &Half) -> (lockdep::Held, std::sync::MutexGuard<'_, HalfState>) {
+    let held = lockdep::acquire(&lockdep::PIPE_HALF);
+    (held, half.state.lock().unwrap_or_else(|p| p.into_inner()))
 }
 
 impl Half {
@@ -127,7 +141,7 @@ impl PipeCutHandle {
     /// delivered prefix of a promised payload and then hits the reset.
     pub fn cut(&self) {
         for half in &self.halves {
-            let mut st = half.state.lock().unwrap_or_else(|p| p.into_inner());
+            let (_held, mut st) = lock_half(half);
             st.cut = true;
             half.cond.notify_all();
             // A cut is a readiness event for both roles: blocked or
@@ -188,14 +202,18 @@ impl PipeEnd {
     /// The hook runs with the relevant half's lock held; it must only
     /// touch leaf state (see [`ReadyHook`]).
     pub fn set_ready_hook(&self, hook: Option<ReadyHook>) {
-        self.rx.state.lock().unwrap_or_else(|p| p.into_inner()).read_hook = hook.clone();
-        self.tx.state.lock().unwrap_or_else(|p| p.into_inner()).write_hook = hook;
+        {
+            let (_held, mut st) = lock_half(&self.rx);
+            st.read_hook = hook.clone();
+        }
+        let (_held, mut st) = lock_half(&self.tx);
+        st.write_hook = hook;
     }
 
     /// Bytes currently buffered toward this end (readable without
     /// blocking).
     pub fn readable_bytes(&self) -> usize {
-        self.rx.state.lock().unwrap_or_else(|p| p.into_inner()).buf.len()
+        lock_half(&self.rx).1.buf.len()
     }
 
     /// Threads currently parked in `read` on the peer end — i.e.
@@ -249,12 +267,14 @@ impl Read for PipeEnd {
             return Ok(0);
         }
         let deadline = self.read_timeout.map(|t| Instant::now() + t);
-        let mut st = self.rx.state.lock().unwrap_or_else(|p| p.into_inner());
+        let (_held, mut st) = lock_half(&self.rx);
         loop {
             if !st.buf.is_empty() {
                 let n = st.buf.len().min(buf.len());
                 for slot in buf.iter_mut().take(n) {
-                    *slot = st.buf.pop_front().expect("checked non-empty");
+                    if let Some(byte) = st.buf.pop_front() {
+                        *slot = byte;
+                    }
                 }
                 // Space opened up: wake a writer blocked on capacity
                 // and tell a readiness-driven peer it can write again.
@@ -285,7 +305,7 @@ impl Write for PipeEnd {
             return Ok(0);
         }
         let deadline = self.write_timeout.map(|t| Instant::now() + t);
-        let mut st = self.tx.state.lock().unwrap_or_else(|p| p.into_inner());
+        let (_held, mut st) = lock_half(&self.tx);
         loop {
             if st.cut || st.closed {
                 return Err(ErrorKind::BrokenPipe.into());
@@ -293,6 +313,8 @@ impl Write for PipeEnd {
             let space = self.capacity - st.buf.len();
             if space > 0 {
                 let n = space.min(buf.len());
+                // lint: allow(panic) n == space.min(buf.len()), so the
+                // range is in-bounds by construction.
                 st.buf.extend(&buf[..n]);
                 // Bytes arrived: wake a reader blocked on empty and
                 // tell a readiness-driven peer it has input.
@@ -324,7 +346,7 @@ impl Write for PipeEnd {
             return Ok(0);
         }
         let deadline = self.write_timeout.map(|t| Instant::now() + t);
-        let mut st = self.tx.state.lock().unwrap_or_else(|p| p.into_inner());
+        let (_held, mut st) = lock_half(&self.tx);
         loop {
             if st.cut || st.closed {
                 return Err(ErrorKind::BrokenPipe.into());
@@ -378,12 +400,12 @@ impl Drop for PipeEnd {
         // on reads; peer writes fail immediately (no one will read them).
         // Both transitions are readiness events.
         {
-            let mut st = self.tx.state.lock().unwrap_or_else(|p| p.into_inner());
+            let (_held, mut st) = lock_half(&self.tx);
             st.closed = true;
             self.tx.cond.notify_all();
             st.fire_read_hook();
         }
-        let mut st = self.rx.state.lock().unwrap_or_else(|p| p.into_inner());
+        let (_held, mut st) = lock_half(&self.rx);
         st.closed = true;
         self.rx.cond.notify_all();
         st.fire_write_hook();

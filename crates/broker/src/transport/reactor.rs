@@ -53,8 +53,8 @@ use darkdns_dns::wire::{
 };
 use darkdns_dns::Serial;
 use darkdns_registry::tld::TldId;
+use crate::lockdep::{self, TrackedMutex};
 use mio_shim::{Epoll, Events, Interest, Token, WakeupFd};
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -70,7 +70,8 @@ const WAKE_TOKEN: usize = usize::MAX;
 /// under the pending mutex (a leaf lock — safe to take from waker and
 /// ready-hook context) and the eventfd interrupts the epoll wait.
 pub(super) struct ReactorShared {
-    pub(super) pending: Mutex<Pending>,
+    // lock-level: 50
+    pub(super) pending: TrackedMutex<Pending>,
     pub(super) wakeup: WakeupFd,
     pub(super) stop: AtomicBool,
 }
@@ -78,7 +79,7 @@ pub(super) struct ReactorShared {
 impl ReactorShared {
     pub(super) fn new() -> std::io::Result<ReactorShared> {
         Ok(ReactorShared {
-            pending: Mutex::new(Pending::default()),
+            pending: TrackedMutex::new(&lockdep::REACTOR_PENDING, Pending::default()),
             wakeup: WakeupFd::new()?,
             stop: AtomicBool::new(false),
         })
@@ -304,7 +305,27 @@ impl Reactor {
             idx
         } else {
             self.slots.push(Slot::Free);
-            self.slots.len() - 1
+            self.slots.len().saturating_sub(1)
+        }
+    }
+
+    /// Bounds-checked slot store (the reactor is a declared panic-free
+    /// module — rule L3 — so no indexed assignment on the hot path).
+    /// Tokens come from `alloc_slot`, so the index is always in range;
+    /// an out-of-range store is silently ignored rather than panicking
+    /// the whole fleet's event loop.
+    fn set_slot(&mut self, idx: usize, slot: Slot) {
+        if let Some(entry) = self.slots.get_mut(idx) {
+            *entry = slot;
+        }
+    }
+
+    /// Bounds-checked slot take: replaces the slot with `Free` and
+    /// returns the previous value (`Free` for out-of-range tokens).
+    fn take_slot(&mut self, idx: usize) -> Slot {
+        match self.slots.get_mut(idx) {
+            Some(entry) => std::mem::replace(entry, Slot::Free),
+            None => Slot::Free,
         }
     }
 
@@ -314,15 +335,15 @@ impl Reactor {
             self.free.push(idx);
             return;
         }
-        self.slots[idx] = Slot::Listener(listener);
+        self.set_slot(idx, Slot::Listener(listener));
     }
 
     /// Drain an accept burst to `WouldBlock` — the sleep-poll acceptor,
     /// folded into the event loop.
     fn accept_burst(&mut self, listener_idx: usize) {
         loop {
-            let accepted = match &self.slots[listener_idx] {
-                Slot::Listener(listener) => listener.accept(),
+            let accepted = match self.slots.get(listener_idx) {
+                Some(Slot::Listener(listener)) => listener.accept(),
                 _ => return,
             };
             match accepted {
@@ -341,7 +362,8 @@ impl Reactor {
                         self.free.push(idx);
                         continue;
                     }
-                    self.slots[idx] = Slot::Conn(Box::new(self.new_conn(ConnIo::Tcp(stream), None)));
+                    let conn = Box::new(self.new_conn(ConnIo::Tcp(stream), None));
+                    self.set_slot(idx, Slot::Conn(conn));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(_) => return,
@@ -362,7 +384,7 @@ impl Reactor {
         if let ConnIo::Pipe(end) = &conn.io {
             end.set_ready_hook(Some(self.make_waker(idx, &conn.queued)));
         }
-        self.slots[idx] = Slot::Conn(Box::new(conn));
+        self.set_slot(idx, Slot::Conn(Box::new(conn)));
         self.service(idx, true, true);
     }
 
@@ -404,10 +426,10 @@ impl Reactor {
     /// Drive one connection: inbound frames, queue→ring transfer, ring
     /// flush, drain-close.
     fn service(&mut self, idx: usize, readable: bool, writable: bool) {
-        let mut conn = match std::mem::replace(&mut self.slots[idx], Slot::Free) {
+        let mut conn = match self.take_slot(idx) {
             Slot::Conn(conn) => conn,
             other => {
-                self.slots[idx] = other;
+                self.set_slot(idx, other);
                 return;
             }
         };
@@ -425,7 +447,7 @@ impl Reactor {
         }
         match close {
             Some(why) => self.finalize_close(idx, conn, why),
-            None => self.slots[idx] = Slot::Conn(conn),
+            None => self.set_slot(idx, Slot::Conn(conn)),
         }
     }
 
@@ -515,7 +537,8 @@ impl Reactor {
             probe: sub.probe(),
             coalesced_frames: std::sync::atomic::AtomicU64::new(0),
             buffered_bytes: std::sync::atomic::AtomicU64::new(0),
-            claims: Mutex::new(
+            claims: TrackedMutex::new(
+                &lockdep::CONN_CLAIMS,
                 wire_claims.iter().map(|c| (c.tld, c.from_serial)).collect::<BTreeMap<_, _>>(),
             ),
         });
@@ -664,7 +687,9 @@ impl Reactor {
                 whole.extend_from_slice(&payload);
                 if !whole.is_empty() {
                     let at = i % whole.len();
-                    whole[at] ^= 0xFF;
+                    if let Some(byte) = whole.get_mut(at) {
+                        *byte ^= 0xFF;
+                    }
                 }
                 conn.push_frame(RingFrame::plain(Bytes::from(whole), kind, true), now);
                 Composed::Staged
@@ -790,14 +815,15 @@ impl Reactor {
             Stage::Streaming { entry, .. } => Some(entry),
             _ => None,
         };
-        let mut start = 0;
-        while start < completed.len() {
-            let seq = completed[start].write_seq;
-            let mut end = start;
+        let mut rest = completed;
+        while let Some(first) = rest.first() {
+            let seq = first.write_seq;
+            let run_len = rest.iter().take_while(|f| f.write_seq == seq).count();
+            let (run, tail) = rest.split_at(run_len);
+            rest = tail;
             let mut messages = 0u64;
             let mut ride_along: Vec<TldId> = Vec::new();
-            while end < completed.len() && completed[end].write_seq == seq {
-                let frame = completed[end];
+            for &frame in run {
                 match frame.kind {
                     FrameKind::Snapshot { tld, last } => {
                         if frame.counted {
@@ -827,7 +853,6 @@ impl Reactor {
                     FrameKind::Torn => conn.sever_after_flush = true,
                     FrameKind::Evict | FrameKind::Heartbeat | FrameKind::Stats => {}
                 }
-                end += 1;
             }
             if messages >= 2 {
                 stats.coalesced_writes.fetch_add(1, Ordering::Relaxed);
@@ -837,7 +862,6 @@ impl Reactor {
                 }
                 self.inner.broker.record_coalesced_frames(ride_along);
             }
-            start = end;
         }
     }
 
@@ -897,7 +921,7 @@ impl Reactor {
             }
         }
         for (idx, why) in closes {
-            if let Slot::Conn(conn) = std::mem::replace(&mut self.slots[idx], Slot::Free) {
+            if let Slot::Conn(conn) = self.take_slot(idx) {
                 self.finalize_close(idx, conn, why);
             }
         }
@@ -923,7 +947,7 @@ impl Reactor {
         // Dropping the conn closes the fd / pipe end: the peer sees EOF
         // (or the scripted reset, if a sever already hit the pipe).
         drop(conn);
-        self.slots[idx] = Slot::Free;
+        self.set_slot(idx, Slot::Free);
         self.free.push(idx);
     }
 }

@@ -221,9 +221,22 @@ impl BrokerServer {
                             shared.snapshots_installed.fetch_add(1, Ordering::Relaxed);
                         }
                         ClientEvent::Delta { tld, push, frame } => {
-                            match relay_delta(&broker, tld, &push, frame) {
+                            match relay_decision(&broker, tld, &push) {
                                 Relayed::Published => {
+                                    // Count before publishing: the frame
+                                    // is downstream-visible the instant
+                                    // it lands in the broker, and stats()
+                                    // readers must never observe a
+                                    // delivered frame the counter has
+                                    // not reached yet.
                                     shared.frames_relayed.fetch_add(1, Ordering::Relaxed);
+                                    broker.publish_frame(
+                                        tld,
+                                        push.delta.clone(),
+                                        push.to_serial,
+                                        push.pushed_at,
+                                        frame,
+                                    );
                                 }
                                 Relayed::Replay => {
                                     shared.frames_skipped.fetch_add(1, Ordering::Relaxed);
@@ -255,30 +268,27 @@ impl BrokerServer {
     }
 }
 
-/// How one upstream delta landed in the local broker.
+/// How one upstream delta should land in the local broker.
 enum Relayed {
     Published,
     Replay,
     Gap,
 }
 
-/// Chain-check an upstream delta against the local head and publish the
-/// received frame verbatim when it advances. The upstream guarantees a
-/// gap-free per-shard stream, so `Gap` means the connection corrupted —
-/// the caller redials rather than ever publishing out of order.
-fn relay_delta(
-    broker: &Broker,
-    tld: TldId,
-    push: &darkdns_dns::wire::DeltaPush,
-    frame: bytes::Bytes,
-) -> Relayed {
+/// Chain-check an upstream delta against the local head: `Published`
+/// means it advances and the caller should re-publish the received
+/// frame verbatim (the caller publishes — not this check — so the
+/// relayed-frame counter can be bumped before the frame becomes
+/// downstream-visible). The upstream guarantees a gap-free per-shard
+/// stream, so `Gap` means the connection corrupted — the caller redials
+/// rather than ever publishing out of order.
+fn relay_decision(broker: &Broker, tld: TldId, push: &darkdns_dns::wire::DeltaPush) -> Relayed {
     let Some(head) = broker.head(tld) else {
         // Delta before the bootstrap snapshot: only possible on a
         // corrupt stream.
         return Relayed::Gap;
     };
     if push.from_serial == head.serial() {
-        broker.publish_frame(tld, push.delta.clone(), push.to_serial, push.pushed_at, frame);
         Relayed::Published
     } else if !push.to_serial.is_newer_than(head.serial()) {
         // A replayed delta from before the reconnect point: the local

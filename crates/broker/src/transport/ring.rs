@@ -77,6 +77,23 @@ pub struct RingFrame {
     counted: bool,
 }
 
+/// Build the ≤10-byte head: the `u32` length prefix followed by the
+/// envelope bytes, written bounds-checked. The ring is a declared
+/// panic-free module (lint rule L3), so the head is assembled without
+/// slice-index expressions; the fixed 10-byte array always has room for
+/// 4 prefix bytes plus the ≤6-byte envelope the callers assert.
+fn build_head(declared_len: u32, envelope: &[u8]) -> ([u8; 10], u8) {
+    let mut head = [0u8; 10];
+    let mut n = 0usize;
+    for b in declared_len.to_be_bytes().into_iter().chain(envelope.iter().copied()) {
+        if let Some(slot) = head.get_mut(n) {
+            *slot = b;
+            n += 1;
+        }
+    }
+    (head, n as u8)
+}
+
 impl RingFrame {
     /// A frame whose payload goes out as-is behind its length prefix.
     ///
@@ -88,9 +105,8 @@ impl RingFrame {
     /// this assert is the last line of defence against the cast.)
     pub fn plain(payload: Bytes, kind: FrameKind, counted: bool) -> Self {
         assert!(payload.len() <= u32::MAX as usize, "frame length exceeds the u32 prefix");
-        let mut head = [0u8; 10];
-        head[..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
-        RingFrame { head, head_len: 4, payload, kind, counted }
+        let (head, head_len) = build_head(payload.len() as u32, &[]);
+        RingFrame { head, head_len, payload, kind, counted }
     }
 
     /// A frame with extra head bytes between the prefix and the shared
@@ -106,10 +122,8 @@ impl RingFrame {
             payload.len() <= u32::MAX as usize - envelope.len(),
             "frame length exceeds the u32 prefix"
         );
-        let mut head = [0u8; 10];
-        head[..4].copy_from_slice(&((envelope.len() + payload.len()) as u32).to_be_bytes());
-        head[4..4 + envelope.len()].copy_from_slice(envelope);
-        RingFrame { head, head_len: 4 + envelope.len() as u8, payload, kind, counted }
+        let (head, head_len) = build_head((envelope.len() + payload.len()) as u32, envelope);
+        RingFrame { head, head_len, payload, kind, counted }
     }
 
     /// An idle heartbeat: the empty frame.
@@ -123,9 +137,8 @@ impl RingFrame {
     /// exactly what a TCP disconnect under an in-flight frame leaves.
     pub fn torn(declared_len: usize, partial: Bytes) -> Self {
         debug_assert!(partial.len() < declared_len);
-        let mut head = [0u8; 10];
-        head[..4].copy_from_slice(&(declared_len as u32).to_be_bytes());
-        RingFrame { head, head_len: 4, payload: partial, kind: FrameKind::Torn, counted: false }
+        let (head, head_len) = build_head(declared_len as u32, &[]);
+        RingFrame { head, head_len, payload: partial, kind: FrameKind::Torn, counted: false }
     }
 
     fn len(&self) -> usize {
@@ -213,15 +226,20 @@ impl OutRing {
                 // write happens before any ring mutation.
                 let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(2 * MAX_COALESCE.min(self.frames.len()));
                 for (i, frame) in self.frames.iter().take(MAX_COALESCE).enumerate() {
-                    let head = &frame.head[..frame.head_len as usize];
+                    let head =
+                        frame.head.get(..frame.head_len as usize).unwrap_or_default();
                     let skip = if i == 0 { self.front_sent } else { 0 };
                     if skip < head.len() {
-                        slices.push(IoSlice::new(&head[skip..]));
+                        slices.push(IoSlice::new(head.get(skip..).unwrap_or_default()));
                         if !frame.payload.is_empty() {
                             slices.push(IoSlice::new(&frame.payload));
                         }
-                    } else if skip - head.len() < frame.payload.len() {
-                        slices.push(IoSlice::new(&frame.payload[skip - head.len()..]));
+                    } else if let Some(rest) =
+                        frame.payload.get(skip.saturating_sub(head.len())..)
+                    {
+                        if !rest.is_empty() {
+                            slices.push(IoSlice::new(rest));
+                        }
                     }
                     // (a fully sent front frame never stays in the ring)
                 }
@@ -239,19 +257,25 @@ impl OutRing {
             self.unsent -= wrote;
             let mut remaining = wrote;
             while remaining > 0 {
-                let front_left = {
-                    let front = self.frames.front().expect("bytes accepted imply a frame");
-                    front.len() - self.front_sent
+                // Bytes accepted imply a front frame; if the invariant
+                // ever broke, stopping the accounting loop beats
+                // panicking the reactor (rule L3: this module is
+                // panic-free outside tests).
+                let Some(front) = self.frames.front() else {
+                    debug_assert!(false, "bytes accepted imply a frame");
+                    break;
                 };
+                let front_left = front.len().saturating_sub(self.front_sent);
                 if remaining >= front_left {
                     remaining -= front_left;
                     self.front_sent = 0;
-                    let frame = self.frames.pop_front().expect("checked front");
-                    completed.push(CompletedFrame {
-                        kind: frame.kind,
-                        counted: frame.counted,
-                        write_seq: self.write_seq,
-                    });
+                    if let Some(frame) = self.frames.pop_front() {
+                        completed.push(CompletedFrame {
+                            kind: frame.kind,
+                            counted: frame.counted,
+                            write_seq: self.write_seq,
+                        });
+                    }
                 } else {
                     self.front_sent += remaining;
                     remaining = 0;

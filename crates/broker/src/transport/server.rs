@@ -28,7 +28,7 @@ use darkdns_dns::wire::{
     StatsReport, TldClaim, WireServerStats, WireShardStats, WireSubscriberStats,
 };
 use darkdns_dns::Serial;
-use parking_lot::Mutex;
+use crate::lockdep::{self, TrackedMutex};
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -132,7 +132,8 @@ pub(super) struct ConnStatsEntry {
     /// Per-TLD serials this connection has *verifiably* streamed past:
     /// seeded from the HELLO claims, advanced only when a delta's last
     /// byte reaches the stream.
-    pub(super) claims: Mutex<BTreeMap<u16, Option<Serial>>>,
+    // lock-level: 44
+    pub(super) claims: TrackedMutex<BTreeMap<u16, Option<Serial>>>,
 }
 
 pub(super) struct ServerInner {
@@ -142,8 +143,11 @@ pub(super) struct ServerInner {
     pub(super) reactor: Arc<ReactorShared>,
     /// Live subscriber connections by subscriber id (sorted, so the
     /// report rows come out in a stable order).
-    pub(super) conns: Mutex<BTreeMap<u64, Arc<ConnStatsEntry>>>,
-    pub(super) threads: Mutex<Vec<JoinHandle<()>>>,
+    // lock-level: 14 (held while probing subscriber queues, hence
+    // *below* them in the hierarchy)
+    pub(super) conns: TrackedMutex<BTreeMap<u64, Arc<ConnStatsEntry>>>,
+    // lock-level: 70
+    pub(super) threads: TrackedMutex<Vec<JoinHandle<()>>>,
 }
 
 /// A connection ready to hand to the reactor: the server end of a pipe
@@ -198,8 +202,8 @@ impl BrokerServer {
             config,
             stats: StatsInner::default(),
             reactor,
-            conns: Mutex::new(BTreeMap::new()),
-            threads: Mutex::new(Vec::new()),
+            conns: TrackedMutex::new(&lockdep::CONNS, BTreeMap::new()),
+            threads: TrackedMutex::new(&lockdep::THREADS, Vec::new()),
         });
         let loop_inner = Arc::clone(&inner);
         let handle = std::thread::spawn(move || reactor::run(loop_inner));

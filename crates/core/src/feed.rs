@@ -18,12 +18,17 @@
 //! subscribers that fell behind.
 
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use darkdns_broker::lockdep::{LockClass, TrackedMutex};
 use darkdns_dns::DomainName;
 use darkdns_sim::time::SimTime;
-use parking_lot::Mutex;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The topic subscriber registry's lock class: a leaf — `publish`
+/// try-sends on crossbeam channels under it but never takes another
+/// tracked lock. Level from `docs/INVARIANTS.md`.
+static TOPIC_SUBS: LockClass = LockClass::new("core.topic_subs", 80);
 
 /// What a topic does with a subscriber whose channel is full — the same
 /// policy vocabulary the RZU distribution broker uses.
@@ -40,7 +45,8 @@ struct TopicSubscriber<T> {
 /// A broadcast topic: every subscriber receives every message published
 /// after it subscribed, up to its bounded buffer.
 pub struct Topic<T: Clone> {
-    subscribers: Arc<Mutex<Vec<TopicSubscriber<T>>>>,
+    // lock-level: 80
+    subscribers: Arc<TrackedMutex<Vec<TopicSubscriber<T>>>>,
     published: Arc<AtomicU64>,
     capacity: usize,
     overflow: OverflowPolicy,
@@ -76,7 +82,7 @@ impl<T: Clone> Topic<T> {
     pub fn with_config(capacity: usize, overflow: OverflowPolicy) -> Self {
         assert!(capacity > 0, "topic capacity must be positive");
         Topic {
-            subscribers: Arc::new(Mutex::new(Vec::new())),
+            subscribers: Arc::new(TrackedMutex::new(&TOPIC_SUBS, Vec::new())),
             published: Arc::new(AtomicU64::new(0)),
             capacity,
             overflow,

@@ -88,7 +88,10 @@ const MAX_CHUNKS: usize = 4096;
 /// comparison hot paths never contend.
 pub struct NameTable {
     /// Spelling → id. Re-parsing an already-interned spelling (the common
-    /// case once a universe is built) takes only the read lock.
+    /// case once a universe is built) takes only the read lock. A leaf in
+    /// the workspace hierarchy; `dns` sits below the broker in the crate
+    /// graph, so the lock is annotated rather than runtime-tracked.
+    // lock-level: 90
     map: RwLock<std::collections::HashMap<&'static str, u32, crate::hash::FxBuildHasher>>,
     /// Two-level id → string table. Chunks are allocated on demand and
     /// published with release stores; slots likewise.

@@ -6,6 +6,18 @@
 //! authoritative servers. The codec is strict on decode: trailing garbage,
 //! compression-pointer loops, forward pointers and truncated fields are all
 //! errors rather than silent acceptance.
+//!
+//! # Decode-bounds invariant (machine-checked)
+//!
+//! Every `decode_*` entry point treats counts and lengths read from the
+//! buffer as hostile: an untrusted count must be bounded against the
+//! bytes actually remaining (each entry has a known minimum wire cost)
+//! **before** any allocation is sized from it, so a 20-byte frame
+//! claiming four billion entries is rejected as [`WireError::Truncated`]
+//! instead of reserving gigabytes. The rule is catalogued in
+//! `docs/INVARIANTS.md` (L2) and enforced by `darkdns-lint`; the decode
+//! path is also panic-free (L3) — hostile input produces `WireError`,
+//! never an abort.
 
 use crate::diff::{NsChange, ZoneDelta};
 use crate::name::DomainName;
@@ -209,6 +221,15 @@ impl Message {
     pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
         let mut dec = Decoder { bytes, pos: 0 };
         let (header, counts) = dec.header()?;
+        // The qdcount is untrusted: every question costs at least one
+        // wire byte, so a count the rest of the buffer cannot hold is a
+        // truncation — caught before the allocation is sized from the
+        // hostile header. (One byte, not the true 5-byte minimum, so
+        // malformed-but-short frames still report their specific decode
+        // error rather than a blanket truncation.)
+        if counts.0 as usize > dec.remaining() {
+            return Err(WireError::Truncated);
+        }
         let mut questions = Vec::with_capacity(counts.0 as usize);
         for _ in 0..counts.0 {
             questions.push(dec.question()?);
@@ -381,7 +402,9 @@ impl<'a> Decoder<'a> {
 
     fn u64(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
-        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+        // take(8) returned exactly 8 bytes; a length mismatch is
+        // unreachable, but the decode path stays panic-free by policy.
+        Ok(u64::from_be_bytes(b.try_into().map_err(|_| WireError::Truncated)?))
     }
 
     /// Advance past an encoded name without materialising it: labels are
@@ -1088,8 +1111,8 @@ pub fn encode_snapshot_chunks(
         let mut count: u32 = 0;
         // At least one entry per chunk guarantees progress even when the
         // header alone exceeds the byte target.
-        while iter.peek().is_some() && (count == 0 || enc.buf.len() < chunk_bytes) {
-            let (domain, ns) = iter.next().expect("peeked");
+        while count == 0 || enc.buf.len() < chunk_bytes {
+            let Some((domain, ns)) = iter.next() else { break };
             enc.name(&domain);
             enc.ns_set(ns);
             count += 1;
@@ -1768,6 +1791,19 @@ mod tests {
     #[test]
     fn truncated_header_rejected() {
         assert_eq!(Message::decode(&[0u8; 5]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn hostile_qdcount_rejected_before_allocation() {
+        // A bare 12-byte header claiming 65535 questions with zero
+        // bytes of question data: the decode-bounds rule (L2) must
+        // reject it up front, not size a Vec from the hostile count.
+        let bytes = vec![0, 7, 0, 0, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0];
+        assert_eq!(Message::decode(&bytes), Err(WireError::Truncated));
+        // Same header shape with a count the buffer *could* hold still
+        // fails cleanly on the missing question body.
+        let bytes = vec![0, 7, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0, 0];
+        assert!(Message::decode(&bytes).is_err());
     }
 
     #[test]

@@ -23,21 +23,32 @@
 //! concurrency test in this module hammers lookups against a publisher
 //! to keep the assertion hot.
 //!
-//! The epoch cell itself is a `parking_lot::RwLock<Arc<EdgeEpoch>>`:
-//! readers take the shared half for the nanoseconds an `Arc::clone`
-//! costs, writers take the exclusive half for a pointer store. The
-//! epoch *build* — the only O(index) work — happens outside both
-//! halves, under a separate writer mutex that exists purely to
-//! serialize concurrent writers.
+//! The epoch cell itself is a lockdep-tracked `RwLock<Arc<EdgeEpoch>>`
+//! (see [`darkdns_broker::lockdep`]): readers take the shared half for
+//! the nanoseconds an `Arc::clone` costs, writers take the exclusive
+//! half for a pointer store. The epoch *build* — the only O(index)
+//! work — happens outside both halves, under a separate writer mutex
+//! that exists purely to serialize concurrent writers. Both locks carry
+//! classes in the workspace hierarchy (`docs/INVARIANTS.md`): the
+//! writer mutex sits below the cell because it is held across the
+//! cell's read-then-write swap sequence.
 
+use darkdns_broker::lockdep::{LockClass, TrackedMutex, TrackedRwLock};
 use darkdns_dns::hash::NameMap;
 use darkdns_dns::wire::{LookupAnswer, LookupQuery, DeltaPush, LOOKUP_ANY_TLD};
 use darkdns_dns::{DomainName, Serial, ZoneSnapshot};
 use darkdns_registry::tld::TldId;
 use darkdns_sim::time::SimTime;
-use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// The writer-serialization mutex's class: held across an epoch build,
+/// during which the epoch cell is read and then written — hence below
+/// [`EDGE_CELL`] in level.
+static EDGE_WRITER: LockClass = LockClass::new("edge.writer", 60);
+/// The epoch cell itself: held for an `Arc` clone (read) or a pointer
+/// store (write), never while acquiring anything else.
+static EDGE_CELL: LockClass = LockClass::new("edge.cell", 62);
 
 /// Edge index tuning.
 #[derive(Debug, Clone, Copy)]
@@ -95,12 +106,12 @@ impl NrdWindow {
             self.newest = push.pushed_at;
         }
         let horizon = self.newest.as_secs().saturating_sub(config.nrd_window_secs);
-        while let Some(front) = self.ring.front() {
+        while let Some(front) = self.ring.front().copied() {
             let expired = front.first_seen.as_secs() < horizon;
             if !expired && self.ring.len() <= config.nrd_capacity {
                 break;
             }
-            let front = self.ring.pop_front().expect("front exists");
+            self.ring.pop_front();
             // Only forget the map entry if this ring record is still
             // the one the map points at; a newer re-add keeps it.
             if self.by_name.get(&(front.tld, front.name)) == Some(&front.first_seen) {
@@ -226,10 +237,12 @@ pub struct EdgeIndex {
     config: EdgeIndexConfig,
     /// The epoch cell: shared-half readers clone the `Arc`, the
     /// exclusive half is held for exactly one pointer store.
-    current: RwLock<Arc<EdgeEpoch>>,
+    // lock-level: 62
+    current: TrackedRwLock<Arc<EdgeEpoch>>,
     /// Serializes writers so the read-build-swap sequence can run its
     /// O(index) build outside the epoch cell's lock.
-    writer: Mutex<()>,
+    // lock-level: 60
+    writer: TrackedMutex<()>,
 }
 
 impl Default for EdgeIndex {
@@ -242,8 +255,8 @@ impl EdgeIndex {
     pub fn new(config: EdgeIndexConfig) -> Self {
         EdgeIndex {
             config,
-            current: RwLock::new(Arc::new(EdgeEpoch::default())),
-            writer: Mutex::new(()),
+            current: TrackedRwLock::new(&EDGE_CELL, Arc::new(EdgeEpoch::default())),
+            writer: TrackedMutex::new(&EDGE_WRITER, ()),
         }
     }
 

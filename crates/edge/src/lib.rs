@@ -26,9 +26,10 @@
 //! during a handshake's `subscribe_with`. The edge extends that map
 //! with a rule rather than a level: **the query path takes no lock in
 //! the broker's hierarchy at all.** A lookup clones the current
-//! [`EdgeEpoch`]'s `Arc` (a `parking_lot::RwLock` read held for the
+//! [`EdgeEpoch`]'s `Arc` (a lockdep-tracked `RwLock` read held for the
 //! clone — an edge-local leaf, never held across any call into the
-//! broker) and then runs entirely over immutable data. Writers build
+//! broker; class `edge.cell` in `docs/INVARIANTS.md`) and then runs
+//! entirely over immutable data. Writers build
 //! the next generation off to the side and swap the pointer. So a
 //! publisher holding a shard lock at full RZU cadence and an edge
 //! answering 10k queries/s never contend: the only synchronization

@@ -60,8 +60,8 @@ use darkdns_dns::wire::{
     decode_lookup_request, encode_lookup_response, encode_stats_report, is_stats_query,
     WireServerStats, WireShardStats, LOOKUP_REQUEST_MAGIC,
 };
+use darkdns_broker::lockdep::{LockClass, TrackedMutex};
 use mio_shim::{Epoll, Events, Interest, Token, WakeupFd};
-use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -71,6 +71,12 @@ use std::time::{Duration, Instant};
 
 /// The wakeup eventfd's reserved token (slot tokens are slab indices).
 const WAKE_TOKEN: usize = usize::MAX;
+
+/// Edge listener staging mailbox (leaf on the listen path: nothing else
+/// is acquired while it is held). Level from `docs/INVARIANTS.md`.
+static EDGE_PENDING: LockClass = LockClass::new("edge.pending", 64);
+/// Edge transport thread registry (join handles only).
+static EDGE_THREADS: LockClass = LockClass::new("edge.threads", 70);
 
 /// Edge transport tuning.
 #[derive(Debug, Clone, Copy)]
@@ -131,10 +137,12 @@ struct EdgeInner {
     index: Arc<EdgeIndex>,
     config: EdgeConfig,
     stats: StatsInner,
-    pending: Mutex<Vec<TcpListener>>,
+    // lock-level: 64
+    pending: TrackedMutex<Vec<TcpListener>>,
     wakeup: WakeupFd,
     stop: AtomicBool,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    // lock-level: 70
+    threads: TrackedMutex<Vec<JoinHandle<()>>>,
 }
 
 /// The edge query server: cheap to clone, all clones share the reactor.
@@ -150,10 +158,12 @@ impl EdgeServer {
             index,
             config,
             stats: StatsInner::default(),
-            pending: Mutex::new(Vec::new()),
+            pending: TrackedMutex::new(&EDGE_PENDING, Vec::new()),
+            // lint: allow(panic) startup-only: one eventfd per server,
+            // created before the reactor thread or any traffic exists.
             wakeup: WakeupFd::new().expect("create edge reactor wakeup eventfd"),
             stop: AtomicBool::new(false),
-            threads: Mutex::new(Vec::new()),
+            threads: TrackedMutex::new(&EDGE_THREADS, Vec::new()),
         });
         let loop_inner = Arc::clone(&inner);
         let handle = std::thread::spawn(move || Reactor::run(loop_inner));
@@ -360,7 +370,23 @@ impl Reactor {
             idx
         } else {
             self.slots.push(Slot::Free);
-            self.slots.len() - 1
+            self.slots.len().saturating_sub(1)
+        }
+    }
+
+    /// Bounds-checked slot store (an out-of-range index is a slab bug;
+    /// dropping the value beats indexing past the slab on a hot path).
+    fn set_slot(&mut self, idx: usize, slot: Slot) {
+        if let Some(entry) = self.slots.get_mut(idx) {
+            *entry = slot;
+        }
+    }
+
+    /// Bounds-checked slot take: replaces the slot with `Free`.
+    fn take_slot(&mut self, idx: usize) -> Slot {
+        match self.slots.get_mut(idx) {
+            Some(entry) => std::mem::replace(entry, Slot::Free),
+            None => Slot::Free,
         }
     }
 
@@ -370,13 +396,13 @@ impl Reactor {
             self.free.push(idx);
             return;
         }
-        self.slots[idx] = Slot::Listener(listener);
+        self.set_slot(idx, Slot::Listener(listener));
     }
 
     fn accept_burst(&mut self, listener_idx: usize) {
         loop {
-            let accepted = match &self.slots[listener_idx] {
-                Slot::Listener(listener) => listener.accept(),
+            let accepted = match self.slots.get(listener_idx) {
+                Some(Slot::Listener(listener)) => listener.accept(),
                 _ => return,
             };
             match accepted {
@@ -398,7 +424,7 @@ impl Reactor {
                         continue;
                     }
                     let now = Instant::now();
-                    self.slots[idx] = Slot::Conn(Box::new(Conn {
+                    self.set_slot(idx, Slot::Conn(Box::new(Conn {
                         io: stream,
                         assembler: FrameAssembler::new(self.inner.config.max_frame_len),
                         ring: OutRing::new(),
@@ -406,7 +432,7 @@ impl Reactor {
                         last_io: now,
                         last_progress: now,
                         want_write: false,
-                    }));
+                    })));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(_) => return,
@@ -416,10 +442,10 @@ impl Reactor {
 
     /// Drive one connection: inbound frames, ring flush, drain-close.
     fn service(&mut self, idx: usize, readable: bool, writable: bool) {
-        let mut conn = match std::mem::replace(&mut self.slots[idx], Slot::Free) {
+        let mut conn = match self.take_slot(idx) {
             Slot::Conn(conn) => conn,
             other => {
-                self.slots[idx] = other;
+                self.set_slot(idx, other);
                 return;
             }
         };
@@ -430,7 +456,7 @@ impl Reactor {
         }
         match close {
             Some(why) => self.finalize_close(idx, conn, why),
-            None => self.slots[idx] = Slot::Conn(conn),
+            None => self.set_slot(idx, Slot::Conn(conn)),
         }
     }
 
@@ -472,7 +498,7 @@ impl Reactor {
             conn.push_frame(RingFrame::plain(report, FrameKind::Stats, false), now);
             return None;
         }
-        if frame.len() >= 4 && &frame[..4] == LOOKUP_REQUEST_MAGIC {
+        if frame.starts_with(LOOKUP_REQUEST_MAGIC) {
             let Ok((request_id, queries)) = decode_lookup_request(frame) else {
                 self.inner.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
                 return Some(CloseWhy::Disconnect);
@@ -548,7 +574,7 @@ impl Reactor {
             }
         }
         for idx in closes {
-            if let Slot::Conn(conn) = std::mem::replace(&mut self.slots[idx], Slot::Free) {
+            if let Slot::Conn(conn) = self.take_slot(idx) {
                 self.finalize_close(idx, conn, CloseWhy::Disconnect);
             }
         }
@@ -564,7 +590,7 @@ impl Reactor {
         self.inner.stats.open_conns.fetch_sub(1, Ordering::Relaxed);
         let _ = self.epoll.deregister(conn.io.as_raw_fd());
         drop(conn);
-        self.slots[idx] = Slot::Free;
+        self.set_slot(idx, Slot::Free);
         self.free.push(idx);
     }
 }

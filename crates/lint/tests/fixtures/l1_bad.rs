@@ -1,0 +1,19 @@
+// Seeded L1 violations: an unannotated lock declaration and a
+// level-inverted acquisition pair. Never compiled — scanned by
+// tests/rules.rs.
+use std::sync::Mutex;
+
+struct State {
+    queue: Mutex<Vec<u8>>,
+    // lock-level: 20
+    outer: Mutex<u32>,
+    // lock-level: 10
+    inner: Mutex<u32>,
+}
+
+impl State {
+    fn inverted(&self) {
+        let _hi = self.outer.lock();
+        let _lo = self.inner.lock();
+    }
+}

@@ -1,0 +1,11 @@
+// Seeded L2 violation: an allocation sized straight from a decoded,
+// untrusted count with no bound against the remaining buffer. Never
+// compiled — scanned by tests/rules.rs.
+pub fn decode_evil(bytes: &[u8]) -> Vec<u16> {
+    let count = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+    let mut out = Vec::with_capacity(count);
+    for chunk in bytes[2..].chunks_exact(2).take(count) {
+        out.push(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    out
+}

@@ -1,0 +1,21 @@
+// Seeded L3 violations: panic tokens and a direct slice index on what
+// the scan profile declares a hot path. The test module at the bottom
+// must NOT be flagged. Never compiled — scanned by tests/rules.rs.
+pub fn hot(buf: &[u8], slot: Option<usize>) -> u8 {
+    let idx = slot.unwrap();
+    let first = buf[idx];
+    if first == 0 {
+        panic!("zero byte");
+    }
+    let second = buf.get(1).expect("short frame");
+    first ^ second
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let x: Option<u8> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

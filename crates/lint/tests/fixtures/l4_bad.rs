@@ -1,0 +1,9 @@
+// Seeded L4 violation: re-encoding a delta on a fan-out path instead
+// of forwarding the publisher's shared bytes. Never compiled — scanned
+// by tests/rules.rs.
+pub fn relay_delta(push: &DeltaPush, peers: &mut [Peer]) {
+    for peer in peers {
+        let frame = encode_delta_push(push);
+        peer.enqueue(frame);
+    }
+}

@@ -1,0 +1,77 @@
+//! Self-test: every rule fires on its seeded-violation fixture, and
+//! the clean fixture passes all rules under the full profile. These are
+//! the fixtures `scripts/lint.sh` counts on to prove the linter is
+//! alive before trusting a clean workspace scan.
+
+use std::path::Path;
+
+use darkdns_lint::{DeclTable, Finding, Profile, Rule, scan_source};
+
+fn scan_fixture(name: &str, profile: Profile) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    scan_source(&path, &source, profile, &DeclTable::new())
+}
+
+fn count(findings: &[Finding], rule: Rule) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn l1_fires_on_unannotated_decl_and_inverted_order() {
+    let findings = scan_fixture("l1_bad.rs", Profile { lock_level: true, ..Profile::default() });
+    assert!(
+        count(&findings, Rule::LockLevel) >= 2,
+        "expected an annotation finding and an order finding, got {findings:#?}"
+    );
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("no `lock-level: N` annotation")), "{messages:?}");
+    assert!(messages.iter().any(|m| m.contains("strictly increase")), "{messages:?}");
+}
+
+#[test]
+fn l2_fires_on_unbounded_decode_allocation() {
+    let findings = scan_fixture("l2_bad.rs", Profile { decode_bounds: true, ..Profile::default() });
+    assert_eq!(count(&findings, Rule::DecodeBounds), 1, "{findings:#?}");
+}
+
+#[test]
+fn l3_fires_on_panic_tokens_and_indexing_but_not_tests() {
+    let findings = scan_fixture(
+        "l3_bad.rs",
+        Profile { panic_free: true, panic_index: true, ..Profile::default() },
+    );
+    // unwrap, slice index, panic!, expect — and nothing from the
+    // #[cfg(test)] module.
+    assert_eq!(count(&findings, Rule::PanicFree), 4, "{findings:#?}");
+    let max_line = findings.iter().map(|f| f.line).max().unwrap_or(0);
+    assert!(max_line < 13, "findings leaked into the test module: {findings:#?}");
+}
+
+#[test]
+fn l4_fires_on_delta_reencode() {
+    let findings = scan_fixture("l4_bad.rs", Profile { encode_once: true, ..Profile::default() });
+    assert_eq!(count(&findings, Rule::EncodeOnce), 1, "{findings:#?}");
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let findings = scan_fixture("clean.rs", Profile::all());
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn workspace_profiles_map_paths_to_rules() {
+    let wire = darkdns_lint::profile_for(Path::new("crates/dns/src/wire.rs"));
+    assert!(wire.decode_bounds && wire.panic_free && !wire.panic_index);
+
+    let reactor = darkdns_lint::profile_for(Path::new("crates/broker/src/transport/reactor.rs"));
+    assert!(reactor.panic_free && reactor.panic_index && reactor.encode_once);
+
+    let edge = darkdns_lint::profile_for(Path::new("crates/edge/src/server.rs"));
+    assert!(edge.panic_free && edge.panic_index && edge.encode_once);
+
+    let cold = darkdns_lint::profile_for(Path::new("crates/intel/src/lib.rs"));
+    assert!(cold.lock_level && !cold.panic_free && !cold.encode_once);
+}

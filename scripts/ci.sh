@@ -10,6 +10,13 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+# The static-analysis plane first: darkdns-lint's rule fixtures, then a
+# workspace scan for lock-level, decode-bounds, panic-freedom and
+# encode-once violations (docs/INVARIANTS.md). Cheap, and a finding
+# here explains test failures further down.
+echo "==> scripts/lint.sh"
+scripts/lint.sh
+
 echo "==> cargo test -q"
 cargo test -q
 
